@@ -1,0 +1,111 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every ``test_figNN_*.py`` module reproduces one figure of the paper's
+evaluation (Section VI).  The sweeps run once per session inside fixtures;
+each test prints the paper-shaped table (same series, same x-axis, scaled
+sizes) and asserts the *shape* claims — who wins, roughly by how much —
+rather than absolute numbers.
+
+Scaling: the paper runs 1M-10M tuples on a 2008 C++/disk testbed; this
+harness runs 10k-50k tuples on a pure-Python simulator.  Wall-clock numbers
+therefore mix Python overhead into what was disk time; tables report both
+raw ``time`` and ``t@5ms`` — execution time under a 5 ms-per-page-access
+disk model — plus the raw access counts, which are hardware independent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.covertype import covertype_relation
+from repro.data.synthetic import SyntheticConfig, generate_relation
+from repro.system import build_system
+
+#: The scalability sweep (paper: 1M, 5M, 10M).
+SWEEP_SIZES = (10_000, 20_000, 50_000)
+#: Queries averaged per data point.
+N_QUERIES = 5
+#: Modeled random-access latency (2008-era disk).
+SECONDS_PER_IO = 0.005
+#: R-tree fanout for the synthetic sweeps (keeps height 3 at 50k tuples).
+SWEEP_FANOUT = 64
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print one paper-figure table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print(
+            "  " + "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+        )
+
+
+def sweep_config(n_tuples: int, **overrides) -> SyntheticConfig:
+    """The paper's default synthetic setting: Db = Dp = 3, C = 100."""
+    params = dict(
+        n_tuples=n_tuples,
+        n_boolean=3,
+        cardinality=100,
+        n_preference=3,
+        distribution="uniform",
+        seed=n_tuples % 97 + 7,
+    )
+    params.update(overrides)
+    return SyntheticConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def sweep_systems():
+    """One built system per sweep size (shared by Figures 6, 8, 9, 10)."""
+    systems = {}
+    for n_tuples in SWEEP_SIZES:
+        relation = generate_relation(sweep_config(n_tuples))
+        systems[n_tuples] = build_system(relation, fanout=SWEEP_FANOUT)
+    return systems
+
+
+@pytest.fixture(scope="session")
+def covertype_system():
+    """The CoverType twin (Figures 14, 15, 16)."""
+    relation = covertype_relation(n_rows=40_000)
+    return build_system(relation, fanout=SWEEP_FANOUT)
+
+
+@pytest.fixture()
+def query_rng():
+    return random.Random(2008)
+
+
+def covertype_predicates(system, rng, max_conjuncts=4):
+    """A nested predicate chain over the high-cardinality attributes,
+    anchored at a live tuple (the Figure 14-16 workload)."""
+    from repro.data.workload import sample_predicate
+
+    relation = system.relation
+    dims = relation.schema.boolean_dims[:max_conjuncts]
+    predicate = sample_predicate(relation, 1, rng, dims=dims[:1])
+    chain = [predicate]
+    for dim in dims[1:]:
+        anchor = next(
+            tid for tid in relation.tids() if predicate.matches(relation, tid)
+        )
+        predicate = predicate.drill_down(
+            dim, relation.bool_value(anchor, dim)
+        )
+        chain.append(predicate)
+    return chain

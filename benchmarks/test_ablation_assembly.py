@@ -1,0 +1,77 @@
+"""Ablation: eager recursive intersection vs lazy AND assembly.
+
+DESIGN.md design decision: the paper's recursive intersection (Fig. 3) is
+exact and prunes maximally; a lazy AND view skips the up-front assembly but
+admits internal-node false positives that cost extra block reads.  This
+bench quantifies the trade on multi-predicate CoverType queries.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import covertype_predicates, print_table
+from repro.query.skyline import skyline_signature
+
+
+@pytest.fixture(scope="module")
+def assembly_comparison(covertype_system):
+    system = covertype_system
+    rng = random.Random(17)
+    rows = []
+    for trial in range(4):
+        chain = covertype_predicates(system, rng)
+        for predicate in chain[1:]:
+            lazy_tids, lazy_stats, _ = skyline_signature(
+                system.relation,
+                system.rtree,
+                system.pcube,
+                predicate,
+                eager_assembly=False,
+            )
+            eager_tids, eager_stats, _ = skyline_signature(
+                system.relation,
+                system.rtree,
+                system.pcube,
+                predicate,
+                eager_assembly=True,
+            )
+            assert set(lazy_tids) == set(eager_tids)
+            rows.append((len(predicate), lazy_stats, eager_stats))
+    return rows
+
+
+def test_ablation_lazy_vs_eager_assembly(assembly_comparison, covertype_system, benchmark):
+    table = []
+    for n_preds, lazy_stats, eager_stats in assembly_comparison:
+        table.append(
+            [
+                n_preds,
+                lazy_stats.sblock,
+                eager_stats.sblock,
+                lazy_stats.ssig,
+                eager_stats.ssig,
+            ]
+        )
+        # Exactness of eager intersection can only reduce block reads ...
+        assert eager_stats.sblock <= lazy_stats.sblock
+        # ... at the price of loading the full signatures up front.
+        assert eager_stats.ssig >= lazy_stats.ssig
+    print_table(
+        "Ablation: lazy AND vs eager recursive intersection "
+        "(CoverType twin skylines)",
+        ["#preds", "lazy SBlock", "eager SBlock", "lazy SSig", "eager SSig"],
+        table,
+    )
+
+    rng = random.Random(3)
+    predicate = covertype_predicates(covertype_system, rng)[2]
+    benchmark(
+        lambda: skyline_signature(
+            covertype_system.relation,
+            covertype_system.rtree,
+            covertype_system.pcube,
+            predicate,
+            eager_assembly=True,
+        )
+    )

@@ -1,0 +1,111 @@
+"""Ablation: atomic-only vs two-dimensional cuboid materialisation.
+
+The paper materialises atomic cuboids and assembles conjunctions online
+(Figures 14-15 argue that is "good enough"); partial materialisation of
+low-dimensional cuboids ([19], [12]) is the alternative.  This bench
+measures both sides of the trade on two-predicate queries: storage and
+build time vs per-query block reads.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import SWEEP_FANOUT, fmt_seconds, print_table, sweep_config
+from repro.core.pcube import PCube
+from repro.cube.cuboid import Cuboid, atomic_cuboids
+from repro.data.synthetic import generate_relation
+from repro.data.workload import sample_predicate
+from repro.query.skyline import skyline_signature
+from repro.rtree.bulk import bulk_load
+
+T = 20_000
+N_QUERIES = 8
+
+
+@pytest.fixture(scope="module")
+def materialization_comparison():
+    relation = generate_relation(sweep_config(T, cardinality=30, seed=19))
+    rtree = bulk_load(
+        list(relation.pref_points()),
+        dims=relation.schema.n_preference,
+        max_entries=SWEEP_FANOUT,
+        disk=relation.disk,
+    )
+    dims = relation.schema.boolean_dims
+
+    started = time.perf_counter()
+    atomic = PCube.build(
+        relation, rtree, cuboids=atomic_cuboids(dims), tag="pcube-atomic"
+    )
+    atomic_build = time.perf_counter() - started
+
+    pair_cuboids = list(atomic_cuboids(dims)) + [
+        Cuboid((dims[i], dims[j]))
+        for i in range(len(dims))
+        for j in range(i + 1, len(dims))
+    ]
+    started = time.perf_counter()
+    rich = PCube.build(relation, rtree, cuboids=pair_cuboids, tag="pcube-rich")
+    rich_build = time.perf_counter() - started
+
+    rng = random.Random(20)
+    atomic_io = rich_io = 0
+    atomic_ssig = rich_ssig = 0
+    for _ in range(N_QUERIES):
+        predicate = sample_predicate(relation, 2, rng)
+        tids_a, stats_a, _ = skyline_signature(relation, rtree, atomic, predicate)
+        tids_r, stats_r, _ = skyline_signature(relation, rtree, rich, predicate)
+        assert set(tids_a) == set(tids_r)
+        atomic_io += stats_a.sblock
+        rich_io += stats_r.sblock
+        atomic_ssig += stats_a.ssig
+        rich_ssig += stats_r.ssig
+    return {
+        "atomic": (
+            atomic_build,
+            relation.disk.size_mb("pcube-atomic"),
+            atomic_io / N_QUERIES,
+            atomic_ssig / N_QUERIES,
+        ),
+        "rich": (
+            rich_build,
+            relation.disk.size_mb("pcube-rich"),
+            rich_io / N_QUERIES,
+            rich_ssig / N_QUERIES,
+        ),
+        "kernel": (relation, rtree, rich, sample_predicate(relation, 2, rng)),
+    }
+
+
+def test_ablation_materialization_depth(materialization_comparison, benchmark):
+    comparison = materialization_comparison
+    rows = []
+    for name in ("atomic", "rich"):
+        build, size_mb, sblock, ssig = comparison[name]
+        rows.append(
+            [
+                name,
+                fmt_seconds(build),
+                f"{size_mb:.2f}MB",
+                f"{sblock:.0f}",
+                f"{ssig:.1f}",
+            ]
+        )
+    print_table(
+        f"Ablation: atomic vs atomic+pairs materialisation "
+        f"(T={T:,}, 2-predicate skylines)",
+        ["cuboids", "build", "size", "SBlock/query", "SSig/query"],
+        rows,
+    )
+    atomic_build, atomic_size, atomic_sblock, _ = comparison["atomic"]
+    rich_build, rich_size, rich_sblock, _ = comparison["rich"]
+    # Materialising pairs costs build time and space ...
+    assert rich_build > atomic_build
+    assert rich_size > atomic_size
+    # ... and buys strictly better (or equal) pruning on conjunctions.
+    assert rich_sblock <= atomic_sblock
+
+    relation, rtree, rich, predicate = comparison["kernel"]
+    benchmark(lambda: skyline_signature(relation, rtree, rich, predicate))

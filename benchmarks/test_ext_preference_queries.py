@@ -1,0 +1,107 @@
+"""Extension bench: Section VII preference queries on the same cube.
+
+Demonstrates that the P-Cube built once serves all four preference-query
+types — static skyline, dynamic skyline, top-k, lower convex hull — and
+that signature pruning pays off for each (block reads vs the same query
+without boolean pruning plus post-filtering, i.e. the Domination style).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import SWEEP_SIZES, print_table
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.dynamic import DynamicSkylineStrategy, dynamic_skyline_signature
+from repro.query.hull import lower_hull_signature
+from repro.query.algorithm1 import run_algorithm1
+from repro.query.skyline import skyline_signature
+from repro.query.stats import QueryStats
+from repro.query.topk import topk_signature
+from repro.storage.counters import DBLOCK
+
+
+@pytest.fixture(scope="module")
+def extension_comparison(sweep_systems):
+    # 2-D system for the hull; rebuild a small 2-D one.
+    from benchmarks.conftest import SWEEP_FANOUT, sweep_config
+    from repro.data.synthetic import generate_relation
+    from repro.system import build_system
+
+    relation = generate_relation(
+        sweep_config(SWEEP_SIZES[0], n_preference=2, seed=77)
+    )
+    system = build_system(relation, fanout=SWEEP_FANOUT, with_indexes=False)
+    rng = random.Random(21)
+    predicate = sample_predicate(relation, 1, rng)
+    query_point = (rng.random(), rng.random())
+    fn = sample_linear_function(2, rng)
+
+    rows = []
+
+    _, sky_stats, _ = skyline_signature(
+        relation, system.rtree, system.pcube, predicate
+    )
+    rows.append(("static skyline", sky_stats))
+
+    _, dyn_stats, _ = dynamic_skyline_signature(
+        relation, system.rtree, system.pcube, query_point, predicate
+    )
+    rows.append(("dynamic skyline", dyn_stats))
+
+    _, topk_stats, _ = topk_signature(
+        relation, system.rtree, system.pcube, fn, 20, predicate
+    )
+    rows.append(("top-20", topk_stats))
+
+    _, hull_stats = lower_hull_signature(
+        relation, system.rtree, system.pcube, predicate
+    )
+    rows.append(("lower hull", hull_stats))
+
+    # The no-signature baseline for the dynamic skyline (predicate-blind
+    # search + verification), for the pruning-benefit column.
+    blind_stats = QueryStats()
+    run_algorithm1(
+        system.rtree,
+        DynamicSkylineStrategy(query_point),
+        blind_stats,
+        reader=None,
+        verifier=lambda tid: predicate.matches(relation, tid),
+        block_category=DBLOCK,
+        keep_lists=False,
+    )
+    return system, rows, blind_stats, (relation, predicate, query_point)
+
+
+def test_ext_all_preference_queries_share_the_cube(
+    extension_comparison, benchmark
+):
+    system, rows, blind_stats, kernel_args = extension_comparison
+    table = [
+        [name, stats.sblock, stats.ssig, stats.results]
+        for name, stats in rows
+    ]
+    table.append(
+        ["dynamic w/o signature", blind_stats.dblock, 0, blind_stats.results]
+    )
+    print_table(
+        "Extension: one P-Cube, four preference-query types "
+        f"(T={SWEEP_SIZES[0]:,}, single predicate)",
+        ["query", "blocks", "SSig", "results"],
+        table,
+    )
+    # Signature pruning benefits the dynamic skyline exactly as it does
+    # the static one: far fewer block reads than the predicate-blind run.
+    dynamic_stats = rows[1][1]
+    assert dynamic_stats.sblock < blind_stats.dblock
+    # Every query type used the cube (loaded at least one partial).
+    for _, stats in rows:
+        assert stats.ssig >= 1
+
+    relation, predicate, query_point = kernel_args
+    benchmark(
+        lambda: dynamic_skyline_signature(
+            relation, system.rtree, system.pcube, query_point, predicate
+        )
+    )

@@ -1,0 +1,85 @@
+"""Figure 5: construction time vs T — P-Cube vs R-tree vs B+-trees.
+
+Paper observation: "the computation of P-Cube is 7-8 times faster than that
+of R-tree, and is comparable to that of B+-tree."  The R-tree here is built
+the way a dynamic R-tree is built — by repeated insertion — while P-Cube
+generation is a sort-and-sweep over the finished partition.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import SWEEP_FANOUT, SWEEP_SIZES, fmt_seconds, print_table, sweep_config
+from repro.baselines.boolean_first import build_boolean_indexes
+from repro.core.pcube import PCube
+from repro.data.synthetic import generate_relation
+from repro.rtree.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def construction_timings():
+    rows = []
+    for n_tuples in SWEEP_SIZES:
+        relation = generate_relation(sweep_config(n_tuples))
+        started = time.perf_counter()
+        rtree = RTree(
+            dims=relation.schema.n_preference,
+            max_entries=SWEEP_FANOUT,
+            disk=relation.disk,
+        )
+        for tid, point in relation.pref_points():
+            rtree.insert(tid, point)
+        rtree_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        PCube.build(relation, rtree, maintainable=False)
+        pcube_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        build_boolean_indexes(relation)
+        btree_seconds = time.perf_counter() - started
+
+        rows.append((n_tuples, rtree_seconds, pcube_seconds, btree_seconds))
+    return rows
+
+
+def test_fig05_construction_time(construction_timings, benchmark):
+    rows = construction_timings
+    print_table(
+        "Figure 5: construction time vs T (paper: 1M-10M tuples; scaled)",
+        ["T", "R-tree", "P-Cube", "B-tree", "rtree/pcube"],
+        [
+            [
+                f"{n:,}",
+                fmt_seconds(rt),
+                fmt_seconds(pc),
+                fmt_seconds(bt),
+                f"{rt / pc:.1f}x",
+            ]
+            for n, rt, pc, bt in rows
+        ],
+    )
+    # Shape: P-Cube computation is several times faster than the R-tree
+    # build at every size (paper: 7-8x).  The paper's second observation —
+    # "comparable to B+-tree" — is reported but not asserted: a pure-Python
+    # in-memory B+-tree insert pays none of the page I/O that made the
+    # paper's B+-tree build as expensive as signature generation.
+    for _, rtree_s, pcube_s, _btree_s in rows:
+        assert pcube_s < rtree_s / 2
+
+    # The benchmarked kernel: P-Cube generation at the smallest size.
+    relation = generate_relation(sweep_config(SWEEP_SIZES[0]))
+    rtree = RTree(
+        dims=relation.schema.n_preference,
+        max_entries=SWEEP_FANOUT,
+        disk=relation.disk,
+    )
+    for tid, point in relation.pref_points():
+        rtree.insert(tid, point)
+
+    benchmark.pedantic(
+        lambda: PCube.build(relation, rtree, maintainable=False),
+        rounds=3,
+        iterations=1,
+    )

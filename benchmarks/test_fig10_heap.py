@@ -1,0 +1,76 @@
+"""Figure 10: peak candidate-heap size vs T.
+
+Paper observation: "With Signature, the number of entries kept in memory is
+an order of magnitude less than that of Domination and Boolean" — the lazy
+verification of Domination keeps unverified candidates around, and Boolean
+must hold its whole selected subset.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import N_QUERIES, SWEEP_SIZES, print_table
+from repro.baselines.boolean_first import boolean_first_skyline
+from repro.baselines.domination_first import domination_first_skyline
+from repro.data.workload import sample_predicate
+from repro.query.skyline import skyline_signature
+
+
+@pytest.fixture(scope="module")
+def heap_sweep(sweep_systems):
+    rng = random.Random(10)
+    results = {}
+    for n_tuples in SWEEP_SIZES:
+        system = sweep_systems[n_tuples]
+        peaks = {"Signature": 0.0, "Boolean": 0.0, "Domination": 0.0}
+        for _ in range(N_QUERIES):
+            predicate = sample_predicate(system.relation, 1, rng)
+            _, sig_stats, _ = skyline_signature(
+                system.relation, system.rtree, system.pcube, predicate
+            )
+            _, bool_stats = boolean_first_skyline(
+                system.relation, system.indexes, predicate
+            )
+            _, dom_stats, _ = domination_first_skyline(
+                system.relation, system.rtree, predicate
+            )
+            peaks["Signature"] += sig_stats.peak_heap
+            peaks["Boolean"] += bool_stats.peak_heap
+            peaks["Domination"] += dom_stats.peak_heap
+        results[n_tuples] = {
+            key: value / N_QUERIES for key, value in peaks.items()
+        }
+    return results
+
+
+def test_fig10_peak_heap(heap_sweep, sweep_systems, benchmark):
+    rows = []
+    for n_tuples in SWEEP_SIZES:
+        avg = heap_sweep[n_tuples]
+        rows.append(
+            [
+                f"{n_tuples:,}",
+                f"{avg['Boolean']:.0f}",
+                f"{avg['Domination']:.0f}",
+                f"{avg['Signature']:.0f}",
+                f"{min(avg['Boolean'], avg['Domination']) / avg['Signature']:.1f}x",
+            ]
+        )
+        assert avg["Signature"] < avg["Domination"]
+        assert avg["Signature"] < avg["Boolean"]
+    print_table(
+        "Figure 10: avg peak candidate-heap size vs T "
+        "(paper: Signature an order of magnitude smaller)",
+        ["T", "Boolean", "Domination", "Signature", "advantage"],
+        rows,
+    )
+
+    system = sweep_systems[SWEEP_SIZES[0]]
+    rng = random.Random(4)
+    predicate = sample_predicate(system.relation, 1, rng)
+    benchmark(
+        lambda: boolean_first_skyline(
+            system.relation, system.indexes, predicate
+        )
+    )

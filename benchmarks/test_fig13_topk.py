@@ -1,0 +1,119 @@
+"""Figure 13: top-k execution time vs k (Boolean, Ranking, IndexMerge,
+Signature) for linear functions f = aX + bY + cZ with random parameters.
+
+Paper observations: "Boolean is not sensitive to the value of k; Ranking
+performs better when k is small.  Signature runs order of magnitudes
+faster, and it also outperforms Index Merge ... the signature materialises
+the joint space offline."
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import (
+    N_QUERIES,
+    SECONDS_PER_IO,
+    SWEEP_SIZES,
+    fmt_seconds,
+    print_table,
+)
+from repro.baselines.boolean_first import boolean_first_topk
+from repro.baselines.domination_first import ranking_topk
+from repro.baselines.index_merge import index_merge_topk
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.topk import topk_signature
+
+K_VALUES = (10, 20, 50, 100)
+T = SWEEP_SIZES[-1]  # the largest sweep data set
+
+
+@pytest.fixture(scope="module")
+def topk_sweep(sweep_systems):
+    system = sweep_systems[T]
+    relation = system.relation
+    rng = random.Random(13)
+    results = {}
+    for k in K_VALUES:
+        modeled = {
+            "Signature": 0.0,
+            "Boolean": 0.0,
+            "Ranking": 0.0,
+            "IndexMerge": 0.0,
+        }
+        io = dict.fromkeys(modeled, 0.0)
+        for _ in range(N_QUERIES):
+            predicate = sample_predicate(relation, 1, rng)
+            fn = sample_linear_function(
+                relation.schema.n_preference, rng
+            )
+            ranked_sig, sig_stats, _ = topk_signature(
+                relation, system.rtree, system.pcube, fn, k, predicate
+            )
+            ranked_bool, bool_stats = boolean_first_topk(
+                relation, system.indexes, fn, k, predicate
+            )
+            ranked_rank, rank_stats, _ = ranking_topk(
+                relation, system.rtree, fn, k, predicate
+            )
+            ranked_merge, merge_stats = index_merge_topk(
+                relation, system.rtree, system.indexes, fn, k, predicate
+            )
+            reference = [round(s, 9) for _, s in ranked_sig]
+            for other in (ranked_bool, ranked_rank, ranked_merge):
+                assert [round(s, 9) for _, s in other] == reference
+            for key, stats in (
+                ("Signature", sig_stats),
+                ("Boolean", bool_stats),
+                ("Ranking", rank_stats),
+                ("IndexMerge", merge_stats),
+            ):
+                modeled[key] += stats.modeled_seconds(SECONDS_PER_IO)
+                io[key] += stats.total_io()
+        results[k] = (
+            {key: value / N_QUERIES for key, value in modeled.items()},
+            {key: value / N_QUERIES for key, value in io.items()},
+        )
+    return results
+
+
+def test_fig13_topk_vs_k(topk_sweep, sweep_systems, benchmark):
+    rows = []
+    for k in K_VALUES:
+        modeled, io = topk_sweep[k]
+        rows.append(
+            [
+                k,
+                fmt_seconds(modeled["Boolean"]),
+                fmt_seconds(modeled["Ranking"]),
+                fmt_seconds(modeled["IndexMerge"]),
+                fmt_seconds(modeled["Signature"]),
+                f"{io['Signature']:.0f}",
+            ]
+        )
+        # Shape: Signature beats every alternative at every k.
+        for method in ("Boolean", "Ranking", "IndexMerge"):
+            assert modeled["Signature"] <= modeled[method]
+    print_table(
+        f"Figure 13: top-k time vs k (T={T:,}, linear f = aX+bY+cZ, "
+        "modeled at 5 ms/page)",
+        ["k", "Boolean", "Ranking", "IndexMerge", "Signature", "Sig I/O"],
+        rows,
+    )
+    # Ranking (minimal probing) degrades as k grows; Boolean does not care.
+    assert topk_sweep[100][0]["Ranking"] > topk_sweep[10][0]["Ranking"]
+    bool_small, bool_large = (
+        topk_sweep[10][0]["Boolean"],
+        topk_sweep[100][0]["Boolean"],
+    )
+    assert bool_large < bool_small * 1.5  # flat within noise
+
+    system = sweep_systems[T]
+    rng = random.Random(5)
+    predicate = sample_predicate(system.relation, 1, rng)
+    fn = sample_linear_function(system.relation.schema.n_preference, rng)
+    benchmark(
+        lambda: topk_signature(
+            system.relation, system.rtree, system.pcube, fn, 20, predicate
+        )
+    )

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables editable installs in offline environments
+where the `wheel` package (needed by PEP 517 editable builds) is absent —
+`python setup.py develop` and legacy `pip install -e .` both work."""
+from setuptools import setup
+
+setup()

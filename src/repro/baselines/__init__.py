@@ -1,0 +1,38 @@
+"""The paper's comparison methods (Section VI-A).
+
+* **Boolean** (:mod:`repro.baselines.boolean_first`) — select the target
+  subset first (B+-tree index scan or table scan, whichever is cheaper),
+  then run the preference analysis in memory;
+* **Domination / Ranking** (:mod:`repro.baselines.domination_first`) — BBS
+  [9] over the R-tree with *minimal probing* [3]: boolean predicates are
+  verified by random tuple accesses only for objects about to be reported;
+* **IndexMerge** (:mod:`repro.baselines.index_merge`) — progressive and
+  selective index merging after [14], top-k only;
+* ground truth (:mod:`repro.baselines.naive`) and the classic skyline
+  algorithms (:mod:`repro.baselines.skyline_algs`) used for verification
+  and for Boolean-first's in-memory step.
+"""
+
+from repro.baselines.boolean_first import (
+    boolean_first_skyline,
+    boolean_first_topk,
+    build_boolean_indexes,
+)
+from repro.baselines.domination_first import (
+    bbs_skyline,
+    domination_first_skyline,
+    ranking_topk,
+)
+from repro.baselines.index_merge import index_merge_topk
+from repro.baselines.naive import naive_skyline, naive_topk
+
+__all__ = [
+    "bbs_skyline",
+    "boolean_first_skyline",
+    "boolean_first_topk",
+    "build_boolean_indexes",
+    "domination_first_skyline",
+    "index_merge_topk",
+    "naive_skyline",
+    "naive_topk",
+]

@@ -1,0 +1,41 @@
+"""Ground-truth reference implementations (for tests and sanity checks).
+
+These trade every optimisation for obviousness: the skyline is computed by
+literal pairwise domination, top-k by sorting all scores.  Integration tests
+compare every other method against these.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.query.ranking import RankingFunction
+from repro.rtree.geometry import dominates
+
+
+def naive_skyline(
+    points: Iterable[tuple[int, Sequence[float]]]
+) -> list[int]:
+    """Tids of points not dominated by any other point (O(n²), exact)."""
+    materialised = [(tid, tuple(point)) for tid, point in points]
+    result: list[int] = []
+    for tid, point in materialised:
+        if not any(
+            dominates(other, point)
+            for other_tid, other in materialised
+            if other_tid != tid
+        ):
+            result.append(tid)
+    return result
+
+
+def naive_topk(
+    points: Iterable[tuple[int, Sequence[float]]],
+    fn: RankingFunction,
+    k: int,
+) -> list[tuple[int, float]]:
+    """The k smallest ``(tid, score)`` pairs, score-ascending (ties by tid)."""
+    scored = [(fn.score(point), tid) for tid, point in points]
+    best = heapq.nsmallest(k, scored)
+    return [(tid, score) for score, tid in best]

@@ -1,0 +1,117 @@
+"""Classic main-memory skyline algorithms.
+
+Implemented from the literature the paper builds on: block-nested-loops and
+divide-and-conquer from Borzsonyi et al. [2] and sort-first-skyline from
+Chomicki et al. [7].  SFS is what the Boolean-first baseline uses for its
+in-memory preference step (it is reliably the fastest of the three on the
+selected subsets); all three are cross-checked against each other and the
+naive reference in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.rtree.geometry import dominates
+
+Points = list[tuple[int, tuple[float, ...]]]
+
+
+def sfs_skyline(points: Points) -> list[int]:
+    """Sort-first skyline: presort by a monotone score, filter once.
+
+    After sorting by ``sum(point)`` no later point can dominate an earlier
+    one, so a single pass comparing against the accumulated skyline is
+    complete.
+    """
+    ordered = sorted(points, key=lambda item: (sum(item[1]), item[0]))
+    skyline: list[tuple[int, tuple[float, ...]]] = []
+    for tid, point in ordered:
+        if not any(dominates(s, point) for _, s in skyline):
+            skyline.append((tid, point))
+    return [tid for tid, _ in skyline]
+
+
+def bnl_skyline(points: Points, window: int = 1024) -> list[int]:
+    """Block-nested-loops skyline with a bounded comparison window.
+
+    The original algorithm's timestamp rule, made explicit: a window member
+    is final after a pass only if it entered the window *before* the first
+    tuple overflowed — otherwise some overflow tuple was never compared
+    against it, and the member must go around again with the overflow.
+    """
+    remaining = list(points)
+    skyline: list[tuple[int, tuple[float, ...]]] = []
+    while remaining:
+        # (tid, point, entered_at_input_index)
+        window_items: list[tuple[int, tuple[float, ...], int]] = []
+        overflow: list[tuple[int, tuple[float, ...]]] = []
+        first_overflow_at: int | None = None
+        for position, (tid, point) in enumerate(remaining):
+            dominated = False
+            survivors: list[tuple[int, tuple[float, ...], int]] = []
+            for w_tid, w_point, w_at in window_items:
+                if dominates(w_point, point):
+                    dominated = True
+                    break
+                if not dominates(point, w_point):
+                    survivors.append((w_tid, w_point, w_at))
+            if dominated:
+                continue
+            window_items = survivors
+            if len(window_items) < window:
+                window_items.append((tid, point, position))
+            else:
+                if first_overflow_at is None:
+                    first_overflow_at = position
+                overflow.append((tid, point))
+        cutoff = first_overflow_at if first_overflow_at is not None else len(
+            remaining
+        )
+        deferred: list[tuple[int, tuple[float, ...]]] = []
+        for tid, point, entered_at in window_items:
+            if entered_at < cutoff:
+                skyline.append((tid, point))
+            else:
+                deferred.append((tid, point))
+        remaining = deferred + overflow
+    return [tid for tid, _ in skyline]
+
+
+def dnc_skyline(points: Points, threshold: int = 64) -> list[int]:
+    """Divide-and-conquer skyline: split on a median, merge by filtering."""
+    if not points:
+        return []
+    tids = set(_dnc([(tid, tuple(p)) for tid, p in points], 0, threshold))
+    return [tid for tid, _ in points if tid in tids]
+
+
+def _dnc(points: Points, depth: int, threshold: int) -> list[int]:
+    if len(points) <= threshold:
+        return sfs_skyline(points)
+    dims = len(points[0][1])
+    dim = depth % dims
+    ordered = sorted(points, key=lambda item: item[1][dim])
+    mid = len(ordered) // 2
+    left, right = ordered[:mid], ordered[mid:]
+    left_sky = set(_dnc(left, depth + 1, threshold))
+    right_sky = set(_dnc(right, depth + 1, threshold))
+    left_points = {tid: point for tid, point in left if tid in left_sky}
+    right_points = {tid: point for tid, point in right if tid in right_sky}
+    # Cross-filter both halves.  The classic merge only filters the right
+    # half, which is sound for a strict value split; a median split can put
+    # equal split-dimension values on both sides, where a right point may
+    # dominate a left one, so the symmetric check is required for
+    # exactness.  (Transitivity makes filtering against the half-skylines,
+    # rather than the full halves, sufficient.)
+    survivors = [
+        tid
+        for tid, point in left_points.items()
+        if not any(dominates(rp, point) for rp in right_points.values())
+    ]
+    survivors.extend(
+        tid
+        for tid, point in right_points.items()
+        if not any(dominates(lp, point) for lp in left_points.values())
+    )
+    return survivors

@@ -1,0 +1,168 @@
+"""A fixed-width bit array backed by a Python integer.
+
+Python integers give us free arbitrary width, O(1) amortised bitwise AND/OR
+(the union/intersection primitives of signature assembly) and cheap popcount
+via :func:`int.bit_count`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class BitArray:
+    """``nbits`` addressable bits, all initially zero.
+
+    Positions are 0-based.  Signature code maps the paper's 1-based child
+    positions ``p ∈ [1, M]`` to bit index ``p - 1``.
+    """
+
+    __slots__ = ("nbits", "_mask")
+
+    def __init__(self, nbits: int, mask: int = 0) -> None:
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if mask < 0:
+            raise ValueError("mask must be non-negative")
+        if mask >> nbits:
+            raise ValueError(f"mask has bits set beyond width {nbits}")
+        self.nbits = nbits
+        self._mask = mask
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_positions(cls, nbits: int, positions: Iterable[int]) -> "BitArray":
+        """Build from an iterable of set-bit positions."""
+        mask = 0
+        for pos in positions:
+            if not 0 <= pos < nbits:
+                raise IndexError(f"bit {pos} out of range [0, {nbits})")
+            mask |= 1 << pos
+        return cls(nbits, mask)
+
+    @classmethod
+    def ones(cls, nbits: int) -> "BitArray":
+        """All bits set."""
+        return cls(nbits, (1 << nbits) - 1)
+
+    def copy(self) -> "BitArray":
+        return BitArray(self.nbits, self._mask)
+
+    # ------------------------------------------------------------------ #
+    # single-bit access
+    # ------------------------------------------------------------------ #
+
+    def _check(self, pos: int) -> None:
+        if not 0 <= pos < self.nbits:
+            raise IndexError(f"bit {pos} out of range [0, {self.nbits})")
+
+    def get(self, pos: int) -> bool:
+        """Whether bit ``pos`` is set."""
+        self._check(pos)
+        return bool(self._mask >> pos & 1)
+
+    def set(self, pos: int, value: bool = True) -> None:
+        """Set (default) or clear bit ``pos``."""
+        self._check(pos)
+        if value:
+            self._mask |= 1 << pos
+        else:
+            self._mask &= ~(1 << pos)
+
+    def __getitem__(self, pos: int) -> bool:
+        return self.get(pos)
+
+    def __setitem__(self, pos: int, value: bool) -> None:
+        self.set(pos, value)
+
+    # ------------------------------------------------------------------ #
+    # aggregate views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mask(self) -> int:
+        """The raw integer mask (read-only view)."""
+        return self._mask
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return self._mask.bit_count()
+
+    def any(self) -> bool:
+        return self._mask != 0
+
+    def positions(self) -> Iterator[int]:
+        """Yield set-bit positions in increasing order."""
+        mask = self._mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def runs(self) -> Iterator[tuple[bool, int]]:
+        """Yield maximal ``(bit_value, run_length)`` runs, low bits first."""
+        if self.nbits == 0:
+            return
+        current = bool(self._mask & 1)
+        length = 0
+        for pos in range(self.nbits):
+            bit = bool(self._mask >> pos & 1)
+            if bit == current:
+                length += 1
+            else:
+                yield current, length
+                current, length = bit, 1
+        yield current, length
+
+    # ------------------------------------------------------------------ #
+    # bitwise combination (same width required)
+    # ------------------------------------------------------------------ #
+
+    def _check_width(self, other: "BitArray") -> None:
+        if self.nbits != other.nbits:
+            raise ValueError(
+                f"width mismatch: {self.nbits} vs {other.nbits} bits"
+            )
+
+    def __or__(self, other: "BitArray") -> "BitArray":
+        self._check_width(other)
+        return BitArray(self.nbits, self._mask | other._mask)
+
+    def __and__(self, other: "BitArray") -> "BitArray":
+        self._check_width(other)
+        return BitArray(self.nbits, self._mask & other._mask)
+
+    def __xor__(self, other: "BitArray") -> "BitArray":
+        self._check_width(other)
+        return BitArray(self.nbits, self._mask ^ other._mask)
+
+    # ------------------------------------------------------------------ #
+    # serialisation and dunder plumbing
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Little-endian packed bytes, ``ceil(nbits / 8)`` long."""
+        return self._mask.to_bytes((self.nbits + 7) // 8, "little")
+
+    @classmethod
+    def from_bytes(cls, nbits: int, data: bytes) -> "BitArray":
+        mask = int.from_bytes(data, "little")
+        return cls(nbits, mask)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self.nbits == other.nbits and self._mask == other._mask
+
+    def __hash__(self) -> int:
+        return hash((self.nbits, self._mask))
+
+    def __len__(self) -> int:
+        return self.nbits
+
+    def __repr__(self) -> str:
+        bits = "".join("1" if self.get(i) else "0" for i in range(self.nbits))
+        return f"BitArray({bits!r})"

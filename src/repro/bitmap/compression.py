@@ -1,0 +1,280 @@
+"""Bitmap compression codecs.
+
+The paper compresses the bit array of *each signature node individually*
+and cites classic bitmap compression literature [17], [18].  We provide four
+lossless codecs plus an adaptive wrapper that picks the smallest encoding per
+node (the paper's reason (2): heterogeneous nodes want different schemes):
+
+``raw``
+    The packed bits, verbatim.  Never worse than ``8/7`` of optimal for
+    dense arrays.
+``sparse``
+    Delta-varint coded positions of set bits — the spirit of the
+    Fraenkel–Klein sparse bit-string codes [18]; excellent when few bits are
+    set, the common case for selective cells.
+``rle``
+    Byte-aligned run-length coding of 0/1 runs (BBC-flavoured).
+``wah``
+    Word-Aligned Hybrid coding with 31-bit literals and run fill words.
+
+Every encoding is framed as ``codec_id || varint(nbits) || body`` so a
+compressed blob is self-describing and :func:`decompress` needs no side
+information.
+"""
+
+from __future__ import annotations
+
+from repro.bitmap.bitarray import BitArray
+
+
+class CodecError(ValueError):
+    """Raised on malformed compressed input."""
+
+
+# --------------------------------------------------------------------------- #
+# varint helpers (LEB128, unsigned)
+# --------------------------------------------------------------------------- #
+
+
+def write_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError("varint values must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint too long")
+
+
+# --------------------------------------------------------------------------- #
+# codec implementations: encode/decode bodies (nbits handled by the frame)
+# --------------------------------------------------------------------------- #
+
+
+def _raw_encode(bits: BitArray) -> bytes:
+    return bits.to_bytes()
+
+
+def _raw_decode(nbits: int, body: bytes) -> BitArray:
+    expected = (nbits + 7) // 8
+    if len(body) != expected:
+        raise CodecError(f"raw body is {len(body)} bytes, expected {expected}")
+    bits = BitArray.from_bytes(nbits, body)
+    if bits.mask >> nbits:
+        raise CodecError("raw body has bits beyond declared width")
+    return bits
+
+
+def _sparse_encode(bits: BitArray) -> bytes:
+    out = bytearray()
+    write_varint(bits.count(), out)
+    previous = -1
+    for pos in bits.positions():
+        write_varint(pos - previous, out)  # gaps are >= 1, varint friendly
+        previous = pos
+    return bytes(out)
+
+
+def _sparse_decode(nbits: int, body: bytes) -> BitArray:
+    count, offset = read_varint(body, 0)
+    bits = BitArray(nbits)
+    position = -1
+    for _ in range(count):
+        gap, offset = read_varint(body, offset)
+        if gap == 0:
+            raise CodecError("sparse gap of zero (duplicate position)")
+        position += gap
+        if position >= nbits:
+            raise CodecError("sparse position beyond declared width")
+        bits.set(position)
+    if offset != len(body):
+        raise CodecError("trailing bytes after sparse body")
+    return bits
+
+
+def _rle_encode(bits: BitArray) -> bytes:
+    # First varint carries the value of the first run (0 or 1); then run
+    # lengths alternate.  An empty array encodes to the single first-bit
+    # marker with no runs.
+    out = bytearray()
+    runs = list(bits.runs())
+    first_value = runs[0][0] if runs else False
+    out.append(1 if first_value else 0)
+    for _, length in runs:
+        write_varint(length, out)
+    return bytes(out)
+
+
+def _rle_decode(nbits: int, body: bytes) -> BitArray:
+    if not body:
+        raise CodecError("empty rle body")
+    value = body[0] == 1
+    if body[0] not in (0, 1):
+        raise CodecError("rle first-value marker must be 0 or 1")
+    bits = BitArray(nbits)
+    offset = 1
+    position = 0
+    while offset < len(body):
+        length, offset = read_varint(body, offset)
+        if length == 0:
+            raise CodecError("rle run of length zero")
+        if position + length > nbits:
+            raise CodecError("rle runs exceed declared width")
+        if value:
+            for pos in range(position, position + length):
+                bits.set(pos)
+        position += length
+        value = not value
+    if position != nbits:
+        raise CodecError(f"rle runs cover {position} of {nbits} bits")
+    return bits
+
+
+_WAH_WORD = 31  # payload bits per 32-bit word
+
+
+def _wah_encode(bits: BitArray) -> bytes:
+    """Word-Aligned Hybrid: 32-bit words, MSB=1 marks a fill word."""
+    words: list[int] = []
+    mask = bits.mask
+    nwords = (bits.nbits + _WAH_WORD - 1) // _WAH_WORD
+    chunk_mask = (1 << _WAH_WORD) - 1
+
+    def flush_run(value: int, length: int) -> None:
+        # fill word: 1 | value-bit | 30-bit count
+        while length > 0:
+            take = min(length, (1 << 30) - 1)
+            words.append((1 << 31) | (value << 30) | take)
+            length -= take
+
+    run_value = -1
+    run_length = 0
+    for i in range(nwords):
+        chunk = (mask >> (i * _WAH_WORD)) & chunk_mask
+        if chunk == 0 or chunk == chunk_mask:
+            value = 0 if chunk == 0 else 1
+            if value == run_value:
+                run_length += 1
+            else:
+                if run_length:
+                    flush_run(run_value, run_length)
+                run_value, run_length = value, 1
+        else:
+            if run_length:
+                flush_run(run_value, run_length)
+                run_value, run_length = -1, 0
+            words.append(chunk)  # literal: MSB = 0
+    if run_length:
+        flush_run(run_value, run_length)
+    out = bytearray()
+    for word in words:
+        out += word.to_bytes(4, "little")
+    return bytes(out)
+
+
+def _wah_decode(nbits: int, body: bytes) -> BitArray:
+    if len(body) % 4:
+        raise CodecError("wah body is not word aligned")
+    chunk_mask = (1 << _WAH_WORD) - 1
+    mask = 0
+    bit_pos = 0
+    for i in range(0, len(body), 4):
+        word = int.from_bytes(body[i : i + 4], "little")
+        if word >> 31:  # fill
+            value = (word >> 30) & 1
+            length = word & ((1 << 30) - 1)
+            if value:
+                for _ in range(length):
+                    mask |= chunk_mask << bit_pos
+                    bit_pos += _WAH_WORD
+            else:
+                bit_pos += _WAH_WORD * length
+        else:
+            mask |= (word & chunk_mask) << bit_pos
+            bit_pos += _WAH_WORD
+    expected_words = (nbits + _WAH_WORD - 1) // _WAH_WORD
+    if bit_pos != expected_words * _WAH_WORD:
+        raise CodecError(
+            f"wah decoded {bit_pos} payload bits, expected {expected_words * _WAH_WORD}"
+        )
+    mask &= (1 << nbits) - 1 if nbits else 0
+    return BitArray(nbits, mask)
+
+
+# --------------------------------------------------------------------------- #
+# framing and the adaptive wrapper
+# --------------------------------------------------------------------------- #
+
+#: codec name -> (codec id byte, encode, decode)
+CODECS = {
+    "raw": (0, _raw_encode, _raw_decode),
+    "sparse": (1, _sparse_encode, _sparse_decode),
+    "rle": (2, _rle_encode, _rle_decode),
+    "wah": (3, _wah_encode, _wah_decode),
+}
+
+_BY_ID = {cid: (name, enc, dec) for name, (cid, enc, dec) in CODECS.items()}
+
+
+def compress(bits: BitArray, codec: str = "adaptive") -> bytes:
+    """Compress a bit array into a self-describing blob.
+
+    ``codec="adaptive"`` encodes with every codec and keeps the smallest
+    result — the per-node adaptive choice the paper argues for.
+    """
+    if codec == "adaptive":
+        best: bytes | None = None
+        for name in CODECS:
+            candidate = compress(bits, name)
+            if best is None or len(candidate) < len(best):
+                best = candidate
+        assert best is not None
+        return best
+    try:
+        codec_id, encode, _ = CODECS[codec]
+    except KeyError:
+        raise CodecError(f"unknown codec {codec!r}") from None
+    frame = bytearray([codec_id])
+    write_varint(bits.nbits, frame)
+    frame += encode(bits)
+    return bytes(frame)
+
+
+def decompress(blob: bytes) -> BitArray:
+    """Invert :func:`compress` for any codec."""
+    if not blob:
+        raise CodecError("empty blob")
+    try:
+        _, _, decode = _BY_ID[blob[0]]
+    except KeyError:
+        raise CodecError(f"unknown codec id {blob[0]}") from None
+    nbits, offset = read_varint(blob, 1)
+    return decode(nbits, blob[offset:])
+
+
+def codec_name(blob: bytes) -> str:
+    """Which codec produced this blob (for ablation reporting)."""
+    if not blob or blob[0] not in _BY_ID:
+        raise CodecError("not a compressed bitmap blob")
+    return _BY_ID[blob[0]][0]

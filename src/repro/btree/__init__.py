@@ -1,0 +1,14 @@
+"""Paged B+-trees.
+
+Used three ways in the reproduction, mirroring the paper's setup:
+
+* one B+-tree per boolean dimension for the *Boolean-first* baseline
+  (Section VI-A: "We use B+-tree to index each boolean dimension");
+* posting-list access for the *Index-merge* baseline [14];
+* the P-Cube signature store, "indexed (using B+-tree) by cell IDs and
+  SID's" (Section VI-A).
+"""
+
+from repro.btree.btree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,106 @@
+"""Incremental maintenance drivers (paper Section IV-B.3).
+
+The R-tree reports exact :class:`PathChange` records for every mutation;
+:meth:`PCube.apply_changes` patches the affected cell signatures.  This
+module provides the end-to-end drivers the update experiments (Figure 7)
+time:
+
+* :func:`insert_tuple` — append a row, insert its point, patch signatures;
+* :func:`insert_batch` — same for many rows, with change records merged per
+  tuple so each dirty cell is re-stored once (the paper observes batch
+  maintenance amortises: 100 inserts averaged ~3× cheaper per tuple than a
+  single insert in their 1M-tuple run);
+* :func:`delete_tuple` / :func:`update_tuple` — the paper treats these as
+  "similar" to insertion; the path-change machinery covers them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pcube import PCube
+from repro.cube.cuboid import Cell
+from repro.cube.relation import Relation
+from repro.rtree.rtree import PathChange, RTree
+
+
+def merge_changes(changes: Sequence[PathChange]) -> list[PathChange]:
+    """Collapse a change stream to one record per tuple.
+
+    A tuple touched several times keeps its first ``old_path`` and its last
+    ``new_path``; no-op pairs are dropped.
+    """
+    merged: dict[int, PathChange] = {}
+    for change in changes:
+        existing = merged.get(change.tid)
+        if existing is None:
+            merged[change.tid] = change
+        else:
+            merged[change.tid] = PathChange(
+                change.tid, existing.old_path, change.new_path
+            )
+    return [
+        change
+        for change in merged.values()
+        if change.old_path != change.new_path
+    ]
+
+
+def insert_tuple(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    bool_row: tuple,
+    pref_row: tuple,
+) -> tuple[int, set[Cell]]:
+    """Insert one tuple end to end; returns (tid, dirty cells)."""
+    tid = relation.append(bool_row, pref_row)
+    changes = rtree.insert(tid, pref_row)
+    dirty = pcube.apply_changes(changes)
+    return tid, dirty
+
+
+def insert_batch(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    rows: Sequence[tuple[tuple, tuple]],
+) -> tuple[list[int], set[Cell]]:
+    """Insert many tuples, patching signatures once at the end."""
+    all_changes: list[PathChange] = []
+    tids: list[int] = []
+    for bool_row, pref_row in rows:
+        tid = relation.append(bool_row, pref_row)
+        tids.append(tid)
+        all_changes.extend(rtree.insert(tid, pref_row))
+    dirty = pcube.apply_changes(merge_changes(all_changes))
+    return tids, dirty
+
+
+def delete_tuple(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    tid: int,
+) -> set[Cell]:
+    """Delete a tuple from the index and patch signatures.
+
+    The relation keeps the row as a tombstone (its cell membership is still
+    needed to patch the right signatures); the R-tree and every signature
+    stop referencing it.
+    """
+    changes = rtree.delete(tid)
+    return pcube.apply_changes(changes)
+
+
+def update_tuple(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    tid: int,
+    new_pref_row: tuple,
+) -> set[Cell]:
+    """Move a tuple in preference space and patch signatures."""
+    changes = rtree.update(tid, new_pref_row)
+    relation.overwrite_pref(tid, new_pref_row)
+    return pcube.apply_changes(changes)

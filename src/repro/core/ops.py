@@ -1,0 +1,142 @@
+"""Signature union and intersection (paper Section IV-B.2, Fig. 3).
+
+P-Cube materialises only atomic (one-dimensional) cuboids by default, so a
+multi-dimensional boolean predicate needs its signature *assembled* online:
+
+* **union** — plain bit-or, node by node: a bit is 1 in the result iff it is
+  1 in either input (answers ``A=a2 OR B=b2`` style disjunctions);
+* **intersection** — recursive bit-and: a bit survives only if it is 1 in
+  both inputs *and* the intersection of the corresponding child subtrees is
+  non-empty; otherwise the bit is cleared (the paper's example clears the
+  root's first bit because the two cells share no tuple under node N1).
+
+The recursion is what makes intersection exact.  A *lazy* AND (bit tests
+answered by and-ing the inputs on demand, no child look-ahead) admits false
+positives at internal nodes — both cells have data under the node but no
+common tuple — which cost extra block reads but are always caught at the
+leaf level, where a slot bit refers to one concrete tuple.  The query layer
+can use either; the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bitmap.bitarray import BitArray
+from repro.core.signature import Signature
+from repro.core.sid import child_sid
+
+
+def union(first: Signature, second: Signature) -> Signature:
+    """The bit-or of two signatures over the same partition template."""
+    _check_compatible(first, second)
+    result = first.copy()
+    for sid in second.node_sids():
+        other_bits = second.node(sid)
+        assert other_bits is not None
+        mine = result.node(sid)
+        result.set_node(sid, other_bits if mine is None else mine | other_bits)
+    return result
+
+
+def union_all(signatures: Sequence[Signature]) -> Signature:
+    """Union of one or more signatures."""
+    if not signatures:
+        raise ValueError("union_all of an empty sequence")
+    result = signatures[0].copy()
+    for signature in signatures[1:]:
+        result = union(result, signature)
+    return result
+
+
+def intersect(first: Signature, second: Signature) -> Signature:
+    """The paper's recursive intersection.
+
+    A leaf-level bit is kept iff set in both inputs.  An internal bit is
+    kept iff set in both inputs and the child intersection is non-empty; the
+    child node is materialised only in that case.
+    """
+    _check_compatible(first, second)
+    result = Signature(first.fanout)
+    _intersect_node(first, second, 0, result)
+    return result
+
+
+def _intersect_node(
+    first: Signature, second: Signature, sid: int, result: Signature
+) -> bool:
+    """Intersect the subtree at ``sid``; return whether it is non-empty."""
+    bits_a = first.node(sid)
+    bits_b = second.node(sid)
+    if bits_a is None or bits_b is None:
+        return False
+    both = bits_a & bits_b
+    if not both.any():
+        return False
+    kept = BitArray(first.fanout)
+    for position in both.positions():
+        component = position + 1
+        child = child_sid(sid, component, first.fanout)
+        child_in_a = first.node(child) is not None
+        child_in_b = second.node(child) is not None
+        if not child_in_a and not child_in_b:
+            # Both signatures bottom out here: the bit denotes the same
+            # leaf slot, i.e. the same tuple — exact, keep it.
+            kept.set(position)
+        elif child_in_a and child_in_b:
+            if _intersect_node(first, second, child, result):
+                kept.set(position)
+        # One side has a subtree, the other a leaf slot: the signatures
+        # disagree about the tree shape, which cannot happen for
+        # signatures built over the same template; treat as empty.
+    if not kept.any():
+        return False
+    result.set_node(sid, kept)
+    return True
+
+
+def intersect_all(signatures: Sequence[Signature]) -> Signature:
+    """Intersection of one or more signatures (left-assoc recursive)."""
+    if not signatures:
+        raise ValueError("intersect_all of an empty sequence")
+    result = signatures[0]
+    for signature in signatures[1:]:
+        result = intersect(result, signature)
+    return result.copy() if len(signatures) == 1 else result
+
+
+class LazyIntersection:
+    """A view that answers bit tests by and-ing the inputs on demand.
+
+    Conservative (never misses data) but may report 1 at internal nodes
+    whose exact intersection is empty; exact at leaf slots.  Used by the
+    query layer when eager assembly is disabled, and by the assembly
+    ablation benchmark.
+    """
+
+    def __init__(self, signatures: Sequence[Signature]) -> None:
+        if not signatures:
+            raise ValueError("LazyIntersection needs at least one signature")
+        for signature in signatures[1:]:
+            _check_compatible(signatures[0], signature)
+        self.signatures = list(signatures)
+        self.fanout = signatures[0].fanout
+
+    def check_bit(self, parent_sid: int, position: int) -> bool:
+        return all(
+            signature.check_bit(parent_sid, position)
+            for signature in self.signatures
+        )
+
+    def check_path(self, path: Sequence[int]) -> bool:
+        return all(
+            signature.check_path(path) for signature in self.signatures
+        )
+
+
+def _check_compatible(first: Signature, second: Signature) -> None:
+    if first.fanout != second.fanout:
+        raise ValueError(
+            "signatures over different partition templates "
+            f"(fanout {first.fanout} vs {second.fanout})"
+        )

@@ -1,0 +1,330 @@
+"""The P-Cube: a data cube whose measure is the signature.
+
+Build it once over a relation and its R-tree partition template; it then
+serves signature readers for arbitrary boolean predicates (materialised
+cells directly, everything else assembled from atomic cells) and absorbs
+incremental updates driven by R-tree path changes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.counted import CountedSignature
+from repro.core.generation import generate_cuboid_signatures
+from repro.core.ops import intersect_all
+from repro.core.signature import Signature
+from repro.core.store import (
+    AssembledReader,
+    CellSignatureReader,
+    SignatureStore,
+)
+from repro.cube.cuboid import Cell, Cuboid, atomic_cuboids
+from repro.cube.relation import Relation
+from repro.rtree.rtree import PathChange, RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import IOCounters
+
+
+class EmptyReader:
+    """Reader for a predicate that provably selects no tuples."""
+
+    load_seconds = 0.0
+    loads = 0
+
+    def check_entry(self, parent_path, position) -> bool:
+        return False
+
+    def check_path(self, path) -> bool:
+        return False
+
+
+class SignatureAdapter:
+    """Expose an in-memory :class:`Signature` with the reader interface
+    (used by the eager-assembly mode and by tests)."""
+
+    load_seconds = 0.0
+    loads = 0
+
+    def __init__(self, signature: Signature) -> None:
+        self.signature = signature
+
+    def check_entry(self, parent_path, position) -> bool:
+        from repro.core.sid import sid_of_path
+
+        return self.signature.check_bit(
+            sid_of_path(parent_path, self.signature.fanout), position
+        )
+
+    def check_path(self, path) -> bool:
+        return self.signature.check_path(path)
+
+
+class PCube:
+    """Signature-based materialisation over the boolean dimensions.
+
+    Args:
+        relation: The base table.
+        rtree: The shared partition template over the preference dimensions.
+        cuboids: Which cuboids to materialise; defaults to the atomic
+            (one-dimensional) cuboids, as in the paper's experiments.
+        codec: Bitmap codec for stored signatures.
+        tag: Page-tag prefix for space accounting.
+        maintainable: Keep counted signatures in memory so incremental
+            updates run in O(path length) per affected cell.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        rtree: RTree,
+        cuboids: Sequence[Cuboid] | None = None,
+        codec: str = "adaptive",
+        tag: str = "pcube",
+        maintainable: bool = True,
+    ) -> None:
+        self.relation = relation
+        self.rtree = rtree
+        self.fanout = rtree.max_entries
+        self.cuboids = (
+            list(cuboids)
+            if cuboids is not None
+            else atomic_cuboids(relation.schema.boolean_dims)
+        )
+        self.tag = tag
+        self.store = SignatureStore(
+            rtree.disk, fanout=self.fanout, tag=tag, codec=codec
+        )
+        self.maintainable = maintainable
+        self._counted: dict[Cell, CountedSignature] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        rtree: RTree,
+        cuboids: Sequence[Cuboid] | None = None,
+        codec: str = "adaptive",
+        tag: str = "pcube",
+        maintainable: bool = True,
+    ) -> "PCube":
+        """Generate, compress, decompose and store every cell signature."""
+        pcube = cls(relation, rtree, cuboids, codec, tag, maintainable)
+        paths = rtree.all_paths()
+        for cuboid in pcube.cuboids:
+            signatures = generate_cuboid_signatures(
+                relation, cuboid, paths, pcube.fanout
+            )
+            for cell, signature in signatures.items():
+                pcube.store.put_signature(cell, signature)
+        if maintainable:
+            pcube._rebuild_counts(paths)
+        pcube._built = True
+        return pcube
+
+    def _rebuild_counts(self, paths: dict[int, tuple[int, ...]]) -> None:
+        """(Re)derive every counted signature in one pass over the data."""
+        self._counted = {}
+        for cuboid in self.cuboids:
+            for cell, tids in cuboid.group(self.relation).items():
+                counted = CountedSignature(self.fanout)
+                for tid in tids:
+                    counted.add_path(paths[tid])
+                self._counted[cell] = counted
+
+    # ------------------------------------------------------------------ #
+    # query-side interface
+    # ------------------------------------------------------------------ #
+
+    def materialised_cell(self, cell: Cell) -> bool:
+        """Whether this exact cell's signature is stored."""
+        return self.store.has_cell(cell)
+
+    def reader_for_cells(
+        self,
+        cells: Sequence[Cell],
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+        eager: bool = False,
+    ):
+        """A boolean-prune reader for the conjunction of ``cells``.
+
+        Single materialised cells read lazily from the store.  Conjunctions
+        combine per-cell readers with a lazy AND by default; with
+        ``eager=True`` the full signatures are loaded and intersected with
+        the exact recursive operator up front (paper Fig. 3), trading load
+        cost for maximal pruning.
+        """
+        if not cells:
+            raise ValueError("reader_for_cells needs at least one cell")
+        resolved: list[Cell] = []
+        for cell in cells:
+            if self.materialised_cell(cell):
+                resolved.append(cell)
+                continue
+            # Fall back to the cell's atomic factors (always materialised).
+            for atom in cell.atoms():
+                if not self.materialised_cell(atom):
+                    # The atomic cell has no partials: no tuple carries this
+                    # value, so the conjunction is empty.
+                    return EmptyReader()
+                resolved.append(atom)
+        if eager:
+            signatures = [
+                self.store.load_full_signature(cell, pool, counters)
+                for cell in resolved
+            ]
+            return SignatureAdapter(intersect_all(signatures))
+        readers = [
+            CellSignatureReader(self.store, cell, pool, counters)
+            for cell in resolved
+        ]
+        if len(readers) == 1:
+            return readers[0]
+        return AssembledReader(readers)
+
+    def cover_for_dims(
+        self, conjuncts: dict
+    ) -> list[Cell] | None:
+        """Choose materialised cells whose conjunction equals ``conjuncts``.
+
+        The paper materialises only atomic cuboids but points at partial
+        materialisation of low-dimensional cuboids ([19], [12]).  When
+        multi-dimensional cuboids are materialised, a query should prefer
+        them: one (A,B)-cell signature prunes strictly better than the
+        lazy AND of the A-cell and B-cell signatures.  Greedy set cover by
+        descending cuboid width picks such cells.
+
+        Returns ``None`` when some needed cell provably holds no tuples —
+        i.e. the whole conjunction is empty.
+        """
+        remaining = dict(conjuncts)
+        chosen: list[Cell] = []
+        cuboids = sorted(
+            self.cuboids, key=lambda cuboid: -len(cuboid.dims)
+        )
+        while remaining:
+            for cuboid in cuboids:
+                if not set(cuboid.dims) <= set(remaining):
+                    continue
+                cell = Cell(
+                    cuboid.dims,
+                    tuple(remaining[dim] for dim in cuboid.dims),
+                )
+                if not self.materialised_cell(cell):
+                    # The cuboid is materialised but this cell has no
+                    # partials: no tuple carries this value combination.
+                    return None
+                chosen.append(cell)
+                for dim in cuboid.dims:
+                    del remaining[dim]
+                break
+            else:
+                raise ValueError(
+                    f"no materialised cuboid covers dimensions "
+                    f"{sorted(remaining)} (atomic cuboids missing?)"
+                )
+        return chosen
+
+    def reader_for_predicate(
+        self,
+        conjuncts: dict,
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+        eager: bool = False,
+    ):
+        """A boolean-prune reader for a conjunction, using the best
+        materialised cover (see :meth:`cover_for_dims`)."""
+        if not conjuncts:
+            raise ValueError("reader_for_predicate needs at least one conjunct")
+        cover = self.cover_for_dims(conjuncts)
+        if cover is None:
+            return EmptyReader()
+        return self.reader_for_cells(cover, pool, counters, eager)
+
+    def signature_of(self, cell: Cell) -> Signature:
+        """The stored (bitmap) signature of a materialised cell, reassembled
+        without access accounting (tests and maintenance)."""
+        if not self.materialised_cell(cell):
+            return Signature(self.fanout)
+        return self.store.load_full_signature(cell)
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance (Section IV-B.3)
+    # ------------------------------------------------------------------ #
+
+    def apply_changes(self, changes: Sequence[PathChange]) -> set[Cell]:
+        """Patch signatures for a set of R-tree path changes.
+
+        For every changed tuple and every materialised cuboid, the tuple's
+        cell is updated: the old path's counts are removed, the new path's
+        added; bits flip exactly when counts cross zero.  Dirty cells are
+        then re-decomposed and re-stored once.  Returns the dirty cells.
+        """
+        if not self.maintainable:
+            raise RuntimeError(
+                "this P-Cube was built with maintainable=False; "
+                "use recompute_cell/rebuild instead"
+            )
+        dirty: set[Cell] = set()
+        for change in changes:
+            if change.old_path == change.new_path:
+                continue
+            for cuboid in self.cuboids:
+                cell = cuboid.cell_for(self.relation, change.tid)
+                counted = self._counted.get(cell)
+                if counted is None:
+                    counted = CountedSignature(self.fanout)
+                    self._counted[cell] = counted
+                if change.old_path is not None:
+                    counted.remove_path(change.old_path)
+                if change.new_path is not None:
+                    counted.add_path(change.new_path)
+                dirty.add(cell)
+        for cell in dirty:
+            self.store.put_signature(cell, self._counted[cell].to_signature())
+        return dirty
+
+    def recompute_cell(self, cell: Cell) -> Signature:
+        """Rebuild one cell's signature from the current R-tree paths.
+
+        The paper's fallback for arbitrary reorganisations: traverse the
+        tree, collect the cell's tuple paths, regenerate.  O(T) per call —
+        correct under any mutation, used when ``maintainable=False``.
+        """
+        paths = self.rtree.all_paths()
+        tids = [
+            tid for tid in self.relation.tids() if cell.matches(self.relation, tid)
+        ]
+        signature = Signature.from_paths(
+            (paths[tid] for tid in tids), self.fanout
+        )
+        self.store.put_signature(cell, signature)
+        if self.maintainable:
+            counted = CountedSignature(self.fanout)
+            for tid in tids:
+                counted.add_path(paths[tid])
+            self._counted[cell] = counted
+        return signature
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def size_bytes(self) -> int:
+        """Stored size of all partial signatures plus the store index."""
+        return self.rtree.disk.size_bytes(self.tag)
+
+    def n_cells(self) -> int:
+        return len(self.store.cells())
+
+    def __repr__(self) -> str:
+        return (
+            f"PCube(cuboids={[c.name for c in self.cuboids]}, "
+            f"cells={self.n_cells()}, fanout={self.fanout})"
+        )

@@ -1,0 +1,96 @@
+"""Path ⇄ signature-ID (SID) arithmetic.
+
+The paper maps a node path ``⟨p0, p1, ..., p_{l-1}⟩`` (1-based child
+positions, root = empty path) one-to-one to an integer::
+
+    SID = p0 * (M+1)^{l-1} + p1 * (M+1)^{l-2} + ... + p_{l-1}
+
+where ``M`` is the R-tree fanout.  In the paper's example (M = 2) the node
+with path ⟨1, 1⟩ has SID ``1*3 + 1 = 4`` and the root has SID 0.
+
+Because every digit lies in ``[1, M]`` and the base is ``M + 1``, the
+mapping is injective (a bijective-style numeration that never uses digit 0),
+so it can be inverted exactly; integers whose digit expansion would contain
+a 0 simply are not valid SIDs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def sid_of_path(path: Sequence[int], fanout: int) -> int:
+    """The SID of a node path.
+
+    Args:
+        path: 1-based child positions from the root; ``()`` is the root.
+        fanout: The R-tree node capacity ``M``.
+
+    Raises:
+        ValueError: if any component lies outside ``[1, M]``.
+    """
+    base = fanout + 1
+    sid = 0
+    for component in path:
+        if not 1 <= component <= fanout:
+            raise ValueError(
+                f"path component {component} outside [1, {fanout}]"
+            )
+        sid = sid * base + component
+    return sid
+
+
+def path_of_sid(sid: int, fanout: int) -> tuple[int, ...]:
+    """Invert :func:`sid_of_path`.
+
+    Raises:
+        ValueError: if ``sid`` is not the image of any valid path.
+    """
+    if sid < 0:
+        raise ValueError("SIDs are non-negative")
+    base = fanout + 1
+    components: list[int] = []
+    while sid:
+        digit = sid % base
+        if digit == 0:
+            raise ValueError(f"{sid} is not a valid SID for fanout {fanout}")
+        components.append(digit)
+        sid //= base
+    components.reverse()
+    return tuple(components)
+
+
+def parent_sid(sid: int, fanout: int) -> int:
+    """SID of the parent node (root's parent is undefined).
+
+    Raises:
+        ValueError: for the root SID 0.
+    """
+    if sid == 0:
+        raise ValueError("the root has no parent")
+    base = fanout + 1
+    if sid % base == 0:
+        raise ValueError(f"{sid} is not a valid SID for fanout {fanout}")
+    return sid // base
+
+
+def child_sid(sid: int, position: int, fanout: int) -> int:
+    """SID of the child at 1-based ``position`` under node ``sid``."""
+    if not 1 <= position <= fanout:
+        raise ValueError(f"child position {position} outside [1, {fanout}]")
+    return sid * (fanout + 1) + position
+
+
+def ancestor_sids(path: Sequence[int], fanout: int) -> list[int]:
+    """SIDs of every prefix of ``path``: root first, the node itself last."""
+    base = fanout + 1
+    sids = [0]
+    sid = 0
+    for component in path:
+        if not 1 <= component <= fanout:
+            raise ValueError(
+                f"path component {component} outside [1, {fanout}]"
+            )
+        sid = sid * base + component
+        sids.append(sid)
+    return sids

@@ -1,0 +1,99 @@
+"""Cuboids and cells of the boolean-dimension data cube.
+
+A *cuboid* is a group-by over a subset of boolean dimensions (cuboid ``(A)``,
+cuboid ``(A, B)``, ...); a *cell* is one group (``A = a1``).  Following the
+paper's experiments, P-Cube materialises the *atomic* cuboids — all
+one-dimensional ones — and assembles signatures for multi-dimensional
+predicates online via intersection (Section IV-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Iterator
+
+from repro.cube.relation import Relation
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One group-by cell: ``dims[i] = values[i]`` for all i."""
+
+    dims: tuple[str, ...]
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.values):
+            raise ValueError("cell dims and values must align")
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError("cell repeats a dimension")
+
+    @property
+    def cell_id(self) -> str:
+        """Canonical string id, e.g. ``"A=a1&B=b2"`` (B+-tree key material)."""
+        return "&".join(f"{d}={v}" for d, v in zip(self.dims, self.values))
+
+    def matches(self, relation: Relation, tid: int) -> bool:
+        """Whether a tuple satisfies every conjunct of this cell."""
+        return all(
+            relation.bool_value(tid, dim) == value
+            for dim, value in zip(self.dims, self.values)
+        )
+
+    def atoms(self) -> tuple["Cell", ...]:
+        """The one-dimensional cells whose conjunction equals this cell."""
+        return tuple(
+            Cell((dim,), (value,)) for dim, value in zip(self.dims, self.values)
+        )
+
+    def __str__(self) -> str:
+        return self.cell_id
+
+
+class Cuboid:
+    """A group-by over a fixed subset of boolean dimensions."""
+
+    def __init__(self, dims: tuple[str, ...]) -> None:
+        if len(set(dims)) != len(dims):
+            raise ValueError("cuboid repeats a dimension")
+        self.dims = tuple(dims)
+
+    @property
+    def name(self) -> str:
+        return "(" + ",".join(self.dims) + ")"
+
+    def group(self, relation: Relation) -> dict[Cell, list[int]]:
+        """Group tids of ``relation`` into this cuboid's cells."""
+        positions = [relation.schema.boolean_position(d) for d in self.dims]
+        groups: dict[Cell, list[int]] = {}
+        for tid in relation.tids():
+            row = relation.bool_row(tid)
+            cell = Cell(self.dims, tuple(row[p] for p in positions))
+            groups.setdefault(cell, []).append(tid)
+        return groups
+
+    def cell_for(self, relation: Relation, tid: int) -> Cell:
+        """The cell of this cuboid that a given tuple belongs to."""
+        row = relation.bool_row(tid)
+        positions = [relation.schema.boolean_position(d) for d in self.dims]
+        return Cell(self.dims, tuple(row[p] for p in positions))
+
+    def __repr__(self) -> str:
+        return f"Cuboid{self.name}"
+
+
+def atomic_cuboids(boolean_dims: tuple[str, ...]) -> list[Cuboid]:
+    """All one-dimensional cuboids — the paper's default materialisation."""
+    return [Cuboid((dim,)) for dim in boolean_dims]
+
+
+def cuboid_lattice(
+    boolean_dims: tuple[str, ...], max_dims: int | None = None
+) -> Iterator[Cuboid]:
+    """All cuboids of up to ``max_dims`` dimensions (the full lattice when
+    unlimited) — the minimal-cubing style partial materialisation of [19]."""
+    limit = len(boolean_dims) if max_dims is None else max_dims
+    for k in range(1, limit + 1):
+        for dims in combinations(boolean_dims, k):
+            yield Cuboid(dims)

@@ -1,0 +1,162 @@
+"""The base relation, stored as a paged heap file.
+
+Two access paths matter to the baselines:
+
+* :meth:`Relation.scan` — a full table scan, reading every heap page once
+  (the Boolean-first baseline may prefer this over an index scan);
+* :meth:`Relation.fetch` — a random access by tid, costing one page read
+  (what minimal probing pays per boolean verification, category ``DBOOL``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.cube.schema import Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import BTABLE, DBOOL, IOCounters
+from repro.storage.disk import SimulatedDisk
+
+_ROW_HEADER_BYTES = 4
+_VALUE_BYTES = 8
+
+
+class Relation:
+    """An immutable-by-convention table of (boolean, preference) rows.
+
+    Args:
+        schema: Column layout.
+        bool_rows: One tuple of boolean values per row.
+        pref_rows: One tuple of floats per row (same length as bool_rows).
+        disk: Page store for the heap file.
+        tag: Page tag prefix.
+
+    Tids are row positions (0-based), matching the R-tree and signatures.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        bool_rows: Sequence[tuple],
+        pref_rows: Sequence[tuple],
+        disk: SimulatedDisk | None = None,
+        tag: str = "heap",
+    ) -> None:
+        if len(bool_rows) != len(pref_rows):
+            raise ValueError("boolean and preference row counts differ")
+        self.schema = schema
+        self._bool_rows = [tuple(row) for row in bool_rows]
+        self._pref_rows = [
+            tuple(float(v) for v in row) for row in pref_rows
+        ]
+        for row in self._bool_rows:
+            if len(row) != schema.n_boolean:
+                raise ValueError("boolean row width does not match schema")
+        for row in self._pref_rows:
+            if len(row) != schema.n_preference:
+                raise ValueError("preference row width does not match schema")
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.tag = tag
+        self._row_bytes = _ROW_HEADER_BYTES + _VALUE_BYTES * (
+            schema.n_boolean + schema.n_preference
+        )
+        self.rows_per_page = max(1, self.disk.page_size // self._row_bytes)
+        self._page_ids: list[int] = []
+        self._build_heap()
+
+    def _build_heap(self) -> None:
+        for start in range(0, len(self._bool_rows), self.rows_per_page):
+            tids = range(start, min(start + self.rows_per_page, len(self)))
+            page_id = self.disk.allocate(
+                self.tag,
+                size=len(tids) * self._row_bytes,
+                payload=list(tids),
+            )
+            self._page_ids.append(page_id)
+
+    # ------------------------------------------------------------------ #
+    # growth (incremental-maintenance experiments)
+    # ------------------------------------------------------------------ #
+
+    def append(self, bool_row: tuple, pref_row: tuple) -> int:
+        """Append a row to the heap file; returns the new tid."""
+        if len(bool_row) != self.schema.n_boolean:
+            raise ValueError("boolean row width does not match schema")
+        if len(pref_row) != self.schema.n_preference:
+            raise ValueError("preference row width does not match schema")
+        tid = len(self)
+        self._bool_rows.append(tuple(bool_row))
+        self._pref_rows.append(tuple(float(v) for v in pref_row))
+        if self._page_ids:
+            last_page = self.disk.peek(self._page_ids[-1])
+            if len(last_page.payload) < self.rows_per_page:
+                last_page.payload.append(tid)
+                last_page.size += self._row_bytes
+                return tid
+        self._page_ids.append(
+            self.disk.allocate(self.tag, size=self._row_bytes, payload=[tid])
+        )
+        return tid
+
+    def overwrite_pref(self, tid: int, pref_row: tuple) -> None:
+        """Replace a row's preference values in place (update experiments)."""
+        if len(pref_row) != self.schema.n_preference:
+            raise ValueError("preference row width does not match schema")
+        self._pref_rows[tid] = tuple(float(v) for v in pref_row)
+
+    # ------------------------------------------------------------------ #
+    # plain (uncounted) access for in-memory algorithms
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._bool_rows)
+
+    def bool_row(self, tid: int) -> tuple:
+        return self._bool_rows[tid]
+
+    def pref_point(self, tid: int) -> tuple[float, ...]:
+        return self._pref_rows[tid]
+
+    def bool_value(self, tid: int, dim: str) -> Any:
+        return self._bool_rows[tid][self.schema.boolean_position(dim)]
+
+    def tids(self) -> range:
+        return range(len(self))
+
+    def pref_points(self) -> Iterator[tuple[int, tuple[float, ...]]]:
+        """All ``(tid, preference_point)`` pairs (R-tree loading input)."""
+        return enumerate(self._pref_rows)
+
+    # ------------------------------------------------------------------ #
+    # counted access paths
+    # ------------------------------------------------------------------ #
+
+    def heap_page_count(self) -> int:
+        return len(self._page_ids)
+
+    def scan(
+        self,
+        counters: IOCounters | None = None,
+        category: str = BTABLE,
+    ) -> Iterator[int]:
+        """Full table scan: yields every tid, reading each heap page once."""
+        for page_id in self._page_ids:
+            tids = self.disk.read(page_id, category, counters)
+            yield from tids
+
+    def fetch(
+        self,
+        tid: int,
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+        category: str = DBOOL,
+    ) -> tuple[tuple, tuple[float, ...]]:
+        """Random access by tid: one page read, then the full row."""
+        if not 0 <= tid < len(self):
+            raise IndexError(f"tid {tid} out of range")
+        page_id = self._page_ids[tid // self.rows_per_page]
+        if pool is not None:
+            pool.get(page_id, category, counters)
+        else:
+            self.disk.read(page_id, category, counters)
+        return self._bool_rows[tid], self._pref_rows[tid]

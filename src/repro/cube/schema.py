@@ -1,0 +1,62 @@
+"""Relation schemas: named boolean and preference dimensions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column layout of a relation.
+
+    Attributes:
+        boolean_dims: Names of the boolean (selection) dimensions, e.g.
+            ``("type", "maker", "color")`` in the used-car example.
+        preference_dims: Names of the preference (measure) dimensions, e.g.
+            ``("price", "mileage")``.
+
+    The two sets may overlap in the paper's formulation; this implementation
+    keeps them as independent column groups, which subsumes overlap (list a
+    column in both groups and store it twice).
+    """
+
+    boolean_dims: tuple[str, ...]
+    preference_dims: tuple[str, ...]
+    _bool_index: dict[str, int] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if len(set(self.boolean_dims)) != len(self.boolean_dims):
+            raise ValueError("duplicate boolean dimension names")
+        if len(set(self.preference_dims)) != len(self.preference_dims):
+            raise ValueError("duplicate preference dimension names")
+        if not self.preference_dims:
+            raise ValueError("at least one preference dimension is required")
+        object.__setattr__(
+            self,
+            "_bool_index",
+            {name: i for i, name in enumerate(self.boolean_dims)},
+        )
+
+    @property
+    def n_boolean(self) -> int:
+        return len(self.boolean_dims)
+
+    @property
+    def n_preference(self) -> int:
+        return len(self.preference_dims)
+
+    def boolean_position(self, name: str) -> int:
+        """Column position of a boolean dimension."""
+        try:
+            return self._bool_index[name]
+        except KeyError:
+            raise KeyError(f"unknown boolean dimension {name!r}") from None
+
+    def preference_position(self, name: str) -> int:
+        """Column position of a preference dimension."""
+        try:
+            return self.preference_dims.index(name)
+        except ValueError:
+            raise KeyError(f"unknown preference dimension {name!r}") from None

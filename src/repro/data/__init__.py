@@ -1,0 +1,26 @@
+"""Data sets and query workloads for the experiments.
+
+* :mod:`repro.data.synthetic` — the paper's synthetic generator: ``T``
+  tuples, ``Db`` boolean dimensions of cardinality ``C``, ``Dp`` preference
+  dimensions with a chosen distribution;
+* :mod:`repro.data.covertype` — an offline synthetic twin of the Forest
+  CoverType data set (see DESIGN.md §4 for the substitution argument);
+* :mod:`repro.data.workload` — predicate and ranking-function samplers.
+"""
+
+from repro.data.synthetic import SyntheticConfig, generate_relation
+from repro.data.covertype import covertype_relation
+from repro.data.workload import (
+    sample_linear_function,
+    sample_predicate,
+    sample_target_function,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "covertype_relation",
+    "generate_relation",
+    "sample_linear_function",
+    "sample_predicate",
+    "sample_target_function",
+]

@@ -1,0 +1,95 @@
+"""A synthetic twin of the Forest CoverType data set.
+
+The paper's real-data experiments (Figures 14-16) use Forest CoverType from
+the UCI repository: 581,012 rows; 3 quantitative attributes with
+cardinalities 1989, 5787 and 5827 chosen as preference dimensions; 12
+attributes with cardinalities 255, 207, 185, 67, 7, 2, 2, 2, 2, 2, 2, 2 as
+boolean dimensions.
+
+The original file is network-gated in this environment, so we synthesise a
+twin with the same schema and per-attribute cardinalities, Zipf-skewed
+boolean marginals (categorical forest attributes are heavily skewed) and
+mildly correlated quantitative attributes (elevation-like).  The
+experiments driven by this data only exercise *boolean selectivity
+structure* — how fast conjunctive predicates shrink the subset — and its
+interplay with a 3-D preference search, both of which depend on the
+cardinality/skew profile rather than on the original measurements.  See
+DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.storage.disk import SimulatedDisk
+
+#: Boolean-dimension cardinalities quoted in the paper, largest first.
+BOOLEAN_CARDINALITIES = (255, 207, 185, 67, 7, 2, 2, 2, 2, 2, 2, 2)
+#: Preference-dimension cardinalities quoted in the paper.
+PREFERENCE_CARDINALITIES = (1989, 5787, 5827)
+#: Size of the original data set (the default here is scaled down; every
+#: benchmark prints its scale factor).
+ORIGINAL_ROWS = 581_012
+
+BOOLEAN_NAMES = tuple(f"B{i + 1}" for i in range(len(BOOLEAN_CARDINALITIES)))
+PREFERENCE_NAMES = ("elevation", "aspect", "distance")
+
+
+def _zipf_categorical(
+    rng: np.random.Generator, cardinality: int, size: int, skew: float = 1.1
+) -> np.ndarray:
+    """Skewed categorical values over ``[0, cardinality)``.
+
+    Every value of the domain appears with positive probability, so atomic
+    cells exist for the whole domain, as with the real attribute encodings.
+    """
+    ranks = np.arange(1, cardinality + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(cardinality, size=size, p=weights)
+
+
+def covertype_relation(
+    n_rows: int = 100_000,
+    seed: int = 54,
+    disk: SimulatedDisk | None = None,
+) -> Relation:
+    """Generate the CoverType twin.
+
+    Args:
+        n_rows: Scaled-down row count (the original has 581,012).
+        seed: RNG seed (54, the original's attribute count, by default).
+        disk: Page store for the heap file.
+    """
+    rng = np.random.default_rng(seed)
+    bool_columns = [
+        _zipf_categorical(rng, cardinality, n_rows)
+        for cardinality in BOOLEAN_CARDINALITIES
+    ]
+    # Quantitative attributes: a latent "terrain" factor keeps them mildly
+    # correlated, like elevation / hydrology distances are.
+    latent = rng.random(n_rows)
+    pref_columns = []
+    for cardinality in PREFERENCE_CARDINALITIES:
+        noise = rng.normal(0.0, 0.25, n_rows)
+        raw = np.clip(0.6 * latent + 0.4 * rng.random(n_rows) + 0.1 * noise, 0, 1)
+        # Quantise to the attribute's cardinality, then rescale to [0, 1]
+        # so distances stay comparable across dimensions.
+        quantised = np.floor(raw * (cardinality - 1))
+        pref_columns.append(quantised / (cardinality - 1))
+
+    bool_rows = [
+        tuple(int(col[i]) for col in bool_columns) for i in range(n_rows)
+    ]
+    pref_rows = [
+        tuple(float(col[i]) for col in pref_columns) for i in range(n_rows)
+    ]
+    schema = Schema(BOOLEAN_NAMES, PREFERENCE_NAMES)
+    return Relation(schema, bool_rows, pref_rows, disk=disk)
+
+
+def scale_factor(n_rows: int) -> float:
+    """How far below the original row count a twin instance sits."""
+    return n_rows / ORIGINAL_ROWS

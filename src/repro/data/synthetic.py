@@ -1,0 +1,113 @@
+"""Synthetic data sets (paper Section VI-A).
+
+"For each synthetic data, Dp denotes the number of preference dimensions,
+Db the number of boolean dimensions, C the cardinality of each boolean
+dimension, T the number of tuples."  Defaults follow the paper:
+``Db = Dp = 3``, ``C = 100``, uniform preference values.
+
+Beyond the paper's uniform setting, the standard skyline-benchmark
+distributions of Borzsonyi et al. are provided — independent (uniform),
+correlated, anti-correlated and clustered — since preference selectivity
+(Figure 12) is most interesting when the distribution can be varied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.storage.disk import SimulatedDisk
+
+DISTRIBUTIONS = ("uniform", "correlated", "anticorrelated", "clustered")
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic data set."""
+
+    n_tuples: int = 10_000
+    n_boolean: int = 3
+    cardinality: int = 100
+    n_preference: int = 3
+    distribution: str = "uniform"
+    seed: int = 7
+    boolean_names: tuple[str, ...] = field(default=())
+    preference_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.n_tuples < 1:
+            raise ValueError("n_tuples must be positive")
+        if self.n_boolean < 1:
+            raise ValueError("n_boolean must be positive")
+        if self.cardinality < 1:
+            raise ValueError("cardinality must be positive")
+        if self.n_preference < 1:
+            raise ValueError("n_preference must be positive")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if not self.boolean_names:
+            object.__setattr__(
+                self,
+                "boolean_names",
+                tuple(f"A{i + 1}" for i in range(self.n_boolean)),
+            )
+        if not self.preference_names:
+            object.__setattr__(
+                self,
+                "preference_names",
+                tuple(f"N{i + 1}" for i in range(self.n_preference)),
+            )
+        if len(self.boolean_names) != self.n_boolean:
+            raise ValueError("boolean_names length mismatch")
+        if len(self.preference_names) != self.n_preference:
+            raise ValueError("preference_names length mismatch")
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(self.boolean_names, self.preference_names)
+
+
+def _preference_matrix(config: SyntheticConfig, rng: np.random.Generator) -> np.ndarray:
+    t, d = config.n_tuples, config.n_preference
+    if config.distribution == "uniform":
+        return rng.random((t, d))
+    if config.distribution == "correlated":
+        base = rng.random(t)
+        noise = rng.normal(0.0, 0.08, (t, d))
+        return np.clip(base[:, None] + noise, 0.0, 1.0)
+    if config.distribution == "anticorrelated":
+        # Points scattered tightly around the hyperplane Σx = d/2: good in
+        # one dimension means bad in another.  The small plane jitter keeps
+        # points mutually incomparable, maximising skyline size (≈10× the
+        # correlated skyline at 2k tuples / 2 dims).
+        base = rng.normal(0.5, 0.01, t)
+        raw = rng.random((t, d))
+        raw = raw / raw.sum(axis=1, keepdims=True) * (base[:, None] * d)
+        return np.clip(raw, 0.0, 1.0)
+    # clustered
+    n_clusters = 8
+    centers = rng.random((n_clusters, d))
+    assignment = rng.integers(0, n_clusters, t)
+    noise = rng.normal(0.0, 0.05, (t, d))
+    return np.clip(centers[assignment] + noise, 0.0, 1.0)
+
+
+def generate_relation(
+    config: SyntheticConfig,
+    disk: SimulatedDisk | None = None,
+) -> Relation:
+    """Materialise a synthetic relation for a configuration."""
+    rng = np.random.default_rng(config.seed)
+    bool_matrix = rng.integers(
+        0, config.cardinality, (config.n_tuples, config.n_boolean)
+    )
+    pref_matrix = _preference_matrix(config, rng)
+    bool_rows = [tuple(int(v) for v in row) for row in bool_matrix]
+    pref_rows = [tuple(float(v) for v in row) for row in pref_matrix]
+    return Relation(config.schema, bool_rows, pref_rows, disk=disk)

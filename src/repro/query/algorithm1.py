@@ -1,0 +1,329 @@
+"""Algorithm 1: the signature-based progressive search framework.
+
+The paper's framework (Section V) in full generality:
+
+* a candidate min-heap ordered by a lower-bound key — ``d(n) = Σ lows`` for
+  skylines, ``f(n) = min f over the MBR`` for top-k;
+* a ``prune`` procedure whose two arms are *preference pruning* (strategy
+  specific) and *boolean pruning* (signature bit tests);
+* pruned entries are kept in ``d_list`` / ``b_list`` so drill-down and
+  roll-up queries can rebuild the heap without starting from the root
+  (Lemma 2);
+* an optional *verifier* hook: the Domination baseline has no signature and
+  instead verifies the boolean predicate by a random tuple access exactly
+  when a data object is about to be reported (minimal probing [3], "between
+  lines 7 and 8").
+
+Entries carry their R-tree *path*, which is simultaneously the signature
+address of their bit — the bridge between the two prunings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+from repro.query.ranking import RankingFunction
+from repro.query.stats import QueryStats
+from repro.rtree.geometry import Rect, dominates
+from repro.rtree.node import RTreeNode
+from repro.rtree.rtree import RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import SBLOCK
+
+
+class BooleanReader(Protocol):
+    """What Algorithm 1 needs from a signature reader."""
+
+    def check_entry(self, parent_path: Sequence[int], position: int) -> bool: ...
+
+    def check_path(self, path: Sequence[int]) -> bool: ...
+
+
+class HeapEntry:
+    """A candidate: either an R-tree node or a data object (tuple).
+
+    Node entries carry the MBR their *parent* stored for them (``rect``) —
+    known without reading the node itself, which is what strategies must
+    prune on.
+    """
+
+    __slots__ = ("key", "seq", "path", "node", "tid", "point", "rect")
+
+    def __init__(
+        self,
+        key: float,
+        seq: int,
+        path: tuple[int, ...],
+        node: RTreeNode | None = None,
+        tid: int | None = None,
+        point: tuple[float, ...] | None = None,
+        rect: Rect | None = None,
+    ) -> None:
+        self.key = key
+        self.seq = seq
+        self.path = path
+        self.node = node
+        self.tid = tid
+        self.point = point
+        self.rect = rect
+
+    @property
+    def is_tuple(self) -> bool:
+        return self.tid is not None
+
+    def __lt__(self, other: "HeapEntry") -> bool:
+        return (self.key, self.seq) < (other.key, other.seq)
+
+    def __repr__(self) -> str:
+        what = f"tid={self.tid}" if self.is_tuple else f"node#{self.node.node_id}"
+        return f"HeapEntry(key={self.key:.4g}, {what}, path={self.path})"
+
+
+@dataclass
+class SearchState:
+    """Everything a query leaves behind for incremental follow-ups.
+
+    ``results`` holds reported entries in report order; ``b_list`` the
+    entries pruned by boolean predicates; ``d_list`` the entries pruned by
+    preference (domination / k-th score); ``heap`` whatever was still
+    pending when the search stopped (non-empty only for early-terminating
+    top-k runs).
+    """
+
+    heap: list[HeapEntry] = field(default_factory=list)
+    results: list[HeapEntry] = field(default_factory=list)
+    b_list: list[HeapEntry] = field(default_factory=list)
+    d_list: list[HeapEntry] = field(default_factory=list)
+    seq: int = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
+class SkylineStrategy:
+    """Preference pruning by skyline domination (BBS-style).
+
+    Section III allows the preference criterion to name a *subset* of the
+    preference dimensions (``N'1, ..., N'j ⊆ N``); passing ``subspace``
+    (0-based positions) restricts dominance and the heap key to those
+    dimensions.  Projection of an MBR is an MBR, so the low-corner pruning
+    argument carries over unchanged.  Points equal on the whole subspace
+    do not dominate each other and all survive.
+    """
+
+    def __init__(
+        self, dims: int, subspace: Sequence[int] | None = None
+    ) -> None:
+        self.dims = dims
+        if subspace is not None:
+            subspace = tuple(subspace)
+            if not subspace:
+                raise ValueError("subspace must name at least one dimension")
+            if len(set(subspace)) != len(subspace):
+                raise ValueError("subspace repeats a dimension")
+            if any(not 0 <= d < dims for d in subspace):
+                raise ValueError(f"subspace positions outside [0, {dims})")
+        self.subspace = subspace
+        self.result_points: list[tuple[float, ...]] = []  # projected
+
+    def _project(self, point: Sequence[float]) -> tuple[float, ...]:
+        if self.subspace is None:
+            return tuple(point)
+        return tuple(point[d] for d in self.subspace)
+
+    def node_key(self, rect: Rect) -> float:
+        return sum(self._project(rect.lows))
+
+    def point_key(self, point: Sequence[float]) -> float:
+        return sum(self._project(point))
+
+    def prune(self, entry: HeapEntry) -> bool:
+        """Dominated by a discovered skyline point?
+
+        Every entry carries a probe point: a tuple entry its data point, a
+        node entry its MBR's low corner.  Dominating the (projected) low
+        corner dominates the whole (projected) region, so one check covers
+        both cases.
+        """
+        probe = entry.point
+        assert probe is not None
+        projected = self._project(probe)
+        return any(dominates(s, projected) for s in self.result_points)
+
+    def add_result(self, entry: HeapEntry) -> bool:
+        assert entry.point is not None
+        self.result_points.append(self._project(entry.point))
+        return True
+
+    def finished(self, next_key: float) -> bool:
+        return False
+
+
+class TopKStrategy:
+    """Preference pruning by the k-th best score discovered so far."""
+
+    def __init__(self, fn: RankingFunction, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.fn = fn
+        self.k = k
+        self.scores: list[float] = []  # sorted ascending, at most k
+
+    def node_key(self, rect: Rect) -> float:
+        return self.fn.lower_bound(rect)
+
+    def point_key(self, point: Sequence[float]) -> float:
+        return self.fn.score(point)
+
+    def prune(self, entry: HeapEntry) -> bool:
+        """At least k discovered objects score no worse than the bound."""
+        return len(self.scores) >= self.k and entry.key >= self.scores[-1]
+
+    def add_result(self, entry: HeapEntry) -> bool:
+        if len(self.scores) >= self.k and entry.key >= self.scores[-1]:
+            return False
+        self.scores.append(entry.key)
+        self.scores.sort()
+        if len(self.scores) > self.k:
+            self.scores.pop()
+        return True
+
+    def finished(self, next_key: float) -> bool:
+        """Best-first order: once k results exist and the next bound is no
+        better than the worst of them, nothing can improve the answer."""
+        return len(self.scores) >= self.k and next_key >= self.scores[-1]
+
+
+Strategy = SkylineStrategy | TopKStrategy
+
+
+def make_root_state(rtree: RTree, strategy: Strategy) -> SearchState:
+    """A fresh state whose heap holds only the R-tree root."""
+    state = SearchState()
+    root = rtree.root
+    if root.live_count() == 0:
+        return state
+    mbr = root.mbr()
+    entry = HeapEntry(
+        key=strategy.node_key(mbr),
+        seq=state.next_seq(),
+        path=(),
+        node=root,
+        point=mbr.lows,
+        rect=mbr,
+    )
+    state.heap.append(entry)
+    return state
+
+
+def run_algorithm1(
+    rtree: RTree,
+    strategy: Strategy,
+    stats: QueryStats,
+    reader: BooleanReader | None = None,
+    verifier: Callable[[int], bool] | None = None,
+    pool: BufferPool | None = None,
+    block_category: str = SBLOCK,
+    state: SearchState | None = None,
+    keep_lists: bool = True,
+) -> SearchState:
+    """Run (or resume) Algorithm 1 until the heap empties or top-k finishes.
+
+    Args:
+        rtree: The shared partition template.
+        strategy: Skyline or top-k preference pruning.
+        stats: Mutated in place with counters and peaks.
+        reader: Signature reader for boolean pruning; ``None`` disables the
+            boolean arm (the Domination baseline, or ``BP = φ``).
+        verifier: Minimal-probing hook called on data objects about to be
+            reported; returning False discards the object.
+        pool: Buffer pool for counted node reads (falls back to raw disk
+            reads on the tree's disk).
+        block_category: Counter category for node reads (``SBLOCK`` for the
+            Signature method, ``DBLOCK`` for Domination).
+        state: Resume from a reconstructed state (drill-down / roll-up).
+        keep_lists: Maintain ``b_list`` / ``d_list`` (disable to save memory
+            when no follow-up query will ever resume from this one).
+    """
+    if state is None:
+        state = make_root_state(rtree, strategy)
+    heap = state.heap
+    heapq.heapify(heap)
+    stats.note_heap(len(heap))
+
+    while heap:
+        entry = heapq.heappop(heap)
+        if strategy.finished(entry.key):
+            heapq.heappush(heap, entry)  # keep it for incremental reuse
+            break
+        # --- prune procedure (paper lines 14-20): preference then boolean.
+        if strategy.prune(entry):
+            stats.dominance_pruned += 1
+            if keep_lists:
+                state.d_list.append(entry)
+            continue
+        if reader is not None and not reader.check_path(entry.path):
+            stats.boolean_pruned += 1
+            if keep_lists:
+                state.b_list.append(entry)
+            continue
+
+        if entry.is_tuple:
+            if verifier is not None:
+                stats.verified += 1
+                if not verifier(entry.tid):
+                    stats.verify_failed += 1
+                    continue
+            if strategy.add_result(entry):
+                state.results.append(entry)
+                stats.results += 1
+            continue
+
+        # --- expand the node: one counted R-tree block read.
+        node = entry.node
+        assert node is not None and node.page_id is not None
+        if pool is not None:
+            pool.get(node.page_id, block_category, stats.counters)
+        else:
+            rtree.disk.read(node.page_id, block_category, stats.counters)
+        stats.nodes_expanded += 1
+
+        for slot, child in node.live_entries():
+            position = slot + 1
+            child_path = entry.path + (position,)
+            if child.is_leaf_entry:
+                point = child.mbr.lows
+                child_entry = HeapEntry(
+                    key=strategy.point_key(point),
+                    seq=state.next_seq(),
+                    path=child_path,
+                    tid=child.tid,
+                    point=point,
+                )
+            else:
+                child_entry = HeapEntry(
+                    key=strategy.node_key(child.mbr),
+                    seq=state.next_seq(),
+                    path=child_path,
+                    node=child.child,
+                    point=child.mbr.lows,
+                    rect=child.mbr,
+                )
+            if strategy.prune(child_entry):
+                stats.dominance_pruned += 1
+                if keep_lists:
+                    state.d_list.append(child_entry)
+                continue
+            if reader is not None and not reader.check_entry(
+                entry.path, position
+            ):
+                stats.boolean_pruned += 1
+                if keep_lists:
+                    state.b_list.append(child_entry)
+                continue
+            heapq.heappush(heap, child_entry)
+        stats.note_heap(len(heap))
+    return state

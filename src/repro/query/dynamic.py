@@ -1,0 +1,160 @@
+"""Dynamic skyline queries (paper Section VII extension).
+
+    "Algorithm 1 can also be easily extended to support other preference
+    queries, such as dynamic skyline queries [9] ..."
+
+A *dynamic* skyline is the skyline in the transformed space
+``x ↦ |x − q|`` for a user-supplied query point ``q``: a tuple is an
+answer iff no other tuple is at least as close to ``q`` in every dimension
+and strictly closer in one.  BBS supports it by transforming entries on the
+fly [9], and so does our framework: the image of an MBR under the
+transform is again a box (per dimension, ``|x − q_d|`` over an interval is
+an interval), so the transformed low corner plays exactly the role the
+static corner plays in :class:`~repro.query.algorithm1.SkylineStrategy` —
+both the heap key and the domination probe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.pcube import PCube
+from repro.cube.relation import Relation
+from repro.query.algorithm1 import HeapEntry, SearchState, run_algorithm1
+from repro.query.predicates import BooleanPredicate
+from repro.query.stats import QueryStats
+from repro.rtree.geometry import Rect, dominates
+from repro.rtree.rtree import RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import SBLOCK
+
+
+def transform_point(
+    point: Sequence[float], query_point: Sequence[float]
+) -> tuple[float, ...]:
+    """The dynamic-skyline coordinate transform ``x ↦ |x − q|``."""
+    return tuple(abs(x - q) for x, q in zip(point, query_point))
+
+
+def transform_rect_lower(
+    rect: Rect, query_point: Sequence[float]
+) -> tuple[float, ...]:
+    """Low corner of a rectangle's image under the transform.
+
+    Per dimension the image of ``[lo, hi]`` is
+    ``[dist(q, [lo, hi]), max(|lo − q|, |hi − q|)]``; only the low corner
+    matters for pruning.
+    """
+    corner = []
+    for lo, hi, q in zip(rect.lows, rect.highs, query_point):
+        if q < lo:
+            corner.append(lo - q)
+        elif q > hi:
+            corner.append(q - hi)
+        else:
+            corner.append(0.0)
+    return tuple(corner)
+
+
+class DynamicSkylineStrategy:
+    """Skyline domination in the ``|x − q|`` space.
+
+    Entries keep their *original* points; the strategy transforms on the
+    fly, so the R-tree, signatures and paths are untouched — the point of
+    the Section VII remark.
+    """
+
+    def __init__(self, query_point: Sequence[float]) -> None:
+        self.query_point = tuple(float(q) for q in query_point)
+        self.result_points: list[tuple[float, ...]] = []  # transformed
+
+    def node_key(self, rect: Rect) -> float:
+        return sum(transform_rect_lower(rect, self.query_point))
+
+    def point_key(self, point: Sequence[float]) -> float:
+        return sum(transform_point(point, self.query_point))
+
+    def _probe(self, entry: HeapEntry) -> tuple[float, ...]:
+        assert entry.point is not None
+        if entry.is_tuple:
+            return transform_point(entry.point, self.query_point)
+        # A node entry carries the MBR its parent stored for it — the
+        # interval information the transform needs, with no extra read.
+        assert entry.rect is not None
+        return transform_rect_lower(entry.rect, self.query_point)
+
+    def prune(self, entry: HeapEntry) -> bool:
+        probe = self._probe(entry)
+        return any(dominates(s, probe) for s in self.result_points)
+
+    def add_result(self, entry: HeapEntry) -> bool:
+        assert entry.point is not None
+        self.result_points.append(
+            transform_point(entry.point, self.query_point)
+        )
+        return True
+
+    def finished(self, next_key: float) -> bool:
+        return False
+
+
+def dynamic_skyline_signature(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    query_point: Sequence[float],
+    predicate: BooleanPredicate | None = None,
+    pool: BufferPool | None = None,
+) -> tuple[list[int], QueryStats, SearchState]:
+    """Dynamic skyline with boolean predicates via signatures.
+
+    Returns the tuples not dynamically dominated (w.r.t. ``query_point``)
+    within the predicate's subset, with the usual stats.
+    """
+    if len(query_point) != rtree.dims:
+        raise ValueError(
+            f"query point has {len(query_point)} dims, tree has {rtree.dims}"
+        )
+    stats = QueryStats()
+    if pool is None:
+        pool = BufferPool(rtree.disk, capacity=4096)
+    started = time.perf_counter()
+    reader = None
+    if predicate is not None and not predicate.is_empty():
+        reader = pcube.reader_for_predicate(
+            predicate.conjuncts, pool, stats.counters
+        )
+    strategy = DynamicSkylineStrategy(query_point)
+    state = run_algorithm1(
+        rtree,
+        strategy,
+        stats,
+        reader=reader,
+        pool=pool,
+        block_category=SBLOCK,
+    )
+    stats.elapsed_seconds = time.perf_counter() - started
+    if reader is not None:
+        stats.sig_load_seconds = reader.load_seconds
+    tids = [entry.tid for entry in state.results if entry.tid is not None]
+    return tids, stats, state
+
+
+def naive_dynamic_skyline(
+    points: Sequence[tuple[int, Sequence[float]]],
+    query_point: Sequence[float],
+) -> list[int]:
+    """Ground-truth dynamic skyline (for tests)."""
+    transformed = [
+        (tid, transform_point(point, query_point)) for tid, point in points
+    ]
+    return [
+        tid
+        for tid, t_point in transformed
+        if not any(
+            dominates(other, t_point)
+            for other_tid, other in transformed
+            if other_tid != tid
+        )
+    ]

@@ -1,0 +1,306 @@
+"""The preference engine: standard queries plus Lemma 2 drill-down/roll-up.
+
+Section V-C: drill-down and roll-up queries always follow a standard query,
+so the engine can rebuild the candidate heap from the previous query's
+``result``, ``d_list`` and ``b_list`` instead of searching from the root:
+
+* drill-down (stronger predicate): ``c_heap = result ∪ d_list`` — entries
+  that failed the *old* boolean predicate keep failing the stronger one, so
+  ``b_list`` stays pruned; entries dominated by old results must be
+  reconsidered because their dominators may now fail the new predicate;
+* roll-up (weaker predicate): ``c_heap = result ∪ b_list`` — old results
+  still qualify, so everything they dominated stays dominated, while
+  boolean-pruned entries may now qualify.
+
+As the paper suggests, the engine pre-filters carried entries with the new
+predicate's signature before inserting them (failures go straight to the
+new ``b_list``).  Top-k searches terminate early and may leave pending heap
+entries; those are carried over too (they were neither pruned nor reported).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.pcube import PCube
+from repro.cube.relation import Relation
+from repro.query.algorithm1 import (
+    SearchState,
+    SkylineStrategy,
+    TopKStrategy,
+    run_algorithm1,
+)
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import RankingFunction
+from repro.query.stats import QueryStats
+from repro.rtree.rtree import RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import SBLOCK
+
+
+@dataclass
+class QueryResult:
+    """A completed query plus the state follow-up queries resume from."""
+
+    kind: str  # "skyline" | "topk" | "dynamic_skyline" | "lower_hull"
+    predicate: BooleanPredicate
+    tids: list[int]
+    scores: list[float] | None
+    stats: QueryStats
+    state: SearchState
+    fn: RankingFunction | None = None
+    k: int | None = None
+    preference_by: tuple[str, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+
+class PreferenceEngine:
+    """Facade over a relation, its R-tree template and its P-Cube.
+
+    Args:
+        relation, rtree, pcube: The built system.
+        pool_capacity: Buffer-pool pages per query; each query starts cold
+            (fresh pool) so per-query disk-access counts are comparable,
+            like the paper's.
+        eager_assembly: Use exact recursive intersection for
+            multi-predicate signatures instead of the lazy AND.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        rtree: RTree,
+        pcube: PCube,
+        pool_capacity: int = 4096,
+        eager_assembly: bool = False,
+    ) -> None:
+        self.relation = relation
+        self.rtree = rtree
+        self.pcube = pcube
+        self.pool_capacity = pool_capacity
+        self.eager_assembly = eager_assembly
+
+    # ------------------------------------------------------------------ #
+    # standard queries
+    # ------------------------------------------------------------------ #
+
+    def _reader(self, predicate: BooleanPredicate, pool, stats):
+        if predicate.is_empty():
+            return None
+        return self.pcube.reader_for_predicate(
+            predicate.conjuncts,
+            pool,
+            stats.counters,
+            eager=self.eager_assembly,
+        )
+
+    def skyline(
+        self,
+        predicate: BooleanPredicate | None = None,
+        preference_by: tuple[str, ...] | None = None,
+    ) -> QueryResult:
+        """A standard skyline query (Algorithm 1 from the root).
+
+        ``preference_by`` restricts the skyline to a subset of preference
+        dimensions by name (Section III's ``preference by N'1, ..., N'j``).
+        """
+        predicate = predicate or BooleanPredicate()
+        return self._run(
+            "skyline", predicate, state=None, preference_by=preference_by
+        )
+
+    def topk(
+        self,
+        fn: RankingFunction,
+        k: int,
+        predicate: BooleanPredicate | None = None,
+    ) -> QueryResult:
+        """A standard top-k query."""
+        predicate = predicate or BooleanPredicate()
+        return self._run("topk", predicate, state=None, fn=fn, k=k)
+
+    def dynamic_skyline(
+        self,
+        query_point,
+        predicate: BooleanPredicate | None = None,
+    ) -> QueryResult:
+        """A dynamic skyline query (Section VII extension): the skyline in
+        the ``|x − query_point|`` space."""
+        from repro.query.dynamic import dynamic_skyline_signature
+
+        predicate = predicate or BooleanPredicate()
+        tids, stats, state = dynamic_skyline_signature(
+            self.relation,
+            self.rtree,
+            self.pcube,
+            query_point,
+            predicate,
+            pool=BufferPool(self.rtree.disk, capacity=self.pool_capacity),
+        )
+        return QueryResult(
+            kind="dynamic_skyline",
+            predicate=predicate,
+            tids=tids,
+            scores=None,
+            stats=stats,
+            state=state,
+        )
+
+    def lower_hull(
+        self, predicate: BooleanPredicate | None = None
+    ) -> QueryResult:
+        """A 2-D lower-left convex hull query (Section VII extension)."""
+        from repro.query.hull import lower_hull_signature
+
+        predicate = predicate or BooleanPredicate()
+        tids, stats = lower_hull_signature(
+            self.relation,
+            self.rtree,
+            self.pcube,
+            predicate,
+            pool=BufferPool(self.rtree.disk, capacity=self.pool_capacity),
+        )
+        return QueryResult(
+            kind="lower_hull",
+            predicate=predicate,
+            tids=tids,
+            scores=None,
+            stats=stats,
+            state=SearchState(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # incremental queries (Lemma 2)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_incremental(previous: QueryResult) -> None:
+        if previous.kind not in ("skyline", "topk"):
+            raise ValueError(
+                f"drill-down/roll-up resume {previous.kind!r} queries is not "
+                "supported; only skyline and topk keep Lemma 2 state"
+            )
+
+    def drill_down(
+        self, previous: QueryResult, dim: str, value: Any
+    ) -> QueryResult:
+        """Strengthen the previous query's predicate by one conjunct."""
+        self._check_incremental(previous)
+        predicate = previous.predicate.drill_down(dim, value)
+        carried = (
+            previous.state.results
+            + previous.state.d_list
+            + previous.state.heap
+        )
+        return self._run(
+            previous.kind,
+            predicate,
+            state=("drill", carried, list(previous.state.b_list)),
+            fn=previous.fn,
+            k=previous.k,
+            preference_by=previous.preference_by,
+        )
+
+    def roll_up(self, previous: QueryResult, dim: str) -> QueryResult:
+        """Relax the previous query's predicate by removing one conjunct."""
+        self._check_incremental(previous)
+        predicate = previous.predicate.roll_up(dim)
+        carried = (
+            previous.state.results
+            + previous.state.b_list
+            + previous.state.heap
+        )
+        return self._run(
+            previous.kind,
+            predicate,
+            state=("roll", carried, list(previous.state.d_list)),
+            fn=previous.fn,
+            k=previous.k,
+            preference_by=previous.preference_by,
+        )
+
+    # ------------------------------------------------------------------ #
+    # shared runner
+    # ------------------------------------------------------------------ #
+
+    def _run(
+        self,
+        kind: str,
+        predicate: BooleanPredicate,
+        state,
+        fn: RankingFunction | None = None,
+        k: int | None = None,
+        preference_by: tuple[str, ...] | None = None,
+    ) -> QueryResult:
+        stats = QueryStats()
+        pool = BufferPool(self.rtree.disk, capacity=self.pool_capacity)
+        started = time.perf_counter()
+        reader = self._reader(predicate, pool, stats)
+        if kind == "skyline":
+            subspace = None
+            if preference_by is not None:
+                subspace = tuple(
+                    self.relation.schema.preference_position(name)
+                    for name in preference_by
+                )
+            strategy: SkylineStrategy | TopKStrategy = SkylineStrategy(
+                self.rtree.dims, subspace=subspace
+            )
+        else:
+            assert fn is not None and k is not None
+            strategy = TopKStrategy(fn, k)
+
+        resume_state: SearchState | None = None
+        if state is not None:
+            mode, carried, kept_list = state
+            resume_state = SearchState()
+            if mode == "drill":
+                resume_state.b_list = kept_list  # still fail the stronger BP
+            else:
+                resume_state.d_list = kept_list  # still dominated
+            resume_state.seq = max(
+                (entry.seq for entry in carried), default=0
+            )
+            for entry in carried:
+                # Pre-filter with the new predicate's signature, as the
+                # paper suggests, to keep the rebuilt heap small.
+                if reader is not None and not reader.check_path(entry.path):
+                    resume_state.b_list.append(entry)
+                    stats.boolean_pruned += 1
+                else:
+                    resume_state.heap.append(entry)
+
+        final_state = run_algorithm1(
+            self.rtree,
+            strategy,
+            stats,
+            reader=reader,
+            pool=pool,
+            block_category=SBLOCK,
+            state=resume_state,
+        )
+        stats.elapsed_seconds = time.perf_counter() - started
+        if reader is not None:
+            stats.sig_load_seconds = reader.load_seconds
+
+        tids = [e.tid for e in final_state.results if e.tid is not None]
+        scores = (
+            [e.key for e in final_state.results if e.tid is not None]
+            if kind == "topk"
+            else None
+        )
+        return QueryResult(
+            kind=kind,
+            predicate=predicate,
+            tids=tids,
+            scores=scores,
+            stats=stats,
+            state=final_state,
+            fn=fn,
+            k=k,
+            preference_by=preference_by,
+        )

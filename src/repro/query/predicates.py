@@ -1,0 +1,105 @@
+"""Boolean predicates: conjunctions of equality conditions.
+
+The paper's queries constrain the target subset with
+``A1 = a1 AND ... AND Ai = ai`` over boolean dimensions; drill-down
+strengthens the conjunction by one conjunct, roll-up removes one
+(Section V-C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.cube.cuboid import Cell
+from repro.cube.relation import Relation
+
+
+class BooleanPredicate:
+    """An immutable conjunction ``dim = value AND ...`` (possibly empty)."""
+
+    __slots__ = ("_conjuncts",)
+
+    def __init__(self, conjuncts: Mapping[str, Any] | None = None) -> None:
+        items = tuple(sorted((conjuncts or {}).items()))
+        object.__setattr__(self, "_conjuncts", items)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("BooleanPredicate is immutable")
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def conjuncts(self) -> dict[str, Any]:
+        return dict(self._conjuncts)
+
+    def dims(self) -> tuple[str, ...]:
+        return tuple(dim for dim, _ in self._conjuncts)
+
+    def is_empty(self) -> bool:
+        """``BP = φ``: no boolean constraint at all."""
+        return not self._conjuncts
+
+    def __len__(self) -> int:
+        return len(self._conjuncts)
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._conjuncts)
+
+    def cell(self) -> Cell:
+        """The multi-dimensional cube cell this predicate selects."""
+        if self.is_empty():
+            raise ValueError("the empty predicate selects the apex, not a cell")
+        dims, values = zip(*self._conjuncts)
+        return Cell(tuple(dims), tuple(values))
+
+    def atomic_cells(self) -> tuple[Cell, ...]:
+        """One-dimensional cells whose conjunction equals this predicate."""
+        return tuple(
+            Cell((dim,), (value,)) for dim, value in self._conjuncts
+        )
+
+    def matches(self, relation: Relation, tid: int) -> bool:
+        """Ground-truth evaluation against the base table."""
+        return all(
+            relation.bool_value(tid, dim) == value
+            for dim, value in self._conjuncts
+        )
+
+    # ------------------------------------------------------------------ #
+    # OLAP navigation
+    # ------------------------------------------------------------------ #
+
+    def drill_down(self, dim: str, value: Any) -> "BooleanPredicate":
+        """Strengthen: add one conjunct (must be a new dimension)."""
+        if any(d == dim for d, _ in self._conjuncts):
+            raise ValueError(f"dimension {dim!r} is already constrained")
+        merged = dict(self._conjuncts)
+        merged[dim] = value
+        return BooleanPredicate(merged)
+
+    def roll_up(self, dim: str) -> "BooleanPredicate":
+        """Relax: drop the conjunct on ``dim``."""
+        remaining = {d: v for d, v in self._conjuncts if d != dim}
+        if len(remaining) == len(self._conjuncts):
+            raise ValueError(f"dimension {dim!r} is not constrained")
+        return BooleanPredicate(remaining)
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanPredicate):
+            return NotImplemented
+        return self._conjuncts == other._conjuncts
+
+    def __hash__(self) -> int:
+        return hash(self._conjuncts)
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "BooleanPredicate(φ)"
+        inner = " AND ".join(f"{d}={v!r}" for d, v in self._conjuncts)
+        return f"BooleanPredicate({inner})"

@@ -1,0 +1,193 @@
+"""Ranking functions with region lower bounds.
+
+Section III requires: "Given a function f and the domain region Ω on its
+variables, the lower bound of f over Ω can be derived."  Each ranking
+function here therefore implements both ``score(point)`` and
+``lower_bound(rect)``; the latter drives the best-first order and the
+pruning bound of top-k processing (users prefer minimal values).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.rtree.geometry import Rect
+
+
+class RankingFunction(ABC):
+    """A function to minimise over the preference dimensions."""
+
+    @abstractmethod
+    def score(self, point: Sequence[float]) -> float:
+        """The exact value at a data point."""
+
+    @abstractmethod
+    def lower_bound(self, rect: Rect) -> float:
+        """A value ≤ ``score(x)`` for every ``x`` in ``rect``.
+
+        Tightness is a performance matter, not a correctness one; the
+        implementations below are all exact minima over the rectangle.
+        """
+
+
+class LinearFunction(RankingFunction):
+    """``f = Σ w_d · x_d`` — the Figure 13 query family (random a, b, c).
+
+    Weights may be negative; the exact minimum over a rectangle picks the
+    low corner for non-negative weights and the high corner otherwise.
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ValueError("at least one weight is required")
+        self.weights = tuple(float(w) for w in weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        return sum(w * x for w, x in zip(self.weights, point))
+
+    def lower_bound(self, rect: Rect) -> float:
+        return sum(
+            w * (lo if w >= 0 else hi)
+            for w, lo, hi in zip(self.weights, rect.lows, rect.highs)
+        )
+
+    def __repr__(self) -> str:
+        return f"LinearFunction({list(self.weights)})"
+
+
+class SumFunction(LinearFunction):
+    """``f = Σ x_d`` — the heap key d(n) of skyline processing."""
+
+    def __init__(self, dims: int) -> None:
+        super().__init__([1.0] * dims)
+
+
+class WeightedSquaredDistance(RankingFunction):
+    """``f = Σ w_d (x_d − t_d)²`` — Example 1's used-car query
+    (``(price − 15k)² + α(mileage − 30k)²``).
+
+    The minimum over a rectangle clamps the target into the rectangle
+    per dimension (the classic MINDIST).
+    """
+
+    def __init__(
+        self, target: Sequence[float], weights: Sequence[float] | None = None
+    ) -> None:
+        self.target = tuple(float(t) for t in target)
+        if weights is None:
+            weights = [1.0] * len(self.target)
+        if len(weights) != len(self.target):
+            raise ValueError("weights and target must have the same length")
+        if any(w < 0 for w in weights):
+            raise ValueError("distance weights must be non-negative")
+        self.weights = tuple(float(w) for w in weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        return sum(
+            w * (x - t) ** 2
+            for w, x, t in zip(self.weights, point, self.target)
+        )
+
+    def lower_bound(self, rect: Rect) -> float:
+        total = 0.0
+        for w, t, lo, hi in zip(
+            self.weights, self.target, rect.lows, rect.highs
+        ):
+            if t < lo:
+                delta = lo - t
+            elif t > hi:
+                delta = t - hi
+            else:
+                continue
+            total += w * delta * delta
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedSquaredDistance(target={list(self.target)}, "
+            f"weights={list(self.weights)})"
+        )
+
+
+class SeparableFunction(RankingFunction):
+    """``f = Σ_t g_t(x_{d_t})`` — a sum of per-dimension terms.
+
+    Each term is either linear (``coeff · x_d``) or squared-distance
+    (``coeff · (x_d − target)²``).  Separability makes the exact rectangle
+    minimum the sum of per-term interval minima, so arbitrary mixes of the
+    paper's Example 1 style distance terms and Figure 13 style linear
+    terms get a valid (and per-term tight) lower bound.
+
+    Terms are ``(dim, kind, coeff, target)`` with ``kind`` in
+    ``{"linear", "squared"}`` (``target`` ignored for linear terms).
+    """
+
+    def __init__(
+        self, terms: Sequence[tuple[int, str, float, float]]
+    ) -> None:
+        if not terms:
+            raise ValueError("at least one term is required")
+        for dim, kind, coeff, _target in terms:
+            if dim < 0:
+                raise ValueError("term dimensions must be non-negative")
+            if kind not in ("linear", "squared"):
+                raise ValueError(f"unknown term kind {kind!r}")
+            if kind == "squared" and coeff < 0:
+                raise ValueError("squared terms need non-negative weights")
+        self.terms = [
+            (int(dim), kind, float(coeff), float(target))
+            for dim, kind, coeff, target in terms
+        ]
+
+    def score(self, point: Sequence[float]) -> float:
+        total = 0.0
+        for dim, kind, coeff, target in self.terms:
+            value = point[dim]
+            if kind == "linear":
+                total += coeff * value
+            else:
+                total += coeff * (value - target) ** 2
+        return total
+
+    def lower_bound(self, rect: Rect) -> float:
+        total = 0.0
+        for dim, kind, coeff, target in self.terms:
+            lo, hi = rect.lows[dim], rect.highs[dim]
+            if kind == "linear":
+                total += coeff * (lo if coeff >= 0 else hi)
+            else:
+                if target < lo:
+                    delta = lo - target
+                elif target > hi:
+                    delta = target - hi
+                else:
+                    delta = 0.0
+                total += coeff * delta * delta
+        return total
+
+    def __repr__(self) -> str:
+        return f"SeparableFunction({self.terms!r})"
+
+
+class MonotoneFunction(RankingFunction):
+    """Any function non-decreasing in every coordinate.
+
+    Its exact rectangle minimum sits at the low corner, so a single
+    callable suffices (e.g. ``max``, weighted power means, log-sums).
+    """
+
+    def __init__(
+        self, fn: Callable[[Sequence[float]], float], name: str = "monotone"
+    ) -> None:
+        self.fn = fn
+        self.name = name
+
+    def score(self, point: Sequence[float]) -> float:
+        return float(self.fn(point))
+
+    def lower_bound(self, rect: Rect) -> float:
+        return float(self.fn(rect.lows))
+
+    def __repr__(self) -> str:
+        return f"MonotoneFunction({self.name})"

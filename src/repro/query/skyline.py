@@ -1,0 +1,75 @@
+"""Skyline queries with boolean predicates — the Signature method."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pcube import PCube
+from repro.cube.relation import Relation
+from repro.query.algorithm1 import SearchState, SkylineStrategy, run_algorithm1
+from repro.query.predicates import BooleanPredicate
+from repro.query.stats import QueryStats
+from repro.rtree.rtree import RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import SBLOCK
+
+
+def skyline_signature(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    predicate: BooleanPredicate | None = None,
+    pool: BufferPool | None = None,
+    eager_assembly: bool = False,
+    keep_lists: bool = True,
+    preference_by: tuple[str, ...] | None = None,
+) -> tuple[list[int], QueryStats, SearchState]:
+    """The paper's skyline query processing (Algorithm 1 + signatures).
+
+    Args:
+        relation: Base table (only consulted for dimensionality here; the
+            search runs entirely on the R-tree and signatures).
+        rtree: Shared partition template.
+        pcube: The signature cube.
+        predicate: Boolean conjunction; ``None``/empty disables boolean
+            pruning (plain BBS behaviour, still I/O optimal).
+        pool: Buffer pool; a fresh (cold) one is created when omitted.
+        eager_assembly: Assemble multi-predicate signatures with the exact
+            recursive intersection up front instead of the lazy AND.
+        keep_lists: Maintain the Lemma 2 lists for drill-down / roll-up.
+        preference_by: Optional subset of preference-dimension *names* to
+            compute the skyline over (Section III's ``preference by N'1,
+            ..., N'j``); default is all preference dimensions.
+
+    Returns:
+        ``(tids, stats, state)`` — skyline tids in discovery (key) order.
+    """
+    stats = QueryStats()
+    if pool is None:
+        pool = BufferPool(rtree.disk, capacity=4096)
+    started = time.perf_counter()
+    reader = None
+    if predicate is not None and not predicate.is_empty():
+        reader = pcube.reader_for_predicate(
+            predicate.conjuncts, pool, stats.counters, eager=eager_assembly
+        )
+    subspace = None
+    if preference_by is not None:
+        subspace = tuple(
+            relation.schema.preference_position(name) for name in preference_by
+        )
+    strategy = SkylineStrategy(dims=rtree.dims, subspace=subspace)
+    state = run_algorithm1(
+        rtree,
+        strategy,
+        stats,
+        reader=reader,
+        pool=pool,
+        block_category=SBLOCK,
+        keep_lists=keep_lists,
+    )
+    stats.elapsed_seconds = time.perf_counter() - started
+    if reader is not None:
+        stats.sig_load_seconds = reader.load_seconds
+    tids = [entry.tid for entry in state.results if entry.tid is not None]
+    return tids, stats, state

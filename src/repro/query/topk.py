@@ -1,0 +1,65 @@
+"""Top-k queries with boolean predicates — the Signature method."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pcube import PCube
+from repro.cube.relation import Relation
+from repro.query.algorithm1 import SearchState, TopKStrategy, run_algorithm1
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import RankingFunction
+from repro.query.stats import QueryStats
+from repro.rtree.rtree import RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import SBLOCK
+
+
+def topk_signature(
+    relation: Relation,
+    rtree: RTree,
+    pcube: PCube,
+    fn: RankingFunction,
+    k: int,
+    predicate: BooleanPredicate | None = None,
+    pool: BufferPool | None = None,
+    eager_assembly: bool = False,
+    keep_lists: bool = True,
+) -> tuple[list[tuple[int, float]], QueryStats, SearchState]:
+    """Top-k processing per Section V-B: best-first by the lower bound of
+    ``fn`` over each node, k-th-score preference pruning, signature-based
+    boolean pruning.
+
+    Returns:
+        ``(ranked, stats, state)`` where ``ranked`` is a list of
+        ``(tid, score)`` in non-decreasing score order (ties arbitrary), of
+        length ``min(k, |qualifying tuples|)``.
+    """
+    stats = QueryStats()
+    if pool is None:
+        pool = BufferPool(rtree.disk, capacity=4096)
+    started = time.perf_counter()
+    reader = None
+    if predicate is not None and not predicate.is_empty():
+        reader = pcube.reader_for_predicate(
+            predicate.conjuncts, pool, stats.counters, eager=eager_assembly
+        )
+    strategy = TopKStrategy(fn, k)
+    state = run_algorithm1(
+        rtree,
+        strategy,
+        stats,
+        reader=reader,
+        pool=pool,
+        block_category=SBLOCK,
+        keep_lists=keep_lists,
+    )
+    stats.elapsed_seconds = time.perf_counter() - started
+    if reader is not None:
+        stats.sig_load_seconds = reader.load_seconds
+    ranked = [
+        (entry.tid, entry.key)
+        for entry in state.results
+        if entry.tid is not None
+    ]
+    return ranked, stats, state

@@ -1,0 +1,581 @@
+"""A dynamic R-tree with path-change tracking.
+
+Implements Guttman's insertion algorithm [15] with quadratic or linear node
+splitting, the R*-tree's forced re-insertion [16] as an option, and deletion
+with tree condensation.  Beyond the textbook structure, this tree does two
+things the P-Cube life cycle needs:
+
+* every node lives on a page of a :class:`~repro.storage.disk.SimulatedDisk`
+  so query algorithms can count block reads;
+* every mutation returns the exact set of :class:`PathChange` records —
+  ``(tid, old_path, new_path)`` — that incremental signature maintenance
+  must apply (paper Section IV-B.3: only paths under split / re-inserted
+  entries change; all other signatures keep their bits).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, NamedTuple, Sequence
+
+from repro.rtree.geometry import Point, Rect
+from repro.rtree.node import Entry, RTreeNode, subtree_nodes, subtree_tids, tuple_path
+from repro.storage.disk import SimulatedDisk
+
+#: Bytes per node entry: an MBR of single-precision floats (2 * dims * 4)
+#: plus a 4-byte child pointer / tid — the layout under which the paper's
+#: quoted fanouts (M = 204 for 2-D, ~94 for 5-D at 4 KB pages) come out.
+_POINTER_BYTES = 4
+#: Fixed per-node header (level, entry count).
+_NODE_HEADER_BYTES = 8
+
+
+def entry_bytes(dims: int) -> int:
+    """On-disk size of one node entry."""
+    return 2 * dims * 4 + _POINTER_BYTES
+
+
+def fanout_for_page(page_size: int, dims: int) -> int:
+    """Maximum entries per node for a given page size, as in the paper.
+
+    With 4 KB pages this yields 204 for two dimensions and ~92 for five,
+    matching the figures quoted in Section IV-B.1.
+    """
+    fanout = (page_size - _NODE_HEADER_BYTES) // entry_bytes(dims)
+    return max(4, fanout)
+
+
+class PathChange(NamedTuple):
+    """One tuple's path before and after a structural change.
+
+    ``old_path is None`` for a fresh insertion; ``new_path is None`` for a
+    deletion.
+    """
+
+    tid: int
+    old_path: tuple[int, ...] | None
+    new_path: tuple[int, ...] | None
+
+
+class RTree:
+    """A paged, slot-stable R-tree over ``dims``-dimensional points.
+
+    Args:
+        dims: Dimensionality of the indexed points.
+        max_entries: Node capacity ``M``.
+        min_entries: Underflow threshold ``m`` (default ``max(2, 2M/5)``).
+        split: ``"quadratic"`` (default), ``"linear"`` or ``"rstar"``.
+        disk: Page store; a private one is created when omitted.
+        tag: Page tag prefix for space accounting.
+        forced_reinsert: R*-style re-insertion on first overflow per level
+            (implied by ``split="rstar"``).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        max_entries: int = 50,
+        min_entries: int | None = None,
+        split: str = "quadratic",
+        disk: SimulatedDisk | None = None,
+        tag: str = "rtree",
+        forced_reinsert: bool | None = None,
+    ) -> None:
+        if dims < 1:
+            raise ValueError("dims must be at least 1")
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        if split not in ("quadratic", "linear", "rstar"):
+            raise ValueError(f"unknown split policy {split!r}")
+        self.dims = dims
+        self.max_entries = max_entries
+        self.min_entries = (
+            max(1, (2 * max_entries) // 5) if min_entries is None else min_entries
+        )
+        if not 1 <= self.min_entries <= max_entries // 2:
+            raise ValueError(
+                f"min_entries must lie in [1, {max_entries // 2}], "
+                f"got {self.min_entries}"
+            )
+        self.split_policy = split
+        self.forced_reinsert = (
+            split == "rstar" if forced_reinsert is None else forced_reinsert
+        )
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.tag = tag
+        self._next_node_id = 0
+        self._points: dict[int, Point] = {}
+        self._tid_leaf: dict[int, RTreeNode] = {}
+        self._paths: dict[int, tuple[int, ...]] = {}
+        self.root = self._new_node(level=0)
+        # Per-insert scratch state.
+        self._dirty_tids: set[int] = set()
+        self._reinserted_levels: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # node bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _new_node(self, level: int) -> RTreeNode:
+        node = RTreeNode(self._next_node_id, level, self.max_entries)
+        self._next_node_id += 1
+        node.page_id = self.disk.allocate(self.tag, size=_NODE_HEADER_BYTES)
+        self.disk.write(node.page_id, node, size=_NODE_HEADER_BYTES)
+        return node
+
+    def _sync_page(self, node: RTreeNode) -> None:
+        size = _NODE_HEADER_BYTES + node.live_count() * entry_bytes(self.dims)
+        assert node.page_id is not None
+        self.disk.write(node.page_id, node, size=size)
+
+    def _free_node(self, node: RTreeNode) -> None:
+        assert node.page_id is not None
+        self.disk.free(node.page_id)
+        node.page_id = None
+
+    # ------------------------------------------------------------------ #
+    # public views
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def height(self) -> int:
+        """Number of node levels (1 for a lone leaf root)."""
+        return self.root.level + 1
+
+    def point_of(self, tid: int) -> Point:
+        return self._points[tid]
+
+    def path_of(self, tid: int) -> tuple[int, ...]:
+        """The current path of a tuple (root slot first, leaf slot last)."""
+        return self._paths[tid]
+
+    def leaf_of(self, tid: int) -> RTreeNode:
+        return self._tid_leaf[tid]
+
+    def all_paths(self) -> dict[int, tuple[int, ...]]:
+        """A snapshot of every tuple's path (used by signature generation)."""
+        return dict(self._paths)
+
+    def nodes(self) -> Iterator[RTreeNode]:
+        """All nodes, pre-order from the root."""
+        return subtree_nodes(self.root)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def range_search(self, rect: Rect) -> list[int]:
+        """Tids of points inside ``rect`` (inclusive)."""
+        result: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for _, entry in node.live_entries():
+                if not rect.intersects(entry.mbr):
+                    continue
+                if node.is_leaf:
+                    assert entry.tid is not None
+                    if rect.contains_point(self._points[entry.tid]):
+                        result.append(entry.tid)
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+
+    def insert(self, tid: int, point: Sequence[float]) -> list[PathChange]:
+        """Insert a tuple; return every path change the insert caused.
+
+        The first element always describes the new tuple; further elements
+        appear only when node splits or forced re-insertions moved existing
+        tuples (the situation Section IV-B.3 of the paper handles by
+        collecting old and new paths).
+        """
+        if tid in self._points:
+            raise KeyError(f"tid {tid} is already indexed")
+        if len(point) != self.dims:
+            raise ValueError(f"point has {len(point)} dims, tree has {self.dims}")
+        point = tuple(float(v) for v in point)
+        self._points[tid] = point
+        self._dirty_tids = set()
+        self._reinserted_levels = set()
+
+        entry = Entry(Rect.from_point(point), tid=tid)
+        self._insert_entry(entry, target_level=0)
+
+        return self._collect_changes(inserted=(tid,), removed=())
+
+    def _insert_entry(self, entry: Entry, target_level: int) -> None:
+        node = self._choose_node(entry.mbr, target_level)
+        if node.is_full():
+            self._handle_overflow(node, entry)
+        else:
+            node.add_entry(entry)
+            if entry.tid is not None:
+                self._tid_leaf[entry.tid] = node
+            self._sync_page(node)
+            self._adjust_upward(node)
+
+    def _choose_node(self, mbr: Rect, target_level: int) -> RTreeNode:
+        node = self.root
+        while node.level > target_level:
+            best: tuple[float, float, RTreeNode] | None = None
+            for _, entry in node.live_entries():
+                assert entry.child is not None
+                enlargement = entry.mbr.enlargement(mbr)
+                key = (enlargement, entry.mbr.area(), entry.child)
+                if best is None or key[:2] < best[:2]:
+                    best = key
+            assert best is not None, "internal node with no live entries"
+            node = best[2]
+        return node
+
+    def _handle_overflow(self, node: RTreeNode, entry: Entry) -> None:
+        if (
+            self.forced_reinsert
+            and node.parent is not None
+            and node.level not in self._reinserted_levels
+        ):
+            self._reinserted_levels.add(node.level)
+            self._forced_reinsert(node, entry)
+        else:
+            self._split(node, entry)
+
+    def _forced_reinsert(self, node: RTreeNode, entry: Entry) -> None:
+        """R*-tree overflow treatment: evict and re-insert the outliers."""
+        self._mark_dirty_subtree(node)
+        entries = [e for _, e in node.live_entries()] + [entry]
+        center = Rect.union_all([e.mbr for e in entries]).center()
+        entries.sort(
+            key=lambda e: -sum(
+                (c - p) ** 2 for c, p in zip(e.mbr.center(), center)
+            )
+        )
+        p = max(1, round(0.3 * len(entries)))
+        evicted, kept = entries[:p], entries[p:]
+        node.entries = []
+        for kept_entry in kept:
+            node.add_entry(kept_entry)
+            if kept_entry.tid is not None:
+                self._tid_leaf[kept_entry.tid] = node
+        self._sync_page(node)
+        self._adjust_upward(node)
+        for evicted_entry in evicted:
+            self._mark_dirty_entry(evicted_entry)
+            self._insert_entry(evicted_entry, target_level=node.level)
+
+    def _split(self, node: RTreeNode, entry: Entry) -> None:
+        """Split ``node`` to absorb ``entry``; cascade upward as needed."""
+        self._mark_dirty_subtree(node)
+        all_entries = [e for _, e in node.live_entries()] + [entry]
+        group_a, group_b = self._partition(all_entries)
+        sibling = self._new_node(node.level)
+        node.entries = []
+        for moved in group_a:
+            node.add_entry(moved)
+            if moved.tid is not None:
+                self._tid_leaf[moved.tid] = node
+        for moved in group_b:
+            sibling.add_entry(moved)
+            if moved.tid is not None:
+                self._tid_leaf[moved.tid] = sibling
+        self._sync_page(node)
+        self._sync_page(sibling)
+
+        parent = node.parent
+        if parent is None:
+            new_root = self._new_node(node.level + 1)
+            new_root.add_entry(Entry(node.mbr(), child=node))
+            new_root.add_entry(Entry(sibling.mbr(), child=sibling))
+            self.root = new_root
+            self._sync_page(new_root)
+            return
+        # Refresh the split node's MBR in its parent, then place the sibling.
+        slot = parent.slot_of_child(node)
+        parent.entries[slot] = Entry(node.mbr(), child=node)
+        sibling_entry = Entry(sibling.mbr(), child=sibling)
+        if parent.is_full():
+            self._handle_overflow(parent, sibling_entry)
+        else:
+            parent.add_entry(sibling_entry)
+            self._sync_page(parent)
+            self._adjust_upward(parent)
+
+    def _adjust_upward(self, node: RTreeNode) -> None:
+        """Recompute ancestor MBRs after a change inside ``node``."""
+        child = node
+        while child.parent is not None:
+            parent = child.parent
+            slot = parent.slot_of_child(child)
+            existing = parent.entries[slot]
+            assert existing is not None
+            updated = child.mbr()
+            if updated == existing.mbr:
+                break
+            parent.entries[slot] = Entry(updated, child=child)
+            self._sync_page(parent)
+            child = parent
+
+    # ------------------------------------------------------------------ #
+    # split partitioning policies
+    # ------------------------------------------------------------------ #
+
+    def _partition(self, entries: list[Entry]) -> tuple[list[Entry], list[Entry]]:
+        if self.split_policy == "linear":
+            return self._partition_linear(entries)
+        if self.split_policy == "rstar":
+            return self._partition_rstar(entries)
+        return self._partition_quadratic(entries)
+
+    def _partition_quadratic(
+        self, entries: list[Entry]
+    ) -> tuple[list[Entry], list[Entry]]:
+        """Guttman's quadratic split: worst pair as seeds, greedy assignment."""
+        worst = -math.inf
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    entries[i].mbr.union(entries[j].mbr).area()
+                    - entries[i].mbr.area()
+                    - entries[j].mbr.area()
+                )
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+        remaining = [e for k, e in enumerate(entries) if k not in seeds]
+        while remaining:
+            # Honour the minimum fill requirement first.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                break
+            # Pick the entry with the strongest preference.
+            best_index = 0
+            best_diff = -1.0
+            for k, candidate in enumerate(remaining):
+                d_a = mbr_a.enlargement(candidate.mbr)
+                d_b = mbr_b.enlargement(candidate.mbr)
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_index = k
+            candidate = remaining.pop(best_index)
+            d_a = mbr_a.enlargement(candidate.mbr)
+            d_b = mbr_b.enlargement(candidate.mbr)
+            if d_a < d_b or (d_a == d_b and len(group_a) <= len(group_b)):
+                group_a.append(candidate)
+                mbr_a = mbr_a.union(candidate.mbr)
+            else:
+                group_b.append(candidate)
+                mbr_b = mbr_b.union(candidate.mbr)
+        return group_a, group_b
+
+    def _partition_linear(
+        self, entries: list[Entry]
+    ) -> tuple[list[Entry], list[Entry]]:
+        """Guttman's linear split: seeds by greatest normalised separation."""
+        best_dim = 0
+        best_separation = -math.inf
+        best_pair = (0, 1)
+        for d in range(self.dims):
+            lows = [e.mbr.lows[d] for e in entries]
+            highs = [e.mbr.highs[d] for e in entries]
+            highest_low = max(range(len(entries)), key=lambda k: lows[k])
+            lowest_high = min(range(len(entries)), key=lambda k: highs[k])
+            if highest_low == lowest_high:
+                continue
+            width = max(highs) - min(lows)
+            separation = (
+                (lows[highest_low] - highs[lowest_high]) / width if width else 0.0
+            )
+            if separation > best_separation:
+                best_separation = separation
+                best_dim = d
+                best_pair = (lowest_high, highest_low)
+        del best_dim
+        i, j = best_pair
+        group_a = [entries[i]]
+        group_b = [entries[j]]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+        for k, candidate in enumerate(entries):
+            if k in (i, j):
+                continue
+            if len(group_a) + 1 >= len(entries) - self.min_entries + 1:
+                group_b.append(candidate)
+                mbr_b = mbr_b.union(candidate.mbr)
+                continue
+            if len(group_b) + 1 >= len(entries) - self.min_entries + 1:
+                group_a.append(candidate)
+                mbr_a = mbr_a.union(candidate.mbr)
+                continue
+            if mbr_a.enlargement(candidate.mbr) <= mbr_b.enlargement(candidate.mbr):
+                group_a.append(candidate)
+                mbr_a = mbr_a.union(candidate.mbr)
+            else:
+                group_b.append(candidate)
+                mbr_b = mbr_b.union(candidate.mbr)
+        return group_a, group_b
+
+    def _partition_rstar(
+        self, entries: list[Entry]
+    ) -> tuple[list[Entry], list[Entry]]:
+        """R* split: margin-minimal axis, overlap-minimal distribution."""
+        best: tuple[float, float, list[Entry], list[Entry]] | None = None
+        n = len(entries)
+        for d in range(self.dims):
+            for key_name in ("lows", "highs"):
+                ordered = sorted(
+                    entries, key=lambda e: getattr(e.mbr, key_name)[d]
+                )
+                for split_at in range(self.min_entries, n - self.min_entries + 1):
+                    left = ordered[:split_at]
+                    right = ordered[split_at:]
+                    mbr_l = Rect.union_all([e.mbr for e in left])
+                    mbr_r = Rect.union_all([e.mbr for e in right])
+                    overlap = mbr_l.overlap_area(mbr_r)
+                    area = mbr_l.area() + mbr_r.area()
+                    if best is None or (overlap, area) < (best[0], best[1]):
+                        best = (overlap, area, left, right)
+        assert best is not None
+        return best[2], best[3]
+
+    # ------------------------------------------------------------------ #
+    # deletion / update
+    # ------------------------------------------------------------------ #
+
+    def delete(self, tid: int) -> list[PathChange]:
+        """Remove a tuple; return all path changes (condensation included)."""
+        if tid not in self._points:
+            raise KeyError(f"tid {tid} is not indexed")
+        self._dirty_tids = set()
+        self._reinserted_levels = set()
+
+        leaf = self._tid_leaf.pop(tid)
+        del self._points[tid]
+        slot = leaf.slot_of_tid(tid)
+        leaf.remove_slot(slot)
+        self._sync_page(leaf)
+        self._dirty_tids.add(tid)
+
+        orphans: list[Entry] = []
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            if node.live_count() < self.min_entries:
+                self._mark_dirty_subtree(node)
+                parent.remove_slot(parent.slot_of_child(node))
+                orphans.extend(e for _, e in node.live_entries())
+                self._free_node(node)
+                self._sync_page(parent)
+            else:
+                self._adjust_upward(node)
+            node = parent
+        # Re-insert orphaned entries at their original levels (Guttman's
+        # CondenseTree), leaf tuples first so subtree re-insertions see a
+        # well-formed tree.
+        orphans.sort(key=lambda e: 0 if e.tid is not None else 1)
+        for orphan in orphans:
+            if self.root.live_count() == 0 and orphan.child is not None:
+                # Degenerate case: the tree emptied out; adopt the subtree.
+                self._free_node(self.root)
+                self.root = orphan.child
+                self.root.parent = None
+                continue
+            level = 0 if orphan.tid is not None else orphan.child.level + 1
+            self._insert_entry(orphan, target_level=min(level, self.root.level))
+        # Shrink the root if it has a single child.
+        while not self.root.is_leaf and self.root.live_count() == 1:
+            (_, only) = next(self.root.live_entries())
+            assert only.child is not None
+            self._mark_dirty_subtree(self.root)
+            self._free_node(self.root)
+            self.root = only.child
+            self.root.parent = None
+
+        return self._collect_changes(inserted=(), removed=(tid,))
+
+    def update(self, tid: int, new_point: Sequence[float]) -> list[PathChange]:
+        """Move a tuple: delete + insert, with merged change records."""
+        changes = self.delete(tid)
+        changes_in = self.insert(tid, new_point)
+        merged: dict[int, PathChange] = {}
+        for change in changes + changes_in:
+            if change.tid in merged:
+                previous = merged[change.tid]
+                merged[change.tid] = PathChange(
+                    change.tid, previous.old_path, change.new_path
+                )
+            else:
+                merged[change.tid] = change
+        return [c for c in merged.values() if c.old_path != c.new_path]
+
+    # ------------------------------------------------------------------ #
+    # change tracking
+    # ------------------------------------------------------------------ #
+
+    def _mark_dirty_subtree(self, node: RTreeNode) -> None:
+        self._dirty_tids.update(subtree_tids(node))
+
+    def _mark_dirty_entry(self, entry: Entry) -> None:
+        if entry.tid is not None:
+            self._dirty_tids.add(entry.tid)
+        else:
+            assert entry.child is not None
+            self._dirty_tids.update(subtree_tids(entry.child))
+
+    def _collect_changes(
+        self,
+        inserted: Iterable[int],
+        removed: Iterable[int],
+    ) -> list[PathChange]:
+        # ``self._paths`` still holds pre-mutation paths for every dirty
+        # tuple; reading them lazily here keeps inserts O(dirty), not O(T).
+        changes: list[PathChange] = []
+        inserted = set(inserted)
+        removed = set(removed)
+        for tid in inserted:
+            self._dirty_tids.add(tid)
+        for tid in sorted(self._dirty_tids):
+            if tid in removed:
+                changes.append(PathChange(tid, self._paths.pop(tid), None))
+                continue
+            new_path = tuple_path(self._tid_leaf[tid], tid)
+            old = self._paths.get(tid)
+            self._paths[tid] = new_path
+            if old != new_path:
+                changes.append(PathChange(tid, old, new_path))
+        # A split can shuffle slots inside one node while leaving some
+        # tuples' full paths intact; those produce no change records, but
+        # their stored paths were refreshed above either way.
+        return changes
+
+    # ------------------------------------------------------------------ #
+    # internal wiring for the bulk loader
+    # ------------------------------------------------------------------ #
+
+    def _adopt_bulk(
+        self,
+        root: RTreeNode,
+        points: dict[int, Point],
+        tid_leaf: dict[int, RTreeNode],
+    ) -> None:
+        """Install a pre-built tree (used by :func:`repro.rtree.bulk.bulk_load`)."""
+        self._free_node(self.root)
+        self.root = root
+        self._points = points
+        self._tid_leaf = tid_leaf
+        self._paths = {
+            tid: tuple_path(leaf, tid) for tid, leaf in tid_leaf.items()
+        }

@@ -1,0 +1,70 @@
+"""An LRU buffer pool over the simulated disk.
+
+Query-time accounting in the paper counts *disk* accesses, so repeated hits
+on a hot page (the R-tree root, the first partial signature) must not be
+re-counted.  The buffer pool absorbs them: only misses reach
+:meth:`SimulatedDisk.read` and its counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.storage.counters import IOCounters
+from repro.storage.disk import SimulatedDisk
+
+
+class BufferPool:
+    """A fixed-capacity LRU page cache.
+
+    Args:
+        disk: Backing store.
+        capacity: Maximum number of resident pages.  ``capacity=0`` disables
+            caching (every access is a disk read).
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.disk = disk
+        self.capacity = capacity
+        self._cache: OrderedDict[int, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        page_id: int,
+        category: str,
+        counters: IOCounters | None = None,
+    ) -> Any:
+        """Fetch a page payload through the cache.
+
+        A hit costs nothing; a miss performs (and counts) one disk read and
+        may evict the least recently used page.
+        """
+        if page_id in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(page_id)
+            return self._cache[page_id]
+        self.misses += 1
+        payload = self.disk.read(page_id, category, counters)
+        if self.capacity > 0:
+            self._cache[page_id] = payload
+            if len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+        return payload
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the cache (after a write)."""
+        self._cache.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the cache and reset hit/miss statistics."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,131 @@
+"""A simulated disk: page allocation, tagged reads, space accounting.
+
+The disk never serialises payloads; it tracks *logical* page sizes so that
+space figures (paper Figure 6) and access counts (Figures 9, 15) can be
+reported exactly, while the Python objects stay directly usable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.storage.counters import IOCounters
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+class PageFault(KeyError):
+    """Raised when reading or freeing a page id that was never allocated."""
+
+
+class SimulatedDisk:
+    """An append-allocated page store with tagged I/O accounting.
+
+    Args:
+        page_size: Transfer unit in bytes; structures that must fit a page
+            (partial signatures, index nodes) size themselves against this.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self._pages: dict[int, Page] = {}
+        self._next_id = 0
+        #: Disk-wide counters; reads may also record into caller-supplied
+        #: counters (per-query accounting).
+        self.counters = IOCounters()
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, tag: str, size: int | None = None, payload: Any = None) -> int:
+        """Allocate a new page and return its id.
+
+        ``size`` defaults to the full page size; logical sizes larger than
+        the page size are allowed (a caller-visible signal that the payload
+        should have been decomposed) but flagged by :meth:`oversized_pages`.
+        """
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = Page(
+            page_id=page_id,
+            tag=tag,
+            size=self.page_size if size is None else size,
+            payload=payload,
+        )
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page."""
+        try:
+            del self._pages[page_id]
+        except KeyError:
+            raise PageFault(page_id) from None
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    def read(
+        self,
+        page_id: int,
+        category: str,
+        counters: IOCounters | None = None,
+    ) -> Any:
+        """Fetch a page payload, recording one access under ``category``.
+
+        The access is recorded on the disk-wide counters and, when given, on
+        the per-query ``counters`` as well.
+        """
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise PageFault(page_id) from None
+        self.counters.record(category)
+        if counters is not None:
+            counters.record(category)
+        return page.payload
+
+    def write(self, page_id: int, payload: Any, size: int | None = None) -> None:
+        """Replace a page's payload (and optionally its logical size)."""
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise PageFault(page_id) from None
+        page.payload = payload
+        if size is not None:
+            page.size = size
+
+    def peek(self, page_id: int) -> Page:
+        """Inspect a page without counting an access (for tests/tools)."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageFault(page_id) from None
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def pages(self, tag_prefix: str = "") -> Iterator[Page]:
+        """Iterate pages whose tag starts with ``tag_prefix``."""
+        for page in self._pages.values():
+            if page.tag.startswith(tag_prefix):
+                yield page
+
+    def page_count(self, tag_prefix: str = "") -> int:
+        """Number of live pages under a tag prefix."""
+        return sum(1 for _ in self.pages(tag_prefix))
+
+    def size_bytes(self, tag_prefix: str = "") -> int:
+        """Total logical bytes of live pages under a tag prefix."""
+        return sum(page.size for page in self.pages(tag_prefix))
+
+    def size_mb(self, tag_prefix: str = "") -> float:
+        """Total logical size in MB (for Figure 6 style reporting)."""
+        return self.size_bytes(tag_prefix) / (1024.0 * 1024.0)
+
+    def oversized_pages(self) -> list[Page]:
+        """Pages whose logical size exceeds the transfer unit."""
+        return [p for p in self._pages.values() if p.size > self.page_size]

@@ -1,0 +1,40 @@
+"""Pages: the unit of simulated disk transfer.
+
+The paper fixes the page size at 4 KB (Section VI-A).  A page carries an
+arbitrary in-memory payload (a node object, a signature fragment, a slab of
+tuples, ...) together with a *logical size in bytes*; the logical size is what
+the space-accounting of Figure 6 sums, while reads/writes are counted per
+page regardless of payload size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Default page size in bytes, as used throughout the paper's evaluation.
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class Page:
+    """A single disk page.
+
+    Attributes:
+        page_id: Unique identifier assigned by the owning disk.
+        tag: Owner label such as ``"rtree"``, ``"pcube:A"`` or ``"heap"``;
+            used to aggregate space per structure.
+        size: Logical payload size in bytes (capped at the disk's page size
+            for structures that decompose to fit, such as partial
+            signatures).
+        payload: The in-memory object this page holds.
+    """
+
+    page_id: int
+    tag: str
+    size: int
+    payload: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"page size must be non-negative, got {self.size}")

@@ -1,0 +1,140 @@
+"""One-call assembly of a complete P-Cube system.
+
+Bundles the base relation, the shared R-tree partition template, the P-Cube
+signature store, the baseline B+-tree indexes and a
+:class:`~repro.query.engine.PreferenceEngine`, all over one simulated disk —
+the configuration every experiment and example runs against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.boolean_first import build_boolean_indexes
+from repro.btree.btree import BPlusTree
+from repro.core.pcube import PCube
+from repro.cube.relation import Relation
+from repro.query.engine import PreferenceEngine
+from repro.rtree.bulk import bulk_load
+from repro.rtree.rtree import RTree, fanout_for_page
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass
+class BuildTimings:
+    """Construction wall-clock per component (Figure 5's series)."""
+
+    rtree_seconds: float = 0.0
+    pcube_seconds: float = 0.0
+    btree_seconds: float = 0.0
+
+
+@dataclass
+class PCubeSystem:
+    """A fully built system: storage, indexes, cube and engine."""
+
+    relation: Relation
+    rtree: RTree
+    pcube: PCube
+    indexes: dict[str, BPlusTree]
+    engine: PreferenceEngine
+    timings: BuildTimings = field(default_factory=BuildTimings)
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self.relation.disk
+
+    # ------------------------------------------------------------------ #
+    # space accounting (Figure 6's series)
+    # ------------------------------------------------------------------ #
+
+    def rtree_size_mb(self) -> float:
+        return self.disk.size_mb("rtree")
+
+    def pcube_size_mb(self) -> float:
+        return self.disk.size_mb("pcube")
+
+    def btree_size_mb(self) -> float:
+        return self.disk.size_mb("btree")
+
+
+def build_system(
+    relation: Relation,
+    fanout: int | None = None,
+    rtree_method: str = "bulk",
+    split: str = "quadratic",
+    codec: str = "adaptive",
+    maintainable: bool = True,
+    with_indexes: bool = True,
+    pool_capacity: int = 4096,
+    eager_assembly: bool = False,
+) -> PCubeSystem:
+    """Build R-tree + P-Cube + baseline indexes over an existing relation.
+
+    Args:
+        relation: The base table (its disk hosts every structure).
+        fanout: R-tree node capacity; derived from the page size and the
+            preference dimensionality when omitted (paper convention).
+        rtree_method: ``"bulk"`` (STR packing, fast) or ``"insert"``
+            (tuple-at-a-time Guttman build — the construction cost Figure 5
+            actually measures).
+        split: R-tree split policy for dynamic inserts.
+        codec: Bitmap codec for stored signatures.
+        maintainable: Keep counted signatures for incremental updates.
+        with_indexes: Also build the per-dimension B+-trees the baselines
+            need (skippable when only the Signature method runs).
+        pool_capacity / eager_assembly: Engine configuration.
+    """
+    disk = relation.disk
+    dims = relation.schema.n_preference
+    if fanout is None:
+        fanout = fanout_for_page(disk.page_size, dims)
+
+    timings = BuildTimings()
+    started = time.perf_counter()
+    if rtree_method == "bulk":
+        rtree = bulk_load(
+            list(relation.pref_points()),
+            dims=dims,
+            max_entries=fanout,
+            disk=disk,
+            split=split,
+        )
+    elif rtree_method == "insert":
+        rtree = RTree(
+            dims=dims, max_entries=fanout, split=split, disk=disk
+        )
+        for tid, point in relation.pref_points():
+            rtree.insert(tid, point)
+    else:
+        raise ValueError(f"unknown rtree_method {rtree_method!r}")
+    timings.rtree_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pcube = PCube.build(
+        relation, rtree, codec=codec, maintainable=maintainable
+    )
+    timings.pcube_seconds = time.perf_counter() - started
+
+    indexes: dict[str, BPlusTree] = {}
+    if with_indexes:
+        started = time.perf_counter()
+        indexes = build_boolean_indexes(relation, disk=disk)
+        timings.btree_seconds = time.perf_counter() - started
+
+    engine = PreferenceEngine(
+        relation,
+        rtree,
+        pcube,
+        pool_capacity=pool_capacity,
+        eager_assembly=eager_assembly,
+    )
+    return PCubeSystem(
+        relation=relation,
+        rtree=rtree,
+        pcube=pcube,
+        indexes=indexes,
+        engine=engine,
+        timings=timings,
+    )

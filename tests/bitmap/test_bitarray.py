@@ -1,0 +1,138 @@
+"""BitArray semantics, including the hypothesis-checked algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.bitarray import BitArray
+
+
+def test_new_array_is_zero():
+    bits = BitArray(10)
+    assert bits.count() == 0
+    assert not bits.any()
+    assert list(bits.positions()) == []
+
+
+def test_set_get_clear():
+    bits = BitArray(8)
+    bits.set(3)
+    assert bits.get(3)
+    assert not bits.get(2)
+    bits.set(3, False)
+    assert not bits.get(3)
+
+
+def test_indexing_dunders():
+    bits = BitArray(4)
+    bits[2] = True
+    assert bits[2]
+    bits[2] = False
+    assert not bits[2]
+
+
+def test_out_of_range_raises():
+    bits = BitArray(4)
+    with pytest.raises(IndexError):
+        bits.get(4)
+    with pytest.raises(IndexError):
+        bits.set(-1)
+
+
+def test_from_positions_and_positions_roundtrip():
+    bits = BitArray.from_positions(16, [0, 5, 15])
+    assert list(bits.positions()) == [0, 5, 15]
+    assert bits.count() == 3
+
+
+def test_from_positions_out_of_range():
+    with pytest.raises(IndexError):
+        BitArray.from_positions(4, [4])
+
+
+def test_ones():
+    bits = BitArray.ones(5)
+    assert bits.count() == 5
+    assert list(bits.positions()) == [0, 1, 2, 3, 4]
+
+
+def test_width_zero():
+    bits = BitArray(0)
+    assert bits.count() == 0
+    assert list(bits.runs()) == []
+
+
+def test_mask_beyond_width_rejected():
+    with pytest.raises(ValueError):
+        BitArray(2, mask=0b100)
+
+
+def test_runs():
+    bits = BitArray.from_positions(8, [0, 1, 4])
+    assert list(bits.runs()) == [(True, 2), (False, 2), (True, 1), (False, 3)]
+
+
+def test_runs_all_zero():
+    assert list(BitArray(5).runs()) == [(False, 5)]
+
+
+def test_or_and_xor():
+    a = BitArray.from_positions(8, [0, 1])
+    b = BitArray.from_positions(8, [1, 2])
+    assert list((a | b).positions()) == [0, 1, 2]
+    assert list((a & b).positions()) == [1]
+    assert list((a ^ b).positions()) == [0, 2]
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        BitArray(4) | BitArray(5)
+
+
+def test_bytes_roundtrip():
+    bits = BitArray.from_positions(19, [0, 8, 18])
+    assert BitArray.from_bytes(19, bits.to_bytes()) == bits
+
+
+def test_equality_and_copy():
+    a = BitArray.from_positions(6, [2, 4])
+    b = a.copy()
+    assert a == b
+    b.set(0)
+    assert a != b
+
+
+def test_repr_shows_bits():
+    bits = BitArray.from_positions(3, [0])
+    assert repr(bits) == "BitArray('100')"
+
+
+bit_sets = st.integers(min_value=1, max_value=64).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.sets(st.integers(min_value=0, max_value=n - 1)),
+        st.sets(st.integers(min_value=0, max_value=n - 1)),
+    )
+)
+
+
+@given(bit_sets)
+def test_algebra_matches_set_semantics(data):
+    nbits, xs, ys = data
+    a = BitArray.from_positions(nbits, xs)
+    b = BitArray.from_positions(nbits, ys)
+    assert set((a | b).positions()) == xs | ys
+    assert set((a & b).positions()) == xs & ys
+    assert set((a ^ b).positions()) == xs ^ ys
+    assert a.count() == len(xs)
+
+
+@given(bit_sets)
+def test_runs_cover_width_exactly(data):
+    nbits, xs, _ = data
+    bits = BitArray.from_positions(nbits, xs)
+    runs = list(bits.runs())
+    assert sum(length for _, length in runs) == nbits
+    # runs alternate
+    for (v1, _), (v2, _) in zip(runs, runs[1:]):
+        assert v1 != v2

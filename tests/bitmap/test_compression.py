@@ -1,0 +1,141 @@
+"""Codec roundtrips, framing, adaptive choice and malformed input."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.bitarray import BitArray
+from repro.bitmap.compression import (
+    CODECS,
+    CodecError,
+    codec_name,
+    compress,
+    decompress,
+    read_varint,
+    write_varint,
+)
+
+
+# --------------------------------------------------------------------------- #
+# varints
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**60])
+def test_varint_roundtrip(value):
+    out = bytearray()
+    write_varint(value, out)
+    decoded, offset = read_varint(bytes(out), 0)
+    assert decoded == value
+    assert offset == len(out)
+
+
+def test_varint_negative_rejected():
+    with pytest.raises(ValueError):
+        write_varint(-1, bytearray())
+
+
+def test_varint_truncated_rejected():
+    out = bytearray()
+    write_varint(300, out)
+    with pytest.raises(CodecError):
+        read_varint(bytes(out[:-1]), 0)
+
+
+# --------------------------------------------------------------------------- #
+# per-codec roundtrips
+# --------------------------------------------------------------------------- #
+
+SAMPLES = [
+    BitArray(1),
+    BitArray.ones(1),
+    BitArray(8),
+    BitArray.ones(8),
+    BitArray.from_positions(8, [0, 7]),
+    BitArray.from_positions(64, [0, 31, 32, 63]),
+    BitArray.from_positions(100, [0]),
+    BitArray.from_positions(100, range(50)),
+    BitArray.ones(257),
+    BitArray.from_positions(1000, [999]),
+]
+
+
+@pytest.mark.parametrize("codec", sorted(CODECS))
+@pytest.mark.parametrize("bits", SAMPLES, ids=lambda b: f"{b.nbits}b{b.count()}s")
+def test_roundtrip_every_codec(codec, bits):
+    blob = compress(bits, codec)
+    assert decompress(blob) == bits
+    assert codec_name(blob) == codec
+
+
+def test_adaptive_picks_smallest():
+    sparse_bits = BitArray.from_positions(2048, [1])
+    blob = compress(sparse_bits, "adaptive")
+    for codec in CODECS:
+        assert len(blob) <= len(compress(sparse_bits, codec))
+    assert decompress(blob) == sparse_bits
+
+
+def test_adaptive_sparse_wins_on_sparse_input():
+    bits = BitArray.from_positions(2048, [0, 512, 1024])
+    assert codec_name(compress(bits, "adaptive")) == "sparse"
+
+
+def test_adaptive_beats_raw_substantially_on_sparse():
+    bits = BitArray.from_positions(4096, [7])
+    raw = compress(bits, "raw")
+    adaptive = compress(bits, "adaptive")
+    assert len(adaptive) < len(raw) / 20
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(CodecError):
+        compress(BitArray(4), "gzip")
+
+
+def test_empty_blob_rejected():
+    with pytest.raises(CodecError):
+        decompress(b"")
+
+
+def test_unknown_codec_id_rejected():
+    with pytest.raises(CodecError):
+        decompress(bytes([200, 4]))
+
+
+def test_raw_wrong_length_rejected():
+    blob = bytearray(compress(BitArray(16), "raw"))
+    with pytest.raises(CodecError):
+        decompress(bytes(blob[:-1]))
+
+
+def test_rle_zero_run_rejected():
+    # frame: codec=2, nbits=4, first value 0, then a zero-length run
+    with pytest.raises(CodecError):
+        decompress(bytes([2, 4, 0, 0]))
+
+
+def test_sparse_position_overflow_rejected():
+    # frame: codec=1, nbits=2, count=1, gap=5 -> position 4 > width
+    with pytest.raises(CodecError):
+        decompress(bytes([1, 2, 1, 5]))
+
+
+bit_arrays = st.integers(min_value=1, max_value=300).flatmap(
+    lambda n: st.builds(
+        BitArray.from_positions,
+        st.just(n),
+        st.sets(st.integers(min_value=0, max_value=n - 1)),
+    )
+)
+
+
+@given(bit_arrays, st.sampled_from(sorted(CODECS) + ["adaptive"]))
+def test_roundtrip_property(bits, codec):
+    assert decompress(compress(bits, codec)) == bits
+
+
+@given(bit_arrays)
+def test_adaptive_is_minimal_property(bits):
+    adaptive_len = len(compress(bits, "adaptive"))
+    assert adaptive_len == min(len(compress(bits, c)) for c in CODECS)

@@ -1,0 +1,178 @@
+"""B+-tree: ordering, duplicates, counted access, hypothesis model check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.btree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import BINDEX, BTREE, IOCounters
+from repro.storage.disk import SimulatedDisk
+
+
+def test_empty_tree():
+    tree = BPlusTree(order=4)
+    assert len(tree) == 0
+    assert tree.search(5) == []
+    assert list(tree.items()) == []
+
+
+def test_insert_and_search():
+    tree = BPlusTree(order=4)
+    tree.insert(3, "c")
+    tree.insert(1, "a")
+    tree.insert(2, "b")
+    assert tree.search(1) == ["a"]
+    assert tree.search(2) == ["b"]
+    assert tree.search(4) == []
+
+
+def test_duplicates_collected_across_leaves():
+    tree = BPlusTree(order=4)
+    for i in range(40):
+        tree.insert(7, f"v{i}")
+    for i in range(10):
+        tree.insert(3, f"w{i}")
+    assert sorted(tree.search(7)) == sorted(f"v{i}" for i in range(40))
+    assert len(tree.search(3)) == 10
+
+
+def test_items_sorted():
+    tree = BPlusTree(order=4)
+    keys = [9, 1, 5, 3, 7, 5, 2, 8]
+    for key in keys:
+        tree.insert(key, key * 10)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+def test_distinct_keys():
+    tree = BPlusTree(order=4)
+    for key in [4, 2, 4, 2, 9]:
+        tree.insert(key, None)
+    assert list(tree.distinct_keys()) == [2, 4, 9]
+
+
+def test_range_scan_inclusive():
+    tree = BPlusTree(order=4)
+    for key in range(20):
+        tree.insert(key, key)
+    got = [k for k, _ in tree.range_scan(5, 11)]
+    assert got == list(range(5, 12))
+
+
+def test_range_scan_empty_range():
+    tree = BPlusTree(order=4)
+    for key in range(10):
+        tree.insert(key, key)
+    assert list(tree.range_scan(40, 50)) == []
+
+
+def test_height_grows_logarithmically():
+    tree = BPlusTree(order=8)
+    for key in range(1000):
+        tree.insert(key, key)
+    assert 3 <= tree.height() <= 5
+
+
+def test_tuple_keys():
+    tree = BPlusTree(order=4)
+    tree.insert(("cell", 3), "x")
+    tree.insert(("cell", 1), "y")
+    tree.insert(("aaaa", 9), "z")
+    assert tree.search(("cell", 1)) == ["y"]
+    assert [k for k, _ in tree.items()] == [("aaaa", 9), ("cell", 1), ("cell", 3)]
+
+
+def test_search_counts_page_reads():
+    disk = SimulatedDisk()
+    tree = BPlusTree(order=4, disk=disk, tag="bt")
+    for key in range(200):
+        tree.insert(key % 20, key)
+    counters = IOCounters()
+    tree.search(7, counters=counters, category=BINDEX)
+    # At least the root-to-leaf path must be read.
+    assert counters.get(BINDEX) >= tree.height()
+
+
+def test_search_through_buffer_pool_dedupes():
+    disk = SimulatedDisk()
+    tree = BPlusTree(order=4, disk=disk, tag="bt")
+    for key in range(100):
+        tree.insert(key, key)
+    pool = BufferPool(disk, capacity=128)
+    counters = IOCounters()
+    tree.search(30, pool=pool, counters=counters)
+    first = counters.get(BTREE)
+    tree.search(30, pool=pool, counters=counters)
+    assert counters.get(BTREE) == first  # fully cached second time
+
+
+def test_pages_accounted_on_disk():
+    disk = SimulatedDisk()
+    tree = BPlusTree(order=4, disk=disk, tag="bt")
+    for key in range(300):
+        tree.insert(key, key)
+    assert disk.page_count("bt") > 300 / 5
+    assert disk.size_bytes("bt") > 0
+
+
+def test_order_minimum():
+    with pytest.raises(ValueError):
+        BPlusTree(order=3)
+
+
+def test_bulk_insert():
+    tree = BPlusTree(order=16)
+    tree.bulk_insert((i, i * i) for i in range(50))
+    assert tree.search(7) == [49]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50), st.integers()),
+        max_size=400,
+    )
+)
+def test_model_check_against_dict(pairs):
+    """The tree must behave like a sorted multimap."""
+    tree = BPlusTree(order=4)
+    model: dict[int, list[int]] = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        model.setdefault(key, []).append(value)
+    assert len(tree) == sum(len(v) for v in model.values())
+    for key in range(51):
+        assert sorted(tree.search(key)) == sorted(model.get(key, []))
+    expected_items = sorted(
+        (k, v) for k, values in model.items() for v in values
+    )
+    assert sorted(tree.items()) == expected_items
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=300),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_range_scan_model(keys, lo, hi):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert [k for k, _ in tree.range_scan(lo, hi)] == expected
+
+
+def test_random_interleaving_stress():
+    rng = random.Random(17)
+    tree = BPlusTree(order=6)
+    model: dict[int, int] = {}
+    for i in range(2000):
+        key = rng.randrange(500)
+        tree.insert(key, i)
+        model[key] = model.get(key, 0) + 1
+    for key, count in model.items():
+        assert len(tree.search(key)) == count

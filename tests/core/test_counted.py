@@ -1,0 +1,119 @@
+"""Counted signatures: the O(depth) maintenance bookkeeping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counted import CountedSignature
+from repro.core.signature import Signature
+
+
+def test_add_then_view():
+    counted = CountedSignature(4)
+    counted.add_path((1, 2))
+    counted.add_path((1, 3))
+    assert counted.to_signature() == Signature.from_paths([(1, 2), (1, 3)], 4)
+
+
+def test_counts_accumulate():
+    counted = CountedSignature(4)
+    counted.add_path((1, 2))
+    counted.add_path((1, 3))
+    assert counted.count(0, 1) == 2  # two tuples under root child 1
+    assert counted.count(1, 2) == 1
+
+
+def test_remove_clears_bit_only_at_zero():
+    counted = CountedSignature(4)
+    counted.add_path((1, 2))
+    counted.add_path((1, 3))
+    counted.remove_path((1, 2))
+    # Root bit 1 still supported by the second tuple.
+    assert counted.check_bit(0, 1)
+    assert counted.to_signature() == Signature.from_paths([(1, 3)], 4)
+    counted.remove_path((1, 3))
+    assert not counted
+    assert counted.to_signature().n_nodes() == 0
+
+
+def test_remove_uncounted_path_fails_loudly():
+    counted = CountedSignature(4)
+    counted.add_path((1, 2))
+    with pytest.raises(KeyError):
+        counted.remove_path((2, 2))
+
+
+def test_move_path():
+    counted = CountedSignature(4)
+    counted.add_path((1, 1))
+    counted.move_path((1, 1), (2, 2))
+    assert counted.to_signature() == Signature.from_paths([(2, 2)], 4)
+
+
+def test_path_validation():
+    counted = CountedSignature(4)
+    with pytest.raises(ValueError):
+        counted.add_path(())
+    with pytest.raises(ValueError):
+        counted.add_path((0,))
+    with pytest.raises(ValueError):
+        counted.remove_path(())
+
+
+def test_from_paths():
+    paths = [(1, 1), (1, 1), (2, 3)]  # duplicate path counted twice
+    counted = CountedSignature.from_paths(paths, 4)
+    assert counted.count(0, 1) == 2
+    counted.remove_path((1, 1))
+    assert counted.check_bit(0, 1)  # still one left
+
+
+def test_dirty_sids():
+    counted = CountedSignature(4)
+    assert counted.dirty_sids((2, 1, 3)) == [0, 2, 2 * 5 + 1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.lists(
+                st.integers(min_value=1, max_value=4), min_size=1, max_size=4
+            ).map(tuple),
+        ),
+        max_size=60,
+    )
+)
+def test_counted_matches_multiset_model(operations):
+    """Random add/remove streams: the bitmap view must always equal the
+    signature of the surviving path multiset."""
+    counted = CountedSignature(4)
+    model: list[tuple] = []
+    for is_add, path in operations:
+        if is_add or path not in model:
+            counted.add_path(path)
+            model.append(path)
+        else:
+            counted.remove_path(path)
+            model.remove(path)
+        assert counted.to_signature() == Signature.from_paths(model, 4)
+
+
+def test_interleaved_stress():
+    rng = random.Random(12)
+    counted = CountedSignature(6)
+    alive: list[tuple] = []
+    for _ in range(500):
+        if alive and rng.random() < 0.45:
+            path = alive.pop(rng.randrange(len(alive)))
+            counted.remove_path(path)
+        else:
+            path = tuple(
+                rng.randrange(1, 7) for _ in range(rng.randrange(1, 5))
+            )
+            counted.add_path(path)
+            alive.append(path)
+    assert counted.to_signature() == Signature.from_paths(alive, 6)

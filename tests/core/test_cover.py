@@ -1,0 +1,149 @@
+"""Materialised-cover selection for multi-dimensional predicates."""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_skyline
+from repro.core.pcube import EmptyReader, PCube
+from repro.cube.cuboid import Cell, Cuboid
+from repro.data.synthetic import SyntheticConfig, generate_relation
+from repro.query.predicates import BooleanPredicate
+from repro.query.skyline import skyline_signature
+from repro.rtree.bulk import bulk_load
+
+
+@pytest.fixture(scope="module")
+def rich_system():
+    """A P-Cube that materialises atomic cuboids plus (A1, A2)."""
+    config = SyntheticConfig(
+        n_tuples=600, n_boolean=3, cardinality=4, n_preference=2, seed=61
+    )
+    relation = generate_relation(config)
+    rtree = bulk_load(
+        list(relation.pref_points()), dims=2, max_entries=8, disk=relation.disk
+    )
+    cuboids = [
+        Cuboid(("A1",)),
+        Cuboid(("A2",)),
+        Cuboid(("A3",)),
+        Cuboid(("A1", "A2")),
+    ]
+    pcube = PCube.build(relation, rtree, cuboids=cuboids)
+    return relation, rtree, pcube
+
+
+def test_cover_prefers_widest_cuboid(rich_system):
+    relation, rtree, pcube = rich_system
+    cover = pcube.cover_for_dims({"A1": 1, "A2": 2})
+    assert cover == [Cell(("A1", "A2"), (1, 2))]
+
+
+def test_cover_mixes_widths(rich_system):
+    relation, rtree, pcube = rich_system
+    cover = pcube.cover_for_dims({"A1": 1, "A2": 2, "A3": 3})
+    assert Cell(("A1", "A2"), (1, 2)) in cover
+    assert Cell(("A3",), (3,)) in cover
+    assert len(cover) == 2
+
+
+def test_cover_atomic_fallback(rich_system):
+    relation, rtree, pcube = rich_system
+    cover = pcube.cover_for_dims({"A3": 0})
+    assert cover == [Cell(("A3",), (0,))]
+
+
+def test_cover_detects_empty_combination(rich_system):
+    relation, rtree, pcube = rich_system
+    # Find a (A1, A2) pair that never co-occurs (cardinality 4 over 600
+    # rows makes all 16 pairs likely live; use an out-of-domain value).
+    assert pcube.cover_for_dims({"A1": 99, "A2": 0}) is None
+    reader = pcube.reader_for_predicate({"A1": 99, "A2": 0})
+    assert isinstance(reader, EmptyReader)
+
+
+def test_cover_missing_cuboid_rejected():
+    config = SyntheticConfig(
+        n_tuples=100, n_boolean=2, cardinality=3, n_preference=2, seed=3
+    )
+    relation = generate_relation(config)
+    rtree = bulk_load(
+        list(relation.pref_points()), dims=2, max_entries=8, disk=relation.disk
+    )
+    pcube = PCube.build(relation, rtree, cuboids=[Cuboid(("A1",))])
+    with pytest.raises(ValueError):
+        pcube.cover_for_dims({"A2": 1})
+
+
+def test_queries_agree_across_materialisations(rich_system):
+    """The cover changes I/O, never answers."""
+    relation, rtree, pcube = rich_system
+    rng = random.Random(5)
+    for _ in range(5):
+        anchor = rng.randrange(len(relation))
+        predicate = BooleanPredicate(
+            {
+                "A1": relation.bool_value(anchor, "A1"),
+                "A2": relation.bool_value(anchor, "A2"),
+            }
+        )
+        tids, stats, _ = skyline_signature(relation, rtree, pcube, predicate)
+        expected = set(
+            naive_skyline(
+                [
+                    (tid, relation.pref_point(tid))
+                    for tid in relation.tids()
+                    if predicate.matches(relation, tid)
+                ]
+            )
+        )
+        assert set(tids) == expected
+
+
+def test_wider_cover_prunes_at_least_as_well(rich_system):
+    """One (A1,A2) signature vs the lazy AND of two atomic ones: the
+    materialised conjunction can only reduce block reads."""
+    relation, rtree, pcube = rich_system
+    atomic_only = PCube.build(
+        relation,
+        rtree,
+        cuboids=[Cuboid(("A1",)), Cuboid(("A2",)), Cuboid(("A3",))],
+        tag="pcube-atomic",
+    )
+    rng = random.Random(6)
+    for _ in range(5):
+        anchor = rng.randrange(len(relation))
+        predicate = BooleanPredicate(
+            {
+                "A1": relation.bool_value(anchor, "A1"),
+                "A2": relation.bool_value(anchor, "A2"),
+            }
+        )
+        _, rich_stats, _ = skyline_signature(relation, rtree, pcube, predicate)
+        _, atomic_stats, _ = skyline_signature(
+            relation, rtree, atomic_only, predicate
+        )
+        assert rich_stats.sblock <= atomic_stats.sblock
+
+
+def test_maintenance_covers_multidim_cuboids(rich_system):
+    from repro.core.maintenance import insert_tuple
+    from repro.core.signature import Signature
+
+    relation, rtree, pcube = rich_system
+    rng = random.Random(7)
+    for _ in range(20):
+        insert_tuple(
+            relation,
+            rtree,
+            pcube,
+            (rng.randrange(4), rng.randrange(4), rng.randrange(4)),
+            (rng.random(), rng.random()),
+        )
+    paths = rtree.all_paths()
+    cuboid = Cuboid(("A1", "A2"))
+    for cell, tids in cuboid.group(relation).items():
+        expected = Signature.from_paths(
+            [paths[tid] for tid in tids], rtree.max_entries
+        )
+        assert pcube.signature_of(cell) == expected

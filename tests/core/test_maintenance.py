@@ -1,0 +1,218 @@
+"""Incremental maintenance: signatures stay exact under any mutation mix."""
+
+import random
+
+import pytest
+
+from repro.core.maintenance import (
+    delete_tuple,
+    insert_batch,
+    insert_tuple,
+    merge_changes,
+    update_tuple,
+)
+from repro.core.signature import Signature
+from repro.rtree.rtree import PathChange
+
+
+def verify_all_signatures(system, alive=None):
+    """Every stored signature equals one rebuilt from current paths."""
+    relation, rtree, pcube = system.relation, system.rtree, system.pcube
+    tids = list(alive) if alive is not None else list(relation.tids())
+    paths = rtree.all_paths()
+    for cuboid in pcube.cuboids:
+        groups: dict = {}
+        for tid in tids:
+            cell = cuboid.cell_for(relation, tid)
+            groups.setdefault(cell, []).append(tid)
+        for cell, members in groups.items():
+            expected = Signature.from_paths(
+                [paths[tid] for tid in members], rtree.max_entries
+            )
+            assert pcube.signature_of(cell) == expected, f"{cell} diverged"
+
+
+# --------------------------------------------------------------------------- #
+# merge_changes
+# --------------------------------------------------------------------------- #
+
+
+def test_merge_changes_keeps_first_old_last_new():
+    stream = [
+        PathChange(1, None, (1,)),
+        PathChange(1, (1,), (2, 1)),
+        PathChange(2, (3,), (4,)),
+    ]
+    merged = {c.tid: c for c in merge_changes(stream)}
+    assert merged[1] == PathChange(1, None, (2, 1))
+    assert merged[2] == PathChange(2, (3,), (4,))
+
+
+def test_merge_changes_drops_noops():
+    stream = [PathChange(1, (1,), (2,)), PathChange(1, (2,), (1,))]
+    assert merge_changes(stream) == []
+
+
+def test_merge_changes_insert_then_delete_cancels():
+    stream = [PathChange(1, None, (1,)), PathChange(1, (1,), None)]
+    assert merge_changes(stream) == []
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end drivers
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def system(fresh_system):
+    return fresh_system(
+        n_tuples=300,
+        n_boolean=2,
+        cardinality=4,
+        seed=42,
+        rtree_method="insert",
+    )
+
+
+def test_insert_tuple_updates_affected_cells(system):
+    tid, dirty = insert_tuple(
+        system.relation, system.rtree, system.pcube, (1, 2), (0.5, 0.5)
+    )
+    assert tid == 300
+    dirty_dims = {cell.dims for cell in dirty}
+    assert ("A1",) in dirty_dims and ("A2",) in dirty_dims
+    verify_all_signatures(system)
+
+
+def test_insert_many_with_splits(system):
+    rng = random.Random(7)
+    for _ in range(80):
+        insert_tuple(
+            system.relation,
+            system.rtree,
+            system.pcube,
+            (rng.randrange(4), rng.randrange(4)),
+            (rng.random(), rng.random()),
+        )
+    verify_all_signatures(system)
+
+
+def test_insert_batch_equivalent_to_tuple_at_a_time(fresh_system):
+    a = fresh_system(n_tuples=200, seed=9, rtree_method="insert")
+    b = fresh_system(n_tuples=200, seed=9, rtree_method="insert")
+    rng = random.Random(3)
+    rows = [
+        ((rng.randrange(5), rng.randrange(5)), (rng.random(), rng.random()))
+        for _ in range(40)
+    ]
+    for bool_row, pref_row in rows:
+        insert_tuple(a.relation, a.rtree, a.pcube, bool_row, pref_row)
+    insert_batch(b.relation, b.rtree, b.pcube, rows)
+    verify_all_signatures(a)
+    verify_all_signatures(b)
+    # Same final signatures (identical insertion order => identical trees).
+    for cuboid in a.pcube.cuboids:
+        for cell in cuboid.group(a.relation):
+            assert a.pcube.signature_of(cell) == b.pcube.signature_of(cell)
+
+
+def test_delete_tuple(system):
+    alive = set(system.relation.tids())
+    rng = random.Random(1)
+    for tid in rng.sample(sorted(alive), 60):
+        dirty = delete_tuple(system.relation, system.rtree, system.pcube, tid)
+        assert dirty  # the tuple's cells were touched
+        alive.discard(tid)
+    verify_all_signatures(system, alive)
+
+
+def test_update_tuple_moves_in_preference_space(system):
+    dirty = update_tuple(
+        system.relation, system.rtree, system.pcube, 5, (0.99, 0.01)
+    )
+    assert system.relation.pref_point(5) == (0.99, 0.01)
+    assert isinstance(dirty, set)
+    verify_all_signatures(system)
+
+
+def test_mixed_workload_stress(fresh_system):
+    system = fresh_system(
+        n_tuples=150, n_boolean=2, cardinality=3, seed=77, rtree_method="insert"
+    )
+    rng = random.Random(5)
+    alive = set(system.relation.tids())
+    next_row = 150
+    for step in range(120):
+        action = rng.random()
+        if action < 0.5 or not alive:
+            insert_tuple(
+                system.relation,
+                system.rtree,
+                system.pcube,
+                (rng.randrange(3), rng.randrange(3)),
+                (rng.random(), rng.random()),
+            )
+            alive.add(next_row)
+            next_row += 1
+        elif action < 0.8:
+            tid = rng.choice(sorted(alive))
+            delete_tuple(system.relation, system.rtree, system.pcube, tid)
+            alive.discard(tid)
+        else:
+            tid = rng.choice(sorted(alive))
+            update_tuple(
+                system.relation,
+                system.rtree,
+                system.pcube,
+                tid,
+                (rng.random(), rng.random()),
+            )
+    verify_all_signatures(system, alive)
+
+
+def test_maintenance_with_rstar_reinsertion(fresh_system):
+    system = fresh_system(
+        n_tuples=200, seed=13, rtree_method="insert", split="rstar"
+    )
+    rng = random.Random(2)
+    for _ in range(60):
+        insert_tuple(
+            system.relation,
+            system.rtree,
+            system.pcube,
+            (rng.randrange(5), rng.randrange(5)),
+            (rng.random(), rng.random()),
+        )
+    verify_all_signatures(system)
+
+
+def test_queries_stay_correct_after_maintenance(fresh_system, rng):
+    from repro.baselines.naive import naive_skyline
+    from repro.data.workload import sample_predicate
+
+    system = fresh_system(n_tuples=250, seed=31, rtree_method="insert")
+    alive = set(system.relation.tids())
+    for _ in range(50):
+        insert_tuple(
+            system.relation,
+            system.rtree,
+            system.pcube,
+            (rng.randrange(5), rng.randrange(5)),
+            (rng.random(), rng.random()),
+        )
+        alive.add(max(alive) + 1)
+    for tid in rng.sample(sorted(alive), 40):
+        delete_tuple(system.relation, system.rtree, system.pcube, tid)
+        alive.discard(tid)
+    predicate = sample_predicate(system.relation, 1, rng)
+    result = system.engine.skyline(predicate)
+    truth = set(
+        naive_skyline(
+            [
+                (tid, system.relation.pref_point(tid))
+                for tid in alive
+                if predicate.matches(system.relation, tid)
+            ]
+        )
+    )
+    assert set(result.tids) == truth

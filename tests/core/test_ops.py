@@ -1,0 +1,141 @@
+"""Union / intersection semantics (Fig. 3) and the lazy-AND view."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import (
+    LazyIntersection,
+    intersect,
+    intersect_all,
+    union,
+    union_all,
+)
+from repro.core.signature import Signature
+
+FANOUT = 4
+
+# Tuple paths over one R-tree template all share the tree's height, so a
+# leaf slot can never double as an internal node.  The strategies honour
+# that invariant with fixed-length paths.
+path_lists = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=FANOUT), min_size=3, max_size=3
+    ).map(tuple),
+    max_size=25,
+)
+
+
+def sig(paths):
+    return Signature.from_paths(paths, FANOUT)
+
+
+def test_union_is_path_union():
+    a = sig([(1, 1), (2, 2)])
+    b = sig([(1, 2), (2, 2)])
+    assert union(a, b) == sig([(1, 1), (1, 2), (2, 2)])
+
+
+def test_union_does_not_mutate_inputs():
+    a = sig([(1, 1)])
+    b = sig([(2, 2)])
+    union(a, b)
+    assert a == sig([(1, 1)])
+    assert b == sig([(2, 2)])
+
+
+def test_intersection_is_path_intersection():
+    a = sig([(1, 1), (2, 2), (3, 1)])
+    b = sig([(1, 1), (2, 1), (3, 1)])
+    assert intersect(a, b) == sig([(1, 1), (3, 1)])
+
+
+def test_intersection_clears_empty_internal_bits():
+    """Both inputs have data under node ⟨1⟩ but no common tuple there: the
+    recursive operator must clear the root bit (the Fig. 3c situation)."""
+    a = sig([(1, 1), (2, 1)])
+    b = sig([(1, 2), (2, 1)])
+    result = intersect(a, b)
+    assert result == sig([(2, 1)])
+    assert not result.check_bit(0, 1)
+
+
+def test_intersection_empty_result():
+    a = sig([(1, 1)])
+    b = sig([(2, 2)])
+    result = intersect(a, b)
+    assert not result
+    assert result.n_nodes() == 0
+
+
+def test_intersect_with_empty_signature():
+    a = sig([(1, 1)])
+    assert not intersect(a, Signature(FANOUT))
+
+
+def test_fanout_mismatch_rejected():
+    with pytest.raises(ValueError):
+        union(Signature(3), Signature(4))
+    with pytest.raises(ValueError):
+        intersect(Signature(3), Signature(4))
+
+
+def test_union_all_and_intersect_all():
+    a, b, c = sig([(1, 1)]), sig([(1, 1), (2, 2)]), sig([(1, 1), (3, 3)])
+    assert union_all([a, b, c]) == sig([(1, 1), (2, 2), (3, 3)])
+    assert intersect_all([a, b, c]) == sig([(1, 1)])
+    assert intersect_all([a]) == a
+    with pytest.raises(ValueError):
+        union_all([])
+    with pytest.raises(ValueError):
+        intersect_all([])
+
+
+def test_intersect_all_single_returns_copy():
+    a = sig([(1, 1)])
+    result = intersect_all([a])
+    result.add_path((2, 2))
+    assert a == sig([(1, 1)])  # input unchanged
+
+
+@settings(max_examples=60, deadline=None)
+@given(path_lists, path_lists)
+def test_union_intersection_set_semantics(paths_a, paths_b):
+    """Union/intersection of signatures equal the signatures of the path
+    set union/intersection — the defining property."""
+    a, b = sig(paths_a), sig(paths_b)
+    assert union(a, b) == sig(list(set(paths_a) | set(paths_b)))
+    assert intersect(a, b) == sig(list(set(paths_a) & set(paths_b)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(path_lists, path_lists)
+def test_lazy_intersection_is_conservative_and_leaf_exact(paths_a, paths_b):
+    a, b = sig(paths_a), sig(paths_b)
+    exact = intersect(a, b)
+    lazy = LazyIntersection([a, b])
+    shared = set(paths_a) & set(paths_b)
+    # Exact on full tuple paths (leaf slots).
+    for path in set(paths_a) | set(paths_b):
+        assert lazy.check_path(path) == (path in shared)
+    # Conservative on internal prefixes: everything the exact operator
+    # keeps, the lazy view also passes.
+    for path in shared:
+        for i in range(1, len(path)):
+            assert lazy.check_path(path[:i])
+            assert exact.check_path(path[:i])
+
+
+def test_lazy_intersection_validation():
+    with pytest.raises(ValueError):
+        LazyIntersection([])
+    with pytest.raises(ValueError):
+        LazyIntersection([Signature(3), Signature(4)])
+
+
+def test_lazy_intersection_check_bit():
+    a = sig([(1, 1)])
+    b = sig([(1, 2)])
+    lazy = LazyIntersection([a, b])
+    assert lazy.check_bit(0, 1)  # both have data under node 1 (false pos.)
+    assert not intersect(a, b).check_bit(0, 1)  # exact clears it

@@ -1,0 +1,135 @@
+"""PCube: build, readers, assembly fallbacks, size accounting."""
+
+import pytest
+
+from repro.core.pcube import EmptyReader, PCube, SignatureAdapter
+from repro.core.signature import Signature
+from repro.cube.cuboid import Cell, Cuboid
+from repro.storage.counters import IOCounters
+
+
+@pytest.fixture
+def system(fresh_system):
+    return fresh_system(n_tuples=400, n_boolean=2, cardinality=4, seed=8)
+
+
+def expected_signature(system, cell):
+    paths = system.rtree.all_paths()
+    return Signature.from_paths(
+        [
+            paths[tid]
+            for tid in system.relation.tids()
+            if cell.matches(system.relation, tid)
+        ],
+        system.rtree.max_entries,
+    )
+
+
+def test_build_materialises_atomic_cuboids(system):
+    pcube = system.pcube
+    assert [c.dims for c in pcube.cuboids] == [("A1",), ("A2",)]
+    for dim in ("A1", "A2"):
+        for value in range(4):
+            cell = Cell((dim,), (value,))
+            assert pcube.materialised_cell(cell)
+            assert pcube.signature_of(cell) == expected_signature(system, cell)
+
+
+def test_missing_cell_not_materialised(system):
+    assert not system.pcube.materialised_cell(Cell(("A1",), (99,)))
+    assert system.pcube.signature_of(Cell(("A1",), (99,))).n_nodes() == 0
+
+
+def test_reader_for_single_cell(system):
+    cell = Cell(("A1",), (1,))
+    counters = IOCounters()
+    reader = system.pcube.reader_for_cells([cell], counters=counters)
+    signature = expected_signature(system, cell)
+    for path in signature.tuple_paths():
+        assert reader.check_path(path)
+
+
+def test_reader_for_conjunction_lazy(system):
+    cells = [Cell(("A1",), (1,)), Cell(("A2",), (2,))]
+    reader = system.pcube.reader_for_cells(cells)
+    conjunction = Cell(("A1", "A2"), (1, 2))
+    paths = system.rtree.all_paths()
+    for tid in system.relation.tids():
+        expected = conjunction.matches(system.relation, tid)
+        assert reader.check_path(paths[tid]) == expected
+
+
+def test_reader_for_conjunction_eager_equals_recursive_intersection(system):
+    cells = [Cell(("A1",), (0,)), Cell(("A2",), (3,))]
+    reader = system.pcube.reader_for_cells(cells, eager=True)
+    assert isinstance(reader, SignatureAdapter)
+    from repro.core.ops import intersect
+
+    expected = intersect(
+        expected_signature(system, cells[0]),
+        expected_signature(system, cells[1]),
+    )
+    assert reader.signature == expected
+
+
+def test_reader_for_multidim_cell_falls_back_to_atoms(system):
+    cell = Cell(("A1", "A2"), (1, 2))
+    assert not system.pcube.materialised_cell(cell)
+    reader = system.pcube.reader_for_cells([cell])
+    paths = system.rtree.all_paths()
+    for tid in system.relation.tids():
+        assert reader.check_path(paths[tid]) == cell.matches(
+            system.relation, tid
+        )
+
+
+def test_reader_for_dead_value_is_empty_reader(system):
+    reader = system.pcube.reader_for_cells([Cell(("A1",), (99,))])
+    assert isinstance(reader, EmptyReader)
+    assert not reader.check_path((1,))
+    assert not reader.check_entry((), 1)
+
+
+def test_reader_requires_cells(system):
+    with pytest.raises(ValueError):
+        system.pcube.reader_for_cells([])
+
+
+def test_multidim_cuboid_materialisation(fresh_system):
+    system = fresh_system(n_tuples=200, n_boolean=2, cardinality=3, seed=5)
+    relation, rtree = system.relation, system.rtree
+    cuboids = [Cuboid(("A1",)), Cuboid(("A2",)), Cuboid(("A1", "A2"))]
+    pcube = PCube.build(relation, rtree, cuboids=cuboids, tag="pcube2")
+    cell = Cell(("A1", "A2"), (1, 1))
+    if pcube.materialised_cell(cell):
+        paths = rtree.all_paths()
+        expected = Signature.from_paths(
+            [
+                paths[tid]
+                for tid in relation.tids()
+                if cell.matches(relation, tid)
+            ],
+            rtree.max_entries,
+        )
+        assert pcube.signature_of(cell) == expected
+
+
+def test_size_accounting(system):
+    assert system.pcube.size_bytes() > 0
+    assert system.pcube.n_cells() == 8  # 2 dims x 4 values
+
+
+def test_recompute_cell(system):
+    cell = Cell(("A1",), (2,))
+    recomputed = system.pcube.recompute_cell(cell)
+    assert recomputed == expected_signature(system, cell)
+
+
+def test_apply_changes_requires_maintainable(fresh_system):
+    system = fresh_system(n_tuples=100, seed=3, maintainable=False)
+    with pytest.raises(RuntimeError):
+        system.pcube.apply_changes([])
+
+
+def test_repr(system):
+    assert "PCube" in repr(system.pcube)

@@ -1,0 +1,161 @@
+"""The signature store and its lazily loading readers."""
+
+import pytest
+
+from repro.core.signature import Signature
+from repro.core.store import AssembledReader, CellSignatureReader, SignatureStore
+from repro.cube.cuboid import Cell
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import SSIG, IOCounters
+from repro.storage.disk import SimulatedDisk
+
+FANOUT = 4
+CELL = Cell(("A",), ("a1",))
+OTHER = Cell(("A",), ("a2",))
+
+
+@pytest.fixture
+def disk():
+    # Tiny pages force multi-partial decomposition.
+    return SimulatedDisk(page_size=48)
+
+
+@pytest.fixture
+def store(disk):
+    return SignatureStore(disk, fanout=FANOUT, codec="raw")
+
+
+def wide_signature():
+    paths = [(a, b, c) for a in (1, 2, 3) for b in (1, 2) for c in (1, 2)]
+    return Signature.from_paths(paths, FANOUT)
+
+
+def test_put_and_full_reload(store):
+    signature = wide_signature()
+    n_partials = store.put_signature(CELL, signature)
+    assert n_partials > 1
+    assert store.has_cell(CELL)
+    assert store.n_partials(CELL) == n_partials
+    assert store.load_full_signature(CELL) == signature
+
+
+def test_missing_cell(store):
+    assert not store.has_cell(OTHER)
+    assert store.load_partial(OTHER, 0) is None
+    assert store.load_full_signature(OTHER) == Signature(FANOUT)
+
+
+def test_loads_are_counted(store, disk):
+    store.put_signature(CELL, wide_signature())
+    counters = IOCounters()
+    store.load_full_signature(CELL, counters=counters)
+    assert counters.get(SSIG) == store.n_partials(CELL)
+
+
+def test_replace_frees_old_pages(store, disk):
+    store.put_signature(CELL, wide_signature())
+    before = disk.page_count("pcube:sig")
+    store.put_signature(CELL, Signature.from_paths([(1, 1)], FANOUT))
+    after = disk.page_count("pcube:sig")
+    assert after < before
+    assert store.load_full_signature(CELL) == Signature.from_paths(
+        [(1, 1)], FANOUT
+    )
+
+
+def test_reader_loads_root_partial_up_front(store):
+    store.put_signature(CELL, wide_signature())
+    counters = IOCounters()
+    reader = store.reader(CELL, counters=counters)
+    assert counters.get(SSIG) == 1
+    assert reader.loads == 1
+
+
+def test_reader_checks_without_extra_loads_when_resident(store):
+    signature = Signature.from_paths([(1, 2)], FANOUT)
+    store.put_signature(CELL, signature)  # fits one partial
+    counters = IOCounters()
+    reader = store.reader(CELL, counters=counters)
+    assert reader.check_entry((), 1)
+    assert not reader.check_entry((), 3)
+    assert reader.check_entry((1,), 2)
+    assert counters.get(SSIG) == 1  # still just the root partial
+
+
+def test_reader_lazy_loading_on_demand(store):
+    signature = wide_signature()
+    store.put_signature(CELL, signature)
+    counters = IOCounters()
+    reader = store.reader(CELL, counters=counters)
+    loads_before = reader.loads
+    # Probe a deep entry that is not in the first partial.
+    for path in signature.tuple_paths():
+        reader.check_path(path)
+    assert reader.loads > loads_before
+    assert reader.loads <= store.n_partials(CELL)
+    assert counters.get(SSIG) == reader.loads
+
+
+def test_reader_results_match_signature(store):
+    signature = wide_signature()
+    store.put_signature(CELL, signature)
+    reader = store.reader(CELL)
+    for a in range(1, FANOUT + 1):
+        for b in range(1, FANOUT + 1):
+            for c in range(1, FANOUT + 1):
+                assert reader.check_path((a, b, c)) == signature.check_path(
+                    (a, b, c)
+                )
+
+
+def test_reader_through_buffer_pool(store, disk):
+    store.put_signature(CELL, wide_signature())
+    pool = BufferPool(disk, capacity=64)
+    counters = IOCounters()
+    reader = store.reader(CELL, pool=pool, counters=counters)
+    reader.check_path((1, 1, 1))
+    first = counters.get(SSIG)
+    # A second reader over the same pool hits the cache.
+    counters2 = IOCounters()
+    reader2 = store.reader(CELL, pool=pool, counters=counters2)
+    reader2.check_path((1, 1, 1))
+    assert counters2.get(SSIG) < first or first == 1
+
+
+def test_reader_empty_path_means_nonempty_cell(store):
+    store.put_signature(CELL, Signature.from_paths([(2, 2)], FANOUT))
+    reader = store.reader(CELL)
+    assert reader.check_path(())
+    empty_reader = store.reader(OTHER)
+    assert not empty_reader.check_path(())
+
+
+def test_reader_load_seconds_accumulates(store):
+    store.put_signature(CELL, wide_signature())
+    reader = store.reader(CELL)
+    for path in wide_signature().tuple_paths():
+        reader.check_path(path)
+    assert reader.load_seconds >= 0.0
+    assert reader.loads >= 1
+
+
+def test_assembled_reader_conjunction(store):
+    sig_a = Signature.from_paths([(1, 1), (2, 2)], FANOUT)
+    sig_b = Signature.from_paths([(1, 1), (3, 3)], FANOUT)
+    store.put_signature(CELL, sig_a)
+    store.put_signature(OTHER, sig_b)
+    reader = AssembledReader([store.reader(CELL), store.reader(OTHER)])
+    assert reader.check_path((1, 1))
+    assert not reader.check_path((2, 2))
+    assert not reader.check_path((3, 3))
+    assert reader.loads >= 2
+
+
+def test_assembled_reader_requires_readers():
+    with pytest.raises(ValueError):
+        AssembledReader([])
+
+
+def test_index_height(store):
+    store.put_signature(CELL, wide_signature())
+    assert store.index_height() >= 1

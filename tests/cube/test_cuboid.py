@@ -1,0 +1,89 @@
+"""Cells, cuboids and the lattice."""
+
+import pytest
+
+from repro.cube.cuboid import Cell, Cuboid, atomic_cuboids, cuboid_lattice
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(("A", "B", "C"), ("X",))
+    bool_rows = [
+        ("a1", "b1", "c1"),
+        ("a1", "b2", "c1"),
+        ("a2", "b1", "c2"),
+        ("a1", "b1", "c2"),
+    ]
+    pref_rows = [(0.1,), (0.2,), (0.3,), (0.4,)]
+    return Relation(schema, bool_rows, pref_rows)
+
+
+def test_cell_id_canonical():
+    cell = Cell(("A", "B"), ("a1", "b2"))
+    assert cell.cell_id == "A=a1&B=b2"
+    assert str(cell) == "A=a1&B=b2"
+
+
+def test_cell_validation():
+    with pytest.raises(ValueError):
+        Cell(("A", "B"), ("a1",))
+    with pytest.raises(ValueError):
+        Cell(("A", "A"), ("a1", "a2"))
+
+
+def test_cell_matches(relation):
+    cell = Cell(("A", "B"), ("a1", "b1"))
+    assert cell.matches(relation, 0)
+    assert not cell.matches(relation, 1)
+    assert cell.matches(relation, 3)
+
+
+def test_cell_atoms():
+    cell = Cell(("A", "B"), ("a1", "b2"))
+    assert cell.atoms() == (Cell(("A",), ("a1",)), Cell(("B",), ("b2",)))
+
+
+def test_cells_hashable_and_equal():
+    assert Cell(("A",), ("a1",)) == Cell(("A",), ("a1",))
+    assert len({Cell(("A",), ("a1",)), Cell(("A",), ("a1",))}) == 1
+
+
+def test_cuboid_group(relation):
+    groups = Cuboid(("A",)).group(relation)
+    assert groups[Cell(("A",), ("a1",))] == [0, 1, 3]
+    assert groups[Cell(("A",), ("a2",))] == [2]
+
+
+def test_cuboid_group_multi_dim(relation):
+    groups = Cuboid(("A", "B")).group(relation)
+    assert groups[Cell(("A", "B"), ("a1", "b1"))] == [0, 3]
+    assert len(groups) == 3
+
+
+def test_cuboid_cell_for(relation):
+    cuboid = Cuboid(("B", "C"))
+    assert cuboid.cell_for(relation, 2) == Cell(("B", "C"), ("b1", "c2"))
+
+
+def test_cuboid_duplicate_dim_rejected():
+    with pytest.raises(ValueError):
+        Cuboid(("A", "A"))
+
+
+def test_atomic_cuboids():
+    cuboids = atomic_cuboids(("A", "B", "C"))
+    assert [c.dims for c in cuboids] == [("A",), ("B",), ("C",)]
+
+
+def test_cuboid_lattice_counts():
+    full = list(cuboid_lattice(("A", "B", "C")))
+    assert len(full) == 7  # 2^3 - 1 non-empty subsets
+    limited = list(cuboid_lattice(("A", "B", "C"), max_dims=2))
+    assert len(limited) == 6
+    assert all(len(c.dims) <= 2 for c in limited)
+
+
+def test_cuboid_name():
+    assert Cuboid(("A", "B")).name == "(A,B)"

@@ -1,0 +1,103 @@
+"""Relation heap file: access paths, page accounting, growth."""
+
+import pytest
+
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.storage.counters import BTABLE, DBOOL, IOCounters
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def schema():
+    return Schema(("A", "B"), ("X", "Y"))
+
+
+@pytest.fixture
+def relation(schema):
+    bool_rows = [(i % 3, i % 2) for i in range(20)]
+    pref_rows = [(i / 20, 1 - i / 20) for i in range(20)]
+    return Relation(schema, bool_rows, pref_rows)
+
+
+def test_row_access(relation):
+    assert relation.bool_row(4) == (1, 0)
+    assert relation.pref_point(4) == (0.2, 0.8)
+    assert relation.bool_value(4, "A") == 1
+    assert relation.bool_value(4, "B") == 0
+
+
+def test_len_and_tids(relation):
+    assert len(relation) == 20
+    assert list(relation.tids()) == list(range(20))
+
+
+def test_width_validation(schema):
+    with pytest.raises(ValueError):
+        Relation(schema, [(1,)], [(0.0, 0.0)])
+    with pytest.raises(ValueError):
+        Relation(schema, [(1, 2)], [(0.0,)])
+    with pytest.raises(ValueError):
+        Relation(schema, [(1, 2)], [])
+
+
+def test_scan_reads_every_heap_page_once(schema):
+    disk = SimulatedDisk(page_size=128)  # tiny pages => many heap pages
+    bool_rows = [(i, i) for i in range(100)]
+    pref_rows = [(float(i), float(i)) for i in range(100)]
+    relation = Relation(schema, bool_rows, pref_rows, disk=disk)
+    counters = IOCounters()
+    tids = list(relation.scan(counters, BTABLE))
+    assert tids == list(range(100))
+    assert counters.get(BTABLE) == relation.heap_page_count()
+    assert relation.heap_page_count() > 1
+
+
+def test_fetch_counts_one_page_read(relation):
+    counters = IOCounters()
+    bool_row, pref_row = relation.fetch(7, counters=counters)
+    assert bool_row == relation.bool_row(7)
+    assert pref_row == relation.pref_point(7)
+    assert counters.get(DBOOL) == 1
+
+
+def test_fetch_out_of_range(relation):
+    with pytest.raises(IndexError):
+        relation.fetch(99)
+
+
+def test_append_grows_heap(schema):
+    disk = SimulatedDisk(page_size=128)
+    relation = Relation(schema, [], [], disk=disk)
+    for i in range(50):
+        tid = relation.append((i, i), (float(i), float(i)))
+        assert tid == i
+    assert len(relation) == 50
+    assert list(relation.scan()) == list(range(50))
+    assert relation.bool_row(49) == (49, 49)
+
+
+def test_append_validates_width(relation):
+    with pytest.raises(ValueError):
+        relation.append((1,), (0.0, 0.0))
+    with pytest.raises(ValueError):
+        relation.append((1, 2), (0.0,))
+
+
+def test_overwrite_pref(relation):
+    relation.overwrite_pref(3, (9.0, 9.0))
+    assert relation.pref_point(3) == (9.0, 9.0)
+    with pytest.raises(ValueError):
+        relation.overwrite_pref(3, (1.0,))
+
+
+def test_pref_points_enumerates_all(relation):
+    points = list(relation.pref_points())
+    assert len(points) == 20
+    assert points[0] == (0, (0.0, 1.0))
+
+
+def test_values_coerced_to_float(schema):
+    relation = Relation(schema, [(1, 1)], [(1, 2)])
+    assert relation.pref_point(0) == (1.0, 2.0)
+    assert isinstance(relation.pref_point(0)[0], float)

@@ -1,0 +1,43 @@
+"""Schema validation and lookups."""
+
+import pytest
+
+from repro.cube.schema import Schema
+
+
+def test_basic_schema():
+    schema = Schema(("A", "B"), ("X", "Y"))
+    assert schema.n_boolean == 2
+    assert schema.n_preference == 2
+    assert schema.boolean_position("B") == 1
+    assert schema.preference_position("X") == 0
+
+
+def test_duplicate_dims_rejected():
+    with pytest.raises(ValueError):
+        Schema(("A", "A"), ("X",))
+    with pytest.raises(ValueError):
+        Schema(("A",), ("X", "X"))
+
+
+def test_preference_dims_required():
+    with pytest.raises(ValueError):
+        Schema(("A",), ())
+
+
+def test_no_boolean_dims_allowed():
+    schema = Schema((), ("X",))
+    assert schema.n_boolean == 0
+
+
+def test_unknown_dim_lookup():
+    schema = Schema(("A",), ("X",))
+    with pytest.raises(KeyError):
+        schema.boolean_position("Z")
+    with pytest.raises(KeyError):
+        schema.preference_position("Z")
+
+
+def test_schemas_equal_by_dims():
+    assert Schema(("A",), ("X",)) == Schema(("A",), ("X",))
+    assert Schema(("A",), ("X",)) != Schema(("B",), ("X",))

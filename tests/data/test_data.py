@@ -1,0 +1,181 @@
+"""Data generators and workload samplers."""
+
+import random
+
+import pytest
+
+from repro.data.covertype import (
+    BOOLEAN_CARDINALITIES,
+    ORIGINAL_ROWS,
+    PREFERENCE_CARDINALITIES,
+    covertype_relation,
+    scale_factor,
+)
+from repro.data.synthetic import DISTRIBUTIONS, SyntheticConfig, generate_relation
+from repro.data.workload import (
+    sample_linear_function,
+    sample_predicate,
+    sample_target_function,
+)
+
+
+# --------------------------------------------------------------------------- #
+# synthetic
+# --------------------------------------------------------------------------- #
+
+
+def test_config_defaults_match_paper():
+    config = SyntheticConfig()
+    assert config.n_boolean == 3
+    assert config.n_preference == 3
+    assert config.cardinality == 100
+    assert config.distribution == "uniform"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticConfig(n_tuples=0)
+    with pytest.raises(ValueError):
+        SyntheticConfig(distribution="weird")
+    with pytest.raises(ValueError):
+        SyntheticConfig(boolean_names=("A",), n_boolean=2)
+
+
+def test_generate_shapes():
+    config = SyntheticConfig(
+        n_tuples=500, n_boolean=2, cardinality=7, n_preference=4, seed=1
+    )
+    relation = generate_relation(config)
+    assert len(relation) == 500
+    assert relation.schema.n_boolean == 2
+    assert relation.schema.n_preference == 4
+    for tid in relation.tids():
+        assert all(0 <= v < 7 for v in relation.bool_row(tid))
+        assert all(0.0 <= v <= 1.0 for v in relation.pref_point(tid))
+
+
+def test_generation_is_deterministic():
+    config = SyntheticConfig(n_tuples=100, seed=9)
+    a = generate_relation(config)
+    b = generate_relation(config)
+    assert all(a.bool_row(t) == b.bool_row(t) for t in a.tids())
+    assert all(a.pref_point(t) == b.pref_point(t) for t in a.tids())
+
+
+def test_seeds_differ():
+    a = generate_relation(SyntheticConfig(n_tuples=100, seed=1))
+    b = generate_relation(SyntheticConfig(n_tuples=100, seed=2))
+    assert any(a.pref_point(t) != b.pref_point(t) for t in a.tids())
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_all_distributions_generate(distribution):
+    config = SyntheticConfig(
+        n_tuples=300, distribution=distribution, seed=4
+    )
+    relation = generate_relation(config)
+    assert len(relation) == 300
+
+
+def test_anticorrelated_has_bigger_skyline_than_correlated():
+    from repro.baselines.skyline_algs import sfs_skyline
+
+    sizes = {}
+    for distribution in ("correlated", "anticorrelated"):
+        relation = generate_relation(
+            SyntheticConfig(
+                n_tuples=2000, n_preference=2, distribution=distribution, seed=6
+            )
+        )
+        sizes[distribution] = len(
+            sfs_skyline(list(relation.pref_points()))
+        )
+    assert sizes["anticorrelated"] > 3 * sizes["correlated"]
+
+
+# --------------------------------------------------------------------------- #
+# covertype twin
+# --------------------------------------------------------------------------- #
+
+
+def test_covertype_schema_matches_paper():
+    assert len(BOOLEAN_CARDINALITIES) == 12
+    assert BOOLEAN_CARDINALITIES[:4] == (255, 207, 185, 67)
+    assert PREFERENCE_CARDINALITIES == (1989, 5787, 5827)
+    assert ORIGINAL_ROWS == 581_012
+
+
+def test_covertype_relation_shapes():
+    relation = covertype_relation(n_rows=2000, seed=1)
+    assert len(relation) == 2000
+    assert relation.schema.n_boolean == 12
+    assert relation.schema.n_preference == 3
+    for i, cardinality in enumerate(BOOLEAN_CARDINALITIES):
+        values = {relation.bool_row(t)[i] for t in relation.tids()}
+        assert all(0 <= v < cardinality for v in values)
+
+
+def test_covertype_boolean_marginals_are_skewed():
+    relation = covertype_relation(n_rows=5000, seed=2)
+    # The most frequent value of the first attribute should hold well over
+    # the uniform share (5000 / 255 ≈ 20).
+    from collections import Counter
+
+    counts = Counter(relation.bool_row(t)[0] for t in relation.tids())
+    assert counts.most_common(1)[0][1] > 200
+
+
+def test_covertype_preferences_in_unit_range_and_correlated():
+    import numpy as np
+
+    relation = covertype_relation(n_rows=3000, seed=3)
+    matrix = np.array([relation.pref_point(t) for t in relation.tids()])
+    assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+    corr = np.corrcoef(matrix.T)
+    assert corr[0, 1] > 0.3  # mild positive correlation, like the original
+
+
+def test_scale_factor():
+    assert scale_factor(ORIGINAL_ROWS) == 1.0
+    assert scale_factor(58_101) == pytest.approx(0.1, rel=0.01)
+
+
+# --------------------------------------------------------------------------- #
+# workload samplers
+# --------------------------------------------------------------------------- #
+
+
+def test_sample_predicate_is_live(small_relation):
+    rng = random.Random(0)
+    for n in (1, 2, 3):
+        predicate = sample_predicate(small_relation, n, rng)
+        assert len(predicate) == n
+        assert any(
+            predicate.matches(small_relation, tid)
+            for tid in small_relation.tids()
+        )
+
+
+def test_sample_predicate_too_many_dims(small_relation):
+    with pytest.raises(ValueError):
+        sample_predicate(small_relation, 99, random.Random(0))
+
+
+def test_sample_predicate_restricted_dims(small_relation):
+    rng = random.Random(0)
+    predicate = sample_predicate(small_relation, 1, rng, dims=["A2"])
+    assert predicate.dims() == ("A2",)
+
+
+def test_sample_linear_function_positive_weights():
+    rng = random.Random(0)
+    fn = sample_linear_function(3, rng)
+    assert len(fn.weights) == 3
+    assert all(w > 0 for w in fn.weights)
+
+
+def test_sample_target_function(small_relation):
+    rng = random.Random(0)
+    fn = sample_target_function(small_relation, rng)
+    assert len(fn.target) == small_relation.schema.n_preference
+    assert fn.score(fn.target) == 0.0

@@ -1,0 +1,179 @@
+"""Cross-method equivalence: every method, every configuration, one truth.
+
+The strongest correctness statement the reproduction can make: on random
+relations, the Signature method, all three baselines and the naive reference
+return the same answers for the same queries.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.boolean_first import boolean_first_skyline, boolean_first_topk
+from repro.baselines.domination_first import domination_first_skyline, ranking_topk
+from repro.baselines.index_merge import index_merge_topk
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.data.synthetic import SyntheticConfig, generate_relation
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.predicates import BooleanPredicate
+from repro.query.skyline import skyline_signature
+from repro.query.topk import topk_signature
+from repro.system import build_system
+
+
+def qualifying_points(relation, predicate):
+    return [
+        (tid, relation.pref_point(tid))
+        for tid in relation.tids()
+        if predicate.matches(relation, tid)
+    ]
+
+
+@pytest.mark.parametrize(
+    "distribution,n_preference,fanout",
+    [
+        ("uniform", 2, 6),
+        ("uniform", 3, 8),
+        ("correlated", 2, 6),
+        ("anticorrelated", 2, 10),
+        ("clustered", 3, 6),
+        ("uniform", 4, 16),
+    ],
+)
+def test_all_methods_agree(distribution, n_preference, fanout):
+    config = SyntheticConfig(
+        n_tuples=800,
+        n_boolean=3,
+        cardinality=6,
+        n_preference=n_preference,
+        distribution=distribution,
+        seed=hash((distribution, n_preference)) % 2**31,
+    )
+    relation = generate_relation(config)
+    system = build_system(relation, fanout=fanout)
+    rng = random.Random(99)
+
+    for n_conjuncts in (1, 2):
+        predicate = sample_predicate(relation, n_conjuncts, rng)
+        truth = qualifying_points(relation, predicate)
+        expected_sky = sorted(naive_skyline(truth))
+
+        sig_tids, _, _ = skyline_signature(
+            relation, system.rtree, system.pcube, predicate
+        )
+        assert sorted(sig_tids) == expected_sky
+
+        bool_tids, _ = boolean_first_skyline(
+            relation, system.indexes, predicate
+        )
+        assert sorted(bool_tids) == expected_sky
+
+        dom_tids, _, _ = domination_first_skyline(
+            relation, system.rtree, predicate
+        )
+        assert sorted(dom_tids) == expected_sky
+
+        fn = sample_linear_function(n_preference, rng)
+        expected_topk = [
+            round(s, 9) for _, s in naive_topk(truth, fn, 10)
+        ]
+        for method_scores in (
+            [s for _, s in topk_signature(
+                relation, system.rtree, system.pcube, fn, 10, predicate
+            )[0]],
+            [s for _, s in boolean_first_topk(
+                relation, system.indexes, fn, 10, predicate
+            )[0]],
+            [s for _, s in ranking_topk(
+                relation, system.rtree, fn, 10, predicate
+            )[0]],
+            [s for _, s in index_merge_topk(
+                relation, system.rtree, system.indexes, fn, 10, predicate
+            )[0]],
+        ):
+            assert [round(s, 9) for s in method_scores] == expected_topk
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    pred_a=st.integers(min_value=0, max_value=2),
+    use_two=st.booleans(),
+    pred_b=st.integers(min_value=0, max_value=2),
+)
+def test_signature_skyline_property(rows, pred_a, use_two, pred_b):
+    """Tiny adversarial relations (heavy duplicate points, tiny fanout,
+    deep trees) — signature skyline must equal the naive skyline."""
+    schema = Schema(("A", "B"), ("X", "Y"))
+    bool_rows = [(a, b) for a, b, _, _ in rows]
+    pref_rows = [(x / 7.0, y / 7.0) for _, _, x, y in rows]
+    relation = Relation(schema, bool_rows, pref_rows)
+    system = build_system(relation, fanout=4, with_indexes=False)
+    conjuncts = {"A": pred_a}
+    if use_two:
+        conjuncts["B"] = pred_b
+    predicate = BooleanPredicate(conjuncts)
+    tids, _, _ = skyline_signature(
+        relation, system.rtree, system.pcube, predicate
+    )
+    assert sorted(tids) == sorted(
+        naive_skyline(qualifying_points(relation, predicate))
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    weights=st.tuples(
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.1, max_value=2.0),
+    ),
+    k=st.integers(min_value=1, max_value=12),
+    value=st.integers(min_value=0, max_value=2),
+)
+def test_signature_topk_property(rows, weights, k, value):
+    from repro.query.ranking import LinearFunction
+
+    schema = Schema(("A",), ("X", "Y"))
+    bool_rows = [(a,) for a, _, _ in rows]
+    pref_rows = [(x / 9.0, y / 9.0) for _, x, y in rows]
+    relation = Relation(schema, bool_rows, pref_rows)
+    system = build_system(relation, fanout=4, with_indexes=False)
+    predicate = BooleanPredicate({"A": value})
+    fn = LinearFunction(weights)
+    ranked, _, _ = topk_signature(
+        relation, system.rtree, system.pcube, fn, k, predicate
+    )
+    expected = naive_topk(qualifying_points(relation, predicate), fn, k)
+    assert [round(s, 9) for _, s in ranked] == [
+        round(s, 9) for _, s in expected
+    ]

@@ -1,0 +1,97 @@
+"""Failure injection: the error paths must fail loudly, never corrupt."""
+
+import pytest
+
+from repro.bitmap.bitarray import BitArray
+from repro.bitmap.compression import compress
+from repro.core.counted import CountedSignature
+from repro.core.partial import decompose
+from repro.core.signature import Signature
+from repro.core.store import SignatureStore
+from repro.cube.cuboid import Cell
+from repro.rtree.rtree import RTree
+from repro.storage.disk import PageFault, SimulatedDisk
+
+
+def test_remove_path_failure_leaves_counts_intact():
+    counted = CountedSignature(4)
+    counted.add_path((1, 2))
+    counted.add_path((1, 3))
+    # Removing an uncounted path fails part-way (the root count for child 2
+    # exists, the child-level count does not).  The failure must not have
+    # removed the surviving tuple's evidence.
+    with pytest.raises(KeyError):
+        counted.remove_path((2, 1))
+    assert counted.to_signature() == Signature.from_paths([(1, 2), (1, 3)], 4)
+
+
+def test_store_load_after_replace_does_not_fault():
+    disk = SimulatedDisk(page_size=64)
+    store = SignatureStore(disk, fanout=4, codec="raw")
+    cell = Cell(("A",), ("x",))
+    wide = Signature.from_paths(
+        [(a, b) for a in (1, 2, 3) for b in (1, 2)], 4
+    )
+    store.put_signature(cell, wide)
+    old_refs = list(store._directory[cell.cell_id].values())
+    store.put_signature(cell, Signature.from_paths([(1, 1)], 4))
+    # The replaced pages are gone; reading them directly faults ...
+    for page_id in old_refs:
+        with pytest.raises(PageFault):
+            disk.read(page_id, "SSIG")
+    # ... but the store's own paths never touch them.
+    assert store.load_full_signature(cell) == Signature.from_paths([(1, 1)], 4)
+    reader = store.reader(cell)
+    assert reader.check_path((1, 1))
+
+
+def test_rtree_insert_failure_does_not_register_tid():
+    tree = RTree(dims=2, max_entries=4, min_entries=2)
+    tree.insert(0, (0.1, 0.1))
+    with pytest.raises(ValueError):
+        tree.insert(1, (0.1, 0.1, 0.3))  # wrong dims, rejected up front
+    assert len(tree) == 1
+    # tid 1 can still be inserted correctly afterwards.
+    tree.insert(1, (0.2, 0.2))
+    assert len(tree) == 2
+
+
+def test_decompose_single_giant_node_exceeds_page_gracefully():
+    """A node blob larger than the page still gets its own (oversized)
+    partial rather than being dropped or looping forever."""
+    bits = BitArray.ones(4096)
+    signature = Signature(4096)
+    signature.set_node(0, bits)
+    blob = compress(bits, "raw")
+    partials = decompose(signature, page_size=len(blob) // 2, codec="raw")
+    assert len(partials) == 1
+    assert 0 in partials[0].blobs
+    assert partials[0].size_bytes > len(blob) // 2
+
+
+def test_signature_store_missing_codec_never_silently_changes():
+    disk = SimulatedDisk()
+    with pytest.raises(Exception):
+        store = SignatureStore(disk, fanout=4, codec="nope")
+        store.put_signature(
+            Cell(("A",), ("x",)), Signature.from_paths([(1, 1)], 4)
+        )
+
+
+def test_pcube_reader_unknown_dimension_fails_loudly(small_system):
+    with pytest.raises(ValueError):
+        small_system.pcube.cover_for_dims({"NOT_A_DIM": 1})
+
+
+def test_engine_queries_leave_disk_counters_consistent(small_system, rng):
+    """Global disk counters only ever grow, and per-query counters are a
+    lower bound of the growth (buffer hits absorb the rest)."""
+    from repro.data.workload import sample_predicate
+
+    before = small_system.disk.counters.total()
+    predicate = sample_predicate(small_system.relation, 1, rng)
+    result = small_system.engine.skyline(predicate)
+    after = small_system.disk.counters.total()
+    assert after >= before
+    assert result.stats.total_io() <= after - before + result.stats.total_io()
+    assert after - before >= result.stats.total_io()

@@ -1,0 +1,63 @@
+"""The build_system facade and whole-system lifecycle."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticConfig, generate_relation
+from repro.system import build_system
+
+
+@pytest.fixture
+def relation():
+    return generate_relation(
+        SyntheticConfig(
+            n_tuples=400, n_boolean=2, cardinality=4, n_preference=2, seed=19
+        )
+    )
+
+
+def test_build_bulk_default(relation):
+    system = build_system(relation, fanout=8)
+    assert len(system.rtree) == 400
+    assert system.pcube.n_cells() == 8
+    assert set(system.indexes) == {"A1", "A2"}
+    assert system.timings.rtree_seconds > 0
+    assert system.timings.pcube_seconds > 0
+    assert system.timings.btree_seconds > 0
+
+
+def test_build_insert_method(relation):
+    system = build_system(relation, fanout=8, rtree_method="insert")
+    assert len(system.rtree) == 400
+    result = system.engine.skyline()
+    assert result.tids
+
+
+def test_build_unknown_method_rejected(relation):
+    with pytest.raises(ValueError):
+        build_system(relation, rtree_method="magic")
+
+
+def test_build_without_indexes(relation):
+    system = build_system(relation, fanout=8, with_indexes=False)
+    assert system.indexes == {}
+    assert system.timings.btree_seconds == 0.0
+
+
+def test_default_fanout_derived_from_page_size(relation):
+    system = build_system(relation)
+    # 2 preference dims at 4 KB pages -> the paper's M = 204.
+    assert system.rtree.max_entries == 204
+
+
+def test_space_accounting_views(relation):
+    system = build_system(relation, fanout=8)
+    assert system.rtree_size_mb() > 0
+    assert system.pcube_size_mb() > 0
+    assert system.btree_size_mb() > 0
+    assert system.disk is relation.disk
+
+
+def test_everything_shares_one_disk(relation):
+    system = build_system(relation, fanout=8)
+    tags = {page.tag.split(":")[0] for page in system.disk.pages()}
+    assert {"heap", "rtree", "pcube", "btree"} <= tags

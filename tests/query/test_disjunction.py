@@ -1,0 +1,198 @@
+"""Disjunctive (OR) predicates via signature union."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.core.pcube import EmptyReader, SignatureAdapter
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.disjunction import (
+    AnyOfReader,
+    matches_dnf,
+    reader_for_dnf,
+    skyline_dnf,
+    topk_dnf,
+)
+from repro.query.predicates import BooleanPredicate
+from repro.system import build_system
+
+
+def qualifying(system, disjuncts):
+    relation = system.relation
+    return [
+        (tid, relation.pref_point(tid))
+        for tid in relation.tids()
+        if matches_dnf(relation, disjuncts, tid)
+    ]
+
+
+def sample_disjuncts(system, rng, n=2):
+    return [sample_predicate(system.relation, 1, rng) for _ in range(n)]
+
+
+@pytest.mark.parametrize("eager", [False, True])
+def test_skyline_dnf_matches_naive(small_system, rng, eager):
+    for n_disjuncts in (1, 2, 3):
+        disjuncts = sample_disjuncts(small_system, rng, n_disjuncts)
+        tids, stats = skyline_dnf(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            disjuncts,
+            eager_assembly=eager,
+        )
+        expected = set(naive_skyline(qualifying(small_system, disjuncts)))
+        assert set(tids) == expected
+        assert stats.results == len(expected)
+
+
+@pytest.mark.parametrize("eager", [False, True])
+def test_topk_dnf_matches_naive(small_system, rng, eager):
+    disjuncts = sample_disjuncts(small_system, rng, 2)
+    fn = sample_linear_function(2, rng)
+    ranked, _ = topk_dnf(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        fn,
+        10,
+        disjuncts,
+        eager_assembly=eager,
+    )
+    expected = naive_topk(qualifying(small_system, disjuncts), fn, 10)
+    assert [round(s, 9) for _, s in ranked] == [
+        round(s, 9) for _, s in expected
+    ]
+
+
+def test_dnf_with_conjunctive_disjuncts(small_system, rng):
+    """(A=a AND B=b) OR (C=c): mixed-width disjuncts."""
+    first = sample_predicate(small_system.relation, 2, rng)
+    second = sample_predicate(small_system.relation, 1, rng)
+    disjuncts = [first, second]
+    tids, _ = skyline_dnf(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        disjuncts,
+    )
+    expected = set(naive_skyline(qualifying(small_system, disjuncts)))
+    assert set(tids) == expected
+
+
+def test_tautological_disjunct_disables_pruning(small_system):
+    reader = reader_for_dnf(
+        small_system.pcube,
+        [BooleanPredicate({"A1": 1}), BooleanPredicate()],
+    )
+    assert reader is None
+
+
+def test_all_unsatisfiable_disjuncts(small_system):
+    reader = reader_for_dnf(
+        small_system.pcube,
+        [BooleanPredicate({"A1": 777}), BooleanPredicate({"A2": 888})],
+    )
+    assert isinstance(reader, EmptyReader)
+    tids, stats = skyline_dnf(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        [BooleanPredicate({"A1": 777})],
+    )
+    assert tids == []
+    assert stats.sblock == 0
+
+
+def test_unsatisfiable_disjunct_is_dropped(small_system, rng):
+    live = sample_predicate(small_system.relation, 1, rng)
+    disjuncts = [live, BooleanPredicate({"A1": 777})]
+    tids, _ = skyline_dnf(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        disjuncts,
+    )
+    expected = set(naive_skyline(qualifying(small_system, [live])))
+    assert set(tids) == expected
+
+
+def test_eager_reader_is_one_union_signature(small_system, rng):
+    disjuncts = sample_disjuncts(small_system, rng, 2)
+    reader = reader_for_dnf(small_system.pcube, disjuncts, eager=True)
+    assert isinstance(reader, SignatureAdapter)
+    # The union signature admits exactly the union of tuple paths.
+    paths = small_system.rtree.all_paths()
+    for tid in small_system.relation.tids():
+        assert reader.check_path(paths[tid]) == matches_dnf(
+            small_system.relation, disjuncts, tid
+        )
+
+
+def test_eager_never_reads_more_blocks_than_lazy(small_system, rng):
+    for _ in range(3):
+        disjuncts = [
+            sample_predicate(small_system.relation, 2, rng)
+            for _ in range(2)
+        ]
+        _, lazy_stats = skyline_dnf(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            disjuncts,
+            eager_assembly=False,
+        )
+        _, eager_stats = skyline_dnf(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            disjuncts,
+            eager_assembly=True,
+        )
+        assert eager_stats.sblock <= lazy_stats.sblock
+
+
+def test_reader_validation(small_system):
+    with pytest.raises(ValueError):
+        reader_for_dnf(small_system.pcube, [])
+    with pytest.raises(ValueError):
+        AnyOfReader([])
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    v1=st.integers(min_value=0, max_value=2),
+    v2=st.integers(min_value=0, max_value=2),
+    eager=st.booleans(),
+)
+def test_dnf_property(rows, v1, v2, eager):
+    schema = Schema(("A", "B"), ("X", "Y"))
+    relation = Relation(
+        schema,
+        [(a, b) for a, b, _, _ in rows],
+        [(x / 7.0, y / 7.0) for _, _, x, y in rows],
+    )
+    system = build_system(relation, fanout=4, with_indexes=False)
+    disjuncts = [BooleanPredicate({"A": v1}), BooleanPredicate({"B": v2})]
+    tids, _ = skyline_dnf(
+        relation, system.rtree, system.pcube, disjuncts, eager_assembly=eager
+    )
+    expected = set(naive_skyline(qualifying(system, disjuncts)))
+    assert set(tids) == expected

@@ -1,0 +1,87 @@
+"""Boolean predicates and OLAP navigation."""
+
+import pytest
+
+from repro.cube.cuboid import Cell
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.query.predicates import BooleanPredicate
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(("A", "B"), ("X",))
+    return Relation(
+        schema,
+        [("a1", "b1"), ("a1", "b2"), ("a2", "b1")],
+        [(0.1,), (0.2,), (0.3,)],
+    )
+
+
+def test_empty_predicate():
+    predicate = BooleanPredicate()
+    assert predicate.is_empty()
+    assert len(predicate) == 0
+    assert predicate.atomic_cells() == ()
+    with pytest.raises(ValueError):
+        predicate.cell()
+
+
+def test_conjuncts_sorted_and_immutable():
+    predicate = BooleanPredicate({"B": "b1", "A": "a1"})
+    assert predicate.dims() == ("A", "B")
+    with pytest.raises(AttributeError):
+        predicate.x = 1
+
+
+def test_cell_and_atoms():
+    predicate = BooleanPredicate({"A": "a1", "B": "b2"})
+    assert predicate.cell() == Cell(("A", "B"), ("a1", "b2"))
+    assert predicate.atomic_cells() == (
+        Cell(("A",), ("a1",)),
+        Cell(("B",), ("b2",)),
+    )
+
+
+def test_matches(relation):
+    predicate = BooleanPredicate({"A": "a1", "B": "b1"})
+    assert predicate.matches(relation, 0)
+    assert not predicate.matches(relation, 1)
+    assert not predicate.matches(relation, 2)
+    assert BooleanPredicate().matches(relation, 0)  # φ matches everything
+
+
+def test_drill_down():
+    base = BooleanPredicate({"A": "a1"})
+    drilled = base.drill_down("B", "b1")
+    assert drilled.conjuncts == {"A": "a1", "B": "b1"}
+    assert base.conjuncts == {"A": "a1"}  # original untouched
+    with pytest.raises(ValueError):
+        drilled.drill_down("A", "a2")  # already constrained
+
+
+def test_roll_up():
+    predicate = BooleanPredicate({"A": "a1", "B": "b1"})
+    rolled = predicate.roll_up("B")
+    assert rolled.conjuncts == {"A": "a1"}
+    assert rolled.roll_up("A").is_empty()
+    with pytest.raises(ValueError):
+        rolled.roll_up("B")
+
+
+def test_equality_and_hash():
+    a = BooleanPredicate({"A": 1, "B": 2})
+    b = BooleanPredicate({"B": 2, "A": 1})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != BooleanPredicate({"A": 1})
+
+
+def test_repr():
+    assert "φ" in repr(BooleanPredicate())
+    assert "A=1" in repr(BooleanPredicate({"A": 1}))
+
+
+def test_iteration():
+    predicate = BooleanPredicate({"B": 2, "A": 1})
+    assert list(predicate) == [("A", 1), ("B", 2)]

@@ -1,0 +1,119 @@
+"""Ranking functions: scores and the lower-bound contract."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query.ranking import (
+    LinearFunction,
+    MonotoneFunction,
+    SumFunction,
+    WeightedSquaredDistance,
+)
+from repro.rtree.geometry import Rect
+
+
+def test_linear_score():
+    fn = LinearFunction([2.0, 3.0])
+    assert fn.score((1.0, 1.0)) == 5.0
+
+
+def test_linear_lower_bound_nonnegative_weights():
+    fn = LinearFunction([1.0, 2.0])
+    rect = Rect((1, 1), (5, 5))
+    assert fn.lower_bound(rect) == 3.0
+
+
+def test_linear_lower_bound_negative_weights():
+    fn = LinearFunction([-1.0, 2.0])
+    rect = Rect((1, 1), (5, 5))
+    # minimum at (high, low): -5 + 2 = -3
+    assert fn.lower_bound(rect) == -3.0
+
+
+def test_linear_validation():
+    with pytest.raises(ValueError):
+        LinearFunction([])
+
+
+def test_sum_function_is_skyline_key():
+    fn = SumFunction(3)
+    assert fn.score((1, 2, 3)) == 6.0
+    assert fn.lower_bound(Rect((1, 2, 3), (9, 9, 9))) == 6.0
+
+
+def test_weighted_distance_example_1():
+    # (price - 15)² + 0.5 (mileage - 30)², in thousands.
+    fn = WeightedSquaredDistance(target=(15.0, 30.0), weights=(1.0, 0.5))
+    assert fn.score((15.0, 30.0)) == 0.0
+    assert fn.score((16.0, 32.0)) == pytest.approx(1.0 + 0.5 * 4.0)
+
+
+def test_weighted_distance_lower_bound_clamps():
+    fn = WeightedSquaredDistance(target=(0.5, 0.5))
+    inside = Rect((0, 0), (1, 1))
+    assert fn.lower_bound(inside) == 0.0
+    left = Rect((2, 0), (3, 1))
+    assert fn.lower_bound(left) == pytest.approx(1.5**2)
+
+
+def test_weighted_distance_validation():
+    with pytest.raises(ValueError):
+        WeightedSquaredDistance((0, 0), weights=(1.0,))
+    with pytest.raises(ValueError):
+        WeightedSquaredDistance((0, 0), weights=(-1.0, 1.0))
+
+
+def test_monotone_function():
+    fn = MonotoneFunction(max, name="max")
+    assert fn.score((0.2, 0.8)) == 0.8
+    assert fn.lower_bound(Rect((0.1, 0.3), (0.9, 0.9))) == 0.3
+
+
+rect_and_point = st.tuples(
+    st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=2),
+    st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=2),
+    st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=2),
+)
+
+
+def make_rect(a, b):
+    lows = [min(x, y) for x, y in zip(a, b)]
+    highs = [max(x, y) for x, y in zip(a, b)]
+    return Rect(lows, highs), lows, highs
+
+
+@given(rect_and_point, st.lists(st.floats(-2, 2, allow_nan=False), min_size=2, max_size=2))
+def test_linear_lower_bound_property(data, weights):
+    a, b, t = data
+    rect, lows, highs = make_rect(a, b)
+    fn = LinearFunction(weights)
+    lb = fn.lower_bound(rect)
+    # Any point inside (corners and the interpolated t) scores >= lb.
+    for point in (
+        lows,
+        highs,
+        [lo + frac * (hi - lo) for lo, hi, frac in zip(lows, highs, t)],
+    ):
+        assert fn.score(point) >= lb - 1e-9
+
+
+@given(rect_and_point)
+def test_distance_lower_bound_property(data):
+    a, b, t = data
+    rect, lows, highs = make_rect(a, b)
+    fn = WeightedSquaredDistance(target=(0.4, 0.6), weights=(1.0, 2.0))
+    lb = fn.lower_bound(rect)
+    point = [lo + frac * (hi - lo) for lo, hi, frac in zip(lows, highs, t)]
+    assert fn.score(point) >= lb - 1e-9
+
+
+@given(rect_and_point)
+def test_monotone_lower_bound_property(data):
+    a, b, t = data
+    rect, lows, highs = make_rect(a, b)
+    fn = MonotoneFunction(lambda p: math.hypot(*p), name="l2-from-origin")
+    point = [lo + frac * (hi - lo) for lo, hi, frac in zip(lows, highs, t)]
+    assert fn.score(point) >= fn.lower_bound(rect) - 1e-9

@@ -1,0 +1,190 @@
+"""Signature-method queries against ground truth, across configurations."""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.predicates import BooleanPredicate
+from repro.query.skyline import skyline_signature
+from repro.query.topk import topk_signature
+
+
+def truth_points(system, predicate):
+    relation = system.relation
+    return [
+        (tid, relation.pref_point(tid))
+        for tid in relation.tids()
+        if predicate.matches(relation, tid)
+    ]
+
+
+@pytest.mark.parametrize("n_conjuncts", [0, 1, 2, 3])
+def test_skyline_matches_naive(small_system, rng, n_conjuncts):
+    for trial in range(3):
+        if n_conjuncts:
+            predicate = sample_predicate(small_system.relation, n_conjuncts, rng)
+        else:
+            predicate = BooleanPredicate()
+        tids, stats, _ = skyline_signature(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            predicate,
+        )
+        expected = set(naive_skyline(truth_points(small_system, predicate)))
+        assert set(tids) == expected
+        assert stats.results == len(expected)
+
+
+@pytest.mark.parametrize("eager", [False, True])
+def test_skyline_lazy_and_eager_assembly_agree(small_system, rng, eager):
+    predicate = sample_predicate(small_system.relation, 2, rng)
+    tids, _, _ = skyline_signature(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        predicate,
+        eager_assembly=eager,
+    )
+    expected = set(naive_skyline(truth_points(small_system, predicate)))
+    assert set(tids) == expected
+
+
+def test_eager_assembly_never_reads_more_blocks(small_system, rng):
+    """Exact intersection prunes at least as well as the lazy AND."""
+    for _ in range(5):
+        predicate = sample_predicate(small_system.relation, 2, rng)
+        _, lazy_stats, _ = skyline_signature(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            predicate,
+            eager_assembly=False,
+        )
+        _, eager_stats, _ = skyline_signature(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            predicate,
+            eager_assembly=True,
+        )
+        assert eager_stats.sblock <= lazy_stats.sblock
+
+
+def test_skyline_empty_selection(small_system):
+    predicate = BooleanPredicate({"A1": 999})
+    tids, stats, _ = skyline_signature(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        predicate,
+    )
+    assert tids == []
+    # The root entry is boolean-pruned immediately: no R-tree blocks read.
+    assert stats.sblock == 0
+
+
+@pytest.mark.parametrize("k", [1, 5, 20, 100])
+def test_topk_matches_naive(small_system, rng, k):
+    predicate = sample_predicate(small_system.relation, 1, rng)
+    fn = sample_linear_function(2, rng)
+    ranked, stats, _ = topk_signature(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        fn,
+        k,
+        predicate,
+    )
+    expected = naive_topk(truth_points(small_system, predicate), fn, k)
+    assert len(ranked) == len(expected)
+    assert [round(s, 9) for _, s in ranked] == [round(s, 9) for _, s in expected]
+    # Scores come out sorted.
+    scores = [s for _, s in ranked]
+    assert scores == sorted(scores)
+
+
+def test_topk_k_larger_than_selection(small_system, rng):
+    predicate = sample_predicate(small_system.relation, 3, rng)
+    fn = sample_linear_function(2, rng)
+    qualifying = truth_points(small_system, predicate)
+    ranked, _, _ = topk_signature(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        fn,
+        len(qualifying) + 50,
+        predicate,
+    )
+    assert len(ranked) == len(qualifying)
+
+
+def test_topk_with_distance_function(small_system, rng):
+    from repro.data.workload import sample_target_function
+
+    predicate = sample_predicate(small_system.relation, 1, rng)
+    fn = sample_target_function(small_system.relation, rng)
+    ranked, _, _ = topk_signature(
+        small_system.relation,
+        small_system.rtree,
+        small_system.pcube,
+        fn,
+        10,
+        predicate,
+    )
+    expected = naive_topk(truth_points(small_system, predicate), fn, 10)
+    assert [round(s, 9) for _, s in ranked] == [round(s, 9) for _, s in expected]
+
+
+def test_signature_reads_fewer_blocks_than_bbs(small_system, rng):
+    """The headline mechanism: with a selective predicate, signature-guided
+    search must expand no more nodes than predicate-blind BBS."""
+    from repro.baselines.domination_first import domination_first_skyline
+
+    for _ in range(5):
+        predicate = sample_predicate(small_system.relation, 2, rng)
+        _, sig_stats, _ = skyline_signature(
+            small_system.relation,
+            small_system.rtree,
+            small_system.pcube,
+            predicate,
+        )
+        _, dom_stats, _ = domination_first_skyline(
+            small_system.relation, small_system.rtree, predicate
+        )
+        assert sig_stats.sblock <= dom_stats.dblock
+        assert sig_stats.peak_heap <= dom_stats.peak_heap
+
+
+def test_distribution_robustness(rng):
+    """Correctness across data distributions (Figure 12's concern)."""
+    from repro.data.synthetic import SyntheticConfig, generate_relation
+    from repro.system import build_system
+
+    for distribution in ("correlated", "anticorrelated", "clustered"):
+        config = SyntheticConfig(
+            n_tuples=600,
+            n_boolean=2,
+            cardinality=5,
+            n_preference=3,
+            distribution=distribution,
+            seed=2,
+        )
+        relation = generate_relation(config)
+        system = build_system(relation, fanout=8, with_indexes=False)
+        predicate = sample_predicate(relation, 1, rng)
+        tids, _, _ = skyline_signature(
+            relation, system.rtree, system.pcube, predicate
+        )
+        expected = set(
+            naive_skyline(
+                [
+                    (tid, relation.pref_point(tid))
+                    for tid in relation.tids()
+                    if predicate.matches(relation, tid)
+                ]
+            )
+        )
+        assert set(tids) == expected

@@ -1,0 +1,204 @@
+"""The SQL-style front end: parsing and end-to-end execution."""
+
+import pytest
+
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.query.ranking import SeparableFunction
+from repro.query.sql import ParsedQuery, SQLSyntaxError, execute, parse_query
+from repro.rtree.geometry import Rect
+
+
+# --------------------------------------------------------------------------- #
+# SeparableFunction (the ORDER BY compilation target)
+# --------------------------------------------------------------------------- #
+
+
+def test_separable_mixed_terms():
+    fn = SeparableFunction(
+        [(0, "linear", 2.0, 0.0), (1, "squared", 0.5, 10.0)]
+    )
+    assert fn.score((3.0, 12.0)) == pytest.approx(6.0 + 0.5 * 4.0)
+
+
+def test_separable_lower_bound_is_exact_per_term():
+    fn = SeparableFunction(
+        [(0, "linear", -1.0, 0.0), (1, "squared", 1.0, 5.0)]
+    )
+    rect = Rect((0.0, 0.0), (4.0, 3.0))
+    # linear with negative weight -> high corner; squared -> clamp target
+    assert fn.lower_bound(rect) == pytest.approx(-4.0 + (5.0 - 3.0) ** 2)
+
+
+def test_separable_validation():
+    with pytest.raises(ValueError):
+        SeparableFunction([])
+    with pytest.raises(ValueError):
+        SeparableFunction([(0, "cubic", 1.0, 0.0)])
+    with pytest.raises(ValueError):
+        SeparableFunction([(0, "squared", -1.0, 0.0)])
+    with pytest.raises(ValueError):
+        SeparableFunction([(-1, "linear", 1.0, 0.0)])
+
+
+# --------------------------------------------------------------------------- #
+# parsing
+# --------------------------------------------------------------------------- #
+
+
+def test_parse_paper_example_1():
+    parsed = parse_query(
+        "select top 10 from R where type = 'sedan' and color = 'red' "
+        "order by (price - 15000)^2 + 0.5*(mileage - 30000)^2"
+    )
+    assert parsed.kind == "topk"
+    assert parsed.k == 10
+    assert parsed.where == {"type": "sedan", "color": "red"}
+    assert parsed.order_terms == [
+        ("price", "squared", 1.0, 15000.0),
+        ("mileage", "squared", 0.5, 30000.0),
+    ]
+
+
+def test_parse_top_dash_k():
+    parsed = parse_query("SELECT TOP-5 FROM R ORDER BY price")
+    assert parsed.k == 5
+    assert parsed.where == {}
+    assert parsed.order_terms == [("price", "linear", 1.0, 0.0)]
+
+
+def test_parse_skyline_with_preference_by():
+    parsed = parse_query(
+        "select skylines from R where brand = canon and type = professional "
+        "preference by price, resolution"
+    )
+    assert parsed.kind == "skyline"
+    assert parsed.where == {"brand": "canon", "type": "professional"}
+    assert parsed.preference_by == ("price", "resolution")
+
+
+def test_parse_skyline_without_preference_by():
+    parsed = parse_query("select skyline from R where A = 3")
+    assert parsed.preference_by is None
+    assert parsed.where == {"A": 3}
+
+
+def test_parse_value_types():
+    parsed = parse_query(
+        'select skyline from R where A = 3 and B = 2.5 and C = "x y" and D = a1'
+    )
+    assert parsed.where == {"A": 3, "B": 2.5, "C": "x y", "D": "a1"}
+
+
+def test_parse_linear_with_coefficients():
+    parsed = parse_query(
+        "select top 3 from R order by 0.2*x + y + 3*z"
+    )
+    assert parsed.order_terms == [
+        ("x", "linear", 0.2, 0.0),
+        ("y", "linear", 1.0, 0.0),
+        ("z", "linear", 3.0, 0.0),
+    ]
+
+
+def test_parse_power_operator_variants():
+    parsed = parse_query("select top 1 from R order by (x - 2)**2")
+    assert parsed.order_terms == [("x", "squared", 1.0, 2.0)]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "delete from R",
+        "select top 0 from R order by x",
+        "select top 3 from R",  # missing ORDER BY
+        "select top 3 from R preference by x",  # wrong clause
+        "select skyline from R order by x",  # wrong clause
+        "select skyline from R where A",  # bad conjunct
+        "select skyline from R where A = 1 and A = 2",  # duplicate dim
+        "select top 3 from R order by x * y",  # non-separable
+        "select top 3 from R order by (x - 1)^3",  # unsupported power
+        "select skyline from R preference by ",  # empty list
+        "select skyline from R preference by x, x",  # duplicate
+        "select top 3 from R order by ((x - 1)^2",  # unbalanced parens
+    ],
+)
+def test_parse_rejects_bad_queries(bad):
+    with pytest.raises(SQLSyntaxError):
+        parse_query(bad)
+
+
+def test_parsed_query_dataclass_defaults():
+    parsed = ParsedQuery(kind="skyline")
+    assert parsed.k is None and parsed.where == {}
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end execution
+# --------------------------------------------------------------------------- #
+
+
+def qualifying(system, where):
+    relation = system.relation
+    return [
+        (tid, relation.pref_point(tid))
+        for tid in relation.tids()
+        if all(relation.bool_value(tid, d) == v for d, v in where.items())
+    ]
+
+
+def test_execute_topk(small_system):
+    result = execute(
+        small_system.engine,
+        "select top 5 from R where A1 = 3 order by 2*N1 + N2",
+    )
+    assert result.kind == "topk"
+    from repro.query.ranking import LinearFunction
+
+    expected = naive_topk(
+        qualifying(small_system, {"A1": 3}), LinearFunction([2.0, 1.0]), 5
+    )
+    assert [round(s, 9) for s in result.scores] == [
+        round(s, 9) for _, s in expected
+    ]
+
+
+def test_execute_topk_distance(small_system):
+    result = execute(
+        small_system.engine,
+        "select top 4 from R where A2 = 1 "
+        "order by (N1 - 0.5)^2 + 2*(N2 - 0.25)^2",
+    )
+    from repro.query.ranking import WeightedSquaredDistance
+
+    fn = WeightedSquaredDistance(target=(0.5, 0.25), weights=(1.0, 2.0))
+    expected = naive_topk(qualifying(small_system, {"A2": 1}), fn, 4)
+    assert [round(s, 9) for s in result.scores] == [
+        round(s, 9) for _, s in expected
+    ]
+
+
+def test_execute_skyline(small_system):
+    result = execute(
+        small_system.engine, "select skylines from R where A1 = 2 and A3 = 0"
+    )
+    expected = set(
+        naive_skyline(qualifying(small_system, {"A1": 2, "A3": 0}))
+    )
+    assert set(result.tids) == expected
+
+
+def test_execute_skyline_subspace(small_system):
+    result = execute(
+        small_system.engine,
+        "select skylines from R where A1 = 2 preference by N1",
+    )
+    points = qualifying(small_system, {"A1": 2})
+    expected = set(naive_skyline([(t, (p[0],)) for t, p in points]))
+    assert set(result.tids) == expected
+
+
+def test_execute_unknown_dimension(small_system):
+    with pytest.raises(KeyError):
+        execute(small_system.engine, "select skyline from R where nope = 1")
+    with pytest.raises(KeyError):
+        execute(small_system.engine, "select top 2 from R order by nope")

@@ -1,0 +1,102 @@
+"""STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.rtree.bulk import bulk_load
+from repro.rtree.geometry import Rect
+from repro.rtree.node import tuple_path
+
+from tests.rtree.test_rtree import check_invariants, random_points
+
+
+def test_bulk_load_empty():
+    tree = bulk_load([], dims=2, max_entries=4)
+    assert len(tree) == 0
+    assert tree.height() == 1
+
+
+def test_bulk_load_single():
+    tree = bulk_load([(3, (0.5, 0.5))], dims=2, max_entries=4)
+    assert len(tree) == 1
+    assert tree.path_of(3) == (1,)
+
+
+def test_bulk_load_structure_and_paths():
+    points = random_points(500, seed=9)
+    tree = bulk_load(points, dims=2, max_entries=8)
+    assert len(tree) == 500
+    check_invariants(tree)
+    for tid, point in points:
+        assert tree.point_of(tid) == point
+        assert tree.path_of(tid) == tuple_path(tree.leaf_of(tid), tid)
+
+
+def test_bulk_load_range_search_agrees():
+    points = random_points(400, seed=21)
+    tree = bulk_load(points, dims=2, max_entries=8)
+    query = Rect((0.1, 0.1), (0.4, 0.8))
+    expected = sorted(t for t, p in points if query.contains_point(p))
+    assert sorted(tree.range_search(query)) == expected
+
+
+def test_bulk_load_is_packed():
+    """STR should produce far fewer nodes than one-at-a-time insertion."""
+    points = random_points(1000, seed=4)
+    bulk = bulk_load(points, dims=2, max_entries=16, fill_factor=0.9)
+    # ~1000/14 leaves plus a thin upper structure.
+    assert bulk.node_count() <= 1000 / (16 * 0.9 * 0.8)
+
+
+def test_bulk_load_duplicate_tid_rejected():
+    with pytest.raises(ValueError):
+        bulk_load([(1, (0, 0)), (1, (1, 1))], dims=2, max_entries=4)
+
+
+def test_bulk_load_dim_mismatch_rejected():
+    with pytest.raises(ValueError):
+        bulk_load([(1, (0, 0, 0))], dims=2, max_entries=4)
+
+
+def test_bulk_load_supports_dynamic_inserts_afterwards():
+    points = random_points(200, seed=30)
+    tree = bulk_load(points, dims=2, max_entries=8)
+    rng = random.Random(31)
+    for tid in range(200, 260):
+        tree.insert(tid, (rng.random(), rng.random()))
+    check_invariants(tree)
+    assert len(tree) == 260
+
+
+@pytest.mark.parametrize("n", [91, 46, 101, 137, 405])
+def test_bulk_load_never_strands_small_leaves(n):
+    """Regression: greedy chunking stranded 1-entry leaves (91 items at
+    capacity 45 → 45, 45, 1), breaking the min-fill invariant."""
+    points = random_points(n, seed=n)
+    tree = bulk_load(points, dims=2, max_entries=50, fill_factor=0.9)
+    check_invariants(tree)
+
+
+def test_bulk_load_then_delete_everything():
+    """Deletions exercise underflow handling on packed nodes."""
+    points = random_points(137, seed=1)
+    tree = bulk_load(points, dims=2, max_entries=8)
+    rng = random.Random(2)
+    order = [tid for tid, _ in points]
+    rng.shuffle(order)
+    for tid in order:
+        tree.delete(tid)
+        if len(tree) > 0:
+            check_invariants(tree)
+    assert len(tree) == 0
+
+
+def test_bulk_load_3d():
+    rng = random.Random(55)
+    points = [
+        (tid, (rng.random(), rng.random(), rng.random())) for tid in range(300)
+    ]
+    tree = bulk_load(points, dims=3, max_entries=8)
+    check_invariants(tree)
+    assert len(tree) == 300

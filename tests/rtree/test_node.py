@@ -1,0 +1,115 @@
+"""Node slot stability — the property signature maintenance relies on."""
+
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, RTreeNode, subtree_tids, tuple_path
+
+
+def leaf_entry(tid, x=0.0, y=0.0):
+    return Entry(Rect.from_point((x, y)), tid=tid)
+
+
+def test_entry_requires_exactly_one_payload():
+    with pytest.raises(ValueError):
+        Entry(Rect.from_point((0, 0)))
+    with pytest.raises(ValueError):
+        Entry(
+            Rect.from_point((0, 0)),
+            child=RTreeNode(0, 0, 4),
+            tid=1,
+        )
+
+
+def test_add_entry_appends_then_reuses_first_free_slot():
+    node = RTreeNode(0, 0, capacity=4)
+    slots = [node.add_entry(leaf_entry(t)) for t in range(3)]
+    assert slots == [0, 1, 2]
+    node.remove_slot(1)
+    assert node.live_count() == 2
+    # The paper: "when a new tuple is added, the first free entry is
+    # assigned" — so tid 9 lands in slot 1, and slots 0/2 are untouched.
+    assert node.add_entry(leaf_entry(9)) == 1
+    assert node.slot_of_tid(9) == 1
+    assert node.slot_of_tid(0) == 0
+    assert node.slot_of_tid(2) == 2
+
+
+def test_overflow_raises():
+    node = RTreeNode(0, 0, capacity=2)
+    node.add_entry(leaf_entry(0))
+    node.add_entry(leaf_entry(1))
+    assert node.is_full()
+    with pytest.raises(OverflowError):
+        node.add_entry(leaf_entry(2))
+
+
+def test_remove_trailing_hole_is_trimmed():
+    node = RTreeNode(0, 0, capacity=4)
+    for t in range(3):
+        node.add_entry(leaf_entry(t))
+    node.remove_slot(2)
+    assert len(node.entries) == 2  # trailing hole trimmed
+    node.remove_slot(0)
+    assert len(node.entries) == 2  # middle hole stays (slot stability)
+    assert node.entries[0] is None
+
+
+def test_remove_free_slot_rejected():
+    node = RTreeNode(0, 0, capacity=4)
+    node.add_entry(leaf_entry(0))
+    node.add_entry(leaf_entry(1))
+    node.remove_slot(0)
+    with pytest.raises(ValueError):
+        node.remove_slot(0)
+
+
+def test_live_entries_skips_holes():
+    node = RTreeNode(0, 0, capacity=4)
+    for t in range(4):
+        node.add_entry(leaf_entry(t))
+    node.remove_slot(1)
+    assert [slot for slot, _ in node.live_entries()] == [0, 2, 3]
+
+
+def test_mbr_covers_live_entries():
+    node = RTreeNode(0, 0, capacity=4)
+    node.add_entry(leaf_entry(0, 0.0, 0.0))
+    node.add_entry(leaf_entry(1, 1.0, 2.0))
+    assert node.mbr() == Rect((0, 0), (1, 2))
+
+
+def test_mbr_of_empty_node_rejected():
+    with pytest.raises(ValueError):
+        RTreeNode(0, 0, 4).mbr()
+
+
+def test_paths_and_tuple_path():
+    root = RTreeNode(0, 1, capacity=4)
+    leaf_a = RTreeNode(1, 0, capacity=4)
+    leaf_b = RTreeNode(2, 0, capacity=4)
+    leaf_a.add_entry(leaf_entry(10))
+    leaf_b.add_entry(leaf_entry(20))
+    leaf_b.add_entry(leaf_entry(21))
+    root.add_entry(Entry(leaf_a.mbr(), child=leaf_a))
+    root.add_entry(Entry(leaf_b.mbr(), child=leaf_b))
+    assert root.path() == ()
+    assert leaf_a.path() == (1,)
+    assert leaf_b.path() == (2,)
+    assert tuple_path(leaf_a, 10) == (1, 1)
+    assert tuple_path(leaf_b, 21) == (2, 2)
+    assert sorted(subtree_tids(root)) == [10, 20, 21]
+
+
+def test_slot_lookup_errors():
+    node = RTreeNode(0, 0, capacity=4)
+    node.add_entry(leaf_entry(5))
+    with pytest.raises(ValueError):
+        node.slot_of_tid(6)
+    with pytest.raises(ValueError):
+        node.slot_of_child(RTreeNode(9, 0, 4))
+
+
+def test_capacity_minimum():
+    with pytest.raises(ValueError):
+        RTreeNode(0, 0, capacity=1)

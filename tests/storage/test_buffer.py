@@ -1,0 +1,80 @@
+"""The LRU buffer pool: hits are free, misses are counted disk reads."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import IOCounters, SBLOCK
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk()
+
+
+def test_hit_does_not_count(disk):
+    page_id = disk.allocate("t", payload="x")
+    pool = BufferPool(disk, capacity=4)
+    counters = IOCounters()
+    pool.get(page_id, SBLOCK, counters)
+    pool.get(page_id, SBLOCK, counters)
+    pool.get(page_id, SBLOCK, counters)
+    assert counters.get(SBLOCK) == 1
+    assert pool.hits == 2
+    assert pool.misses == 1
+
+
+def test_lru_eviction_recounts(disk):
+    ids = [disk.allocate("t", payload=i) for i in range(3)]
+    pool = BufferPool(disk, capacity=2)
+    counters = IOCounters()
+    pool.get(ids[0], SBLOCK, counters)
+    pool.get(ids[1], SBLOCK, counters)
+    pool.get(ids[2], SBLOCK, counters)  # evicts ids[0]
+    pool.get(ids[0], SBLOCK, counters)  # miss again
+    assert counters.get(SBLOCK) == 4
+
+
+def test_lru_order_is_by_recency(disk):
+    ids = [disk.allocate("t", payload=i) for i in range(3)]
+    pool = BufferPool(disk, capacity=2)
+    counters = IOCounters()
+    pool.get(ids[0], SBLOCK, counters)
+    pool.get(ids[1], SBLOCK, counters)
+    pool.get(ids[0], SBLOCK, counters)  # refresh 0; 1 is now LRU
+    pool.get(ids[2], SBLOCK, counters)  # evicts 1
+    pool.get(ids[0], SBLOCK, counters)  # still resident
+    assert counters.get(SBLOCK) == 3
+
+
+def test_zero_capacity_disables_caching(disk):
+    page_id = disk.allocate("t", payload=1)
+    pool = BufferPool(disk, capacity=0)
+    counters = IOCounters()
+    pool.get(page_id, SBLOCK, counters)
+    pool.get(page_id, SBLOCK, counters)
+    assert counters.get(SBLOCK) == 2
+    assert len(pool) == 0
+
+
+def test_invalidate_forces_reread(disk):
+    page_id = disk.allocate("t", payload="old")
+    pool = BufferPool(disk, capacity=4)
+    assert pool.get(page_id, SBLOCK) == "old"
+    disk.write(page_id, "new")
+    assert pool.get(page_id, SBLOCK) == "old"  # stale until invalidated
+    pool.invalidate(page_id)
+    assert pool.get(page_id, SBLOCK) == "new"
+
+
+def test_clear_resets_stats(disk):
+    page_id = disk.allocate("t", payload=1)
+    pool = BufferPool(disk, capacity=4)
+    pool.get(page_id, SBLOCK)
+    pool.clear()
+    assert pool.hits == 0 and pool.misses == 0 and len(pool) == 0
+
+
+def test_negative_capacity_rejected(disk):
+    with pytest.raises(ValueError):
+        BufferPool(disk, capacity=-1)

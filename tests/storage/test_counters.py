@@ -1,0 +1,72 @@
+"""Tagged I/O counters."""
+
+import pytest
+
+from repro.storage.counters import (
+    DBLOCK,
+    KNOWN_CATEGORIES,
+    SBLOCK,
+    SSIG,
+    IOCounters,
+)
+
+
+def test_fresh_counters_are_zero():
+    counters = IOCounters()
+    assert counters.total() == 0
+    for category in KNOWN_CATEGORIES:
+        assert counters.get(category) == 0
+
+
+def test_record_and_get():
+    counters = IOCounters()
+    counters.record(SSIG)
+    counters.record(SBLOCK, 3)
+    assert counters.get(SSIG) == 1
+    assert counters.get(SBLOCK) == 3
+    assert counters.total() == 4
+
+
+def test_negative_record_rejected():
+    with pytest.raises(ValueError):
+        IOCounters().record(SSIG, -1)
+
+
+def test_custom_categories_accepted():
+    counters = IOCounters()
+    counters.record("my-component")
+    assert counters.get("my-component") == 1
+
+
+def test_snapshot_is_a_copy():
+    counters = IOCounters()
+    counters.record(DBLOCK)
+    snap = counters.snapshot()
+    snap[DBLOCK] = 99
+    assert counters.get(DBLOCK) == 1
+
+
+def test_reset():
+    counters = IOCounters()
+    counters.record(SSIG, 5)
+    counters.reset()
+    assert counters.total() == 0
+
+
+def test_merge_adds():
+    a = IOCounters()
+    b = IOCounters()
+    a.record(SSIG, 2)
+    b.record(SSIG, 3)
+    b.record(DBLOCK)
+    a.merge(b)
+    assert a.get(SSIG) == 5
+    assert a.get(DBLOCK) == 1
+    assert b.get(SSIG) == 3  # merge does not mutate the source
+
+
+def test_iteration_is_sorted():
+    counters = IOCounters()
+    counters.record("z")
+    counters.record("a")
+    assert [k for k, _ in counters] == ["a", "z"]

@@ -1,0 +1,31 @@
+"""Pages and their invariants."""
+
+import pytest
+
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+def test_default_page_size_matches_paper():
+    assert DEFAULT_PAGE_SIZE == 4096
+
+
+def test_page_fields():
+    page = Page(page_id=3, tag="rtree", size=100, payload={"x": 1})
+    assert page.page_id == 3
+    assert page.tag == "rtree"
+    assert page.size == 100
+    assert page.payload == {"x": 1}
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Page(page_id=0, tag="t", size=-1)
+
+
+def test_zero_size_allowed():
+    assert Page(page_id=0, tag="t", size=0).size == 0
+
+
+def test_payload_not_in_repr():
+    page = Page(page_id=1, tag="heap", size=8, payload=list(range(1000)))
+    assert "1000" not in repr(page)
