@@ -66,6 +66,17 @@ class PartialSignature:
         """Decompress every node in this partial."""
         return {sid: decompress(blob) for sid, blob in self.blobs.items()}
 
+    def checksum_bytes(self) -> bytes:
+        """Content fingerprint for page checksums (storage integrity).
+
+        Covers the reference SID, the logical size and every compressed node
+        blob, so any bit of damage to a stored partial is detectable.
+        """
+        parts = [b"partial", str(self.ref_sid).encode(), str(self.size_bytes).encode()]
+        for sid in sorted(self.blobs):
+            parts.append(str(sid).encode() + b"=" + self.blobs[sid])
+        return b"\x1f".join(parts)
+
     def __contains__(self, sid: int) -> bool:
         return sid in self.blobs
 

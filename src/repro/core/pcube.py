@@ -24,6 +24,7 @@ from repro.cube.relation import Relation
 from repro.rtree.rtree import PathChange, RTree
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import IOCounters
+from repro.storage.errors import StorageFault
 
 
 class EmptyReader:
@@ -31,6 +32,10 @@ class EmptyReader:
 
     load_seconds = 0.0
     loads = 0
+    retries = 0
+    failed_loads = 0
+    degraded_checks = 0
+    degraded = False
 
     def check_entry(self, parent_path, position) -> bool:
         return False
@@ -45,6 +50,10 @@ class SignatureAdapter:
 
     load_seconds = 0.0
     loads = 0
+    retries = 0
+    failed_loads = 0
+    degraded_checks = 0
+    degraded = False
 
     def __init__(self, signature: Signature) -> None:
         self.signature = signature
@@ -175,13 +184,21 @@ class PCube:
                     return EmptyReader()
                 resolved.append(atom)
         if eager:
-            signatures = [
-                self.store.load_full_signature(cell, pool, counters)
-                for cell in resolved
-            ]
-            return SignatureAdapter(intersect_all(signatures))
+            try:
+                signatures = [
+                    self.store.load_full_signature(cell, pool, counters)
+                    for cell in resolved
+                ]
+                return SignatureAdapter(intersect_all(signatures))
+            except StorageFault:
+                # Eager assembly needs every partial; if any is unreadable,
+                # fall through to the lazy readers, whose conservative mode
+                # keeps the query correct.
+                pass
         readers = [
-            CellSignatureReader(self.store, cell, pool, counters)
+            CellSignatureReader(
+                self.store, cell, pool, counters, fallback=self.boolean_fallback
+            )
             for cell in resolved
         ]
         if len(readers) == 1:
@@ -246,6 +263,46 @@ class PCube:
         if cover is None:
             return EmptyReader()
         return self.reader_for_cells(cover, pool, counters, eager)
+
+    def boolean_fallback(
+        self,
+        cell: Cell,
+        path: tuple[int, ...],
+        counters: IOCounters | None = None,
+    ) -> bool:
+        """Ground-truth boolean check for degraded readers.
+
+        Leaf-level paths are resolved exactly: one counted random tuple
+        access (``DBOOL``, like the Domination baseline's minimal probing)
+        plus the cell-membership test against the base relation.  Anything
+        that is not a live tuple entry — internal nodes, the root, stale
+        paths — answers ``True`` (conservative: lost pruning, never a lost
+        or spurious result).
+        """
+        entry = self.rtree.entry_at(path)
+        if entry is not None and entry.is_leaf_entry:
+            self.relation.fetch(entry.tid, counters=counters)
+            return cell.matches(self.relation, entry.tid)
+        return True
+
+    def rebuild_cell(self, cell: Cell) -> Signature:
+        """Regenerate a (quarantined) cell's signature from base data.
+
+        The recovery contract: stored signatures are rebuildable caches
+        over the relation and the R-tree, so corruption costs a rebuild,
+        never a wrong answer.  Restores full boolean pruning for the cell.
+        """
+        signature = self.recompute_cell(cell)
+        self.store.clear_quarantine(cell)
+        self.store.fault_stats.rebuilds += 1
+        return signature
+
+    def rebuild_quarantined(self) -> list[Cell]:
+        """Rebuild every quarantined cell; returns the cells rebuilt."""
+        rebuilt = self.store.quarantined_cells()
+        for cell in rebuilt:
+            self.rebuild_cell(cell)
+        return rebuilt
 
     def signature_of(self, cell: Cell) -> Signature:
         """The stored (bitmap) signature of a materialised cell, reassembled

@@ -7,12 +7,30 @@ time a :class:`CellSignatureReader` starts from the root-referenced partial
 and loads further partials only when the search requests a node that is not
 resident yet (Section IV-B.2's retrieval protocol) — every load is counted
 under ``SSIG`` and timed for the Figure 15 breakdown.
+
+Fault tolerance (the Diamond-Dicing contract: OLAP structures are
+rebuildable caches over the base relation, so a lost or corrupt signature
+must never produce a wrong answer, only a slower one):
+
+* :meth:`SignatureStore.load_partial` retries transient read faults with
+  bounded, deterministic backoff;
+* :meth:`SignatureStore.replace_partials` is atomic — new pages are
+  allocated first, the directory swap is the commit point, and a journal
+  entry guarantees a fault mid-rewrite leaves the old partials readable
+  (:meth:`SignatureStore.recover` rolls incomplete rewrites back);
+* when a partial stays unreadable after retries, the owning
+  :class:`CellSignatureReader` enters *conservative mode*: bit tests that
+  cannot be resolved answer ``True`` (losing boolean pruning, preserving
+  Algorithm 1's correctness), leaf-level checks are resolved exactly
+  against the base relation via a fallback, and the cell is quarantined
+  until :meth:`SignatureStore.rebuild_cell` regenerates it.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.bitmap.bitarray import BitArray
 from repro.btree.btree import BPlusTree
@@ -21,11 +39,50 @@ from repro.core.signature import Signature
 from repro.cube.cuboid import Cell
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import SSIG, IOCounters
-from repro.storage.disk import SimulatedDisk
+from repro.storage.disk import PageFault, SimulatedDisk
+from repro.storage.errors import StorageFault
+from repro.storage.faults import FaultStats, RetryPolicy
+
+
+class MissingPartialError(LookupError):
+    """A directory ref points at a partial the store cannot produce.
+
+    Replaces a load-bearing ``assert`` (which vanishes under ``python -O``)
+    on the full-signature reassembly path.
+    """
+
+    def __init__(self, cell_id: str, ref_sid: int) -> None:
+        super().__init__(
+            f"cell {cell_id!r} has no loadable partial for ref SID {ref_sid}"
+        )
+        self.cell_id = cell_id
+        self.ref_sid = ref_sid
+
+
+@dataclass
+class RewriteJournalEntry:
+    """One in-flight maintenance rewrite (crash-recovery bookkeeping).
+
+    Uncommitted entries roll back (free the new pages, keep the old ones);
+    committed entries roll forward (free whatever old pages remain).
+    """
+
+    cell_id: str
+    old_refs: dict[int, int]
+    new_pages: list[int] = field(default_factory=list)
+    committed: bool = False
 
 
 class SignatureStore:
-    """Partial signatures on disk, indexed by (cell id, ref SID)."""
+    """Partial signatures on disk, indexed by (cell id, ref SID).
+
+    Args:
+        disk, fanout, tag, codec: As before.
+        retry_policy: Bounded-backoff retry for transient read faults;
+            defaults to a fresh :class:`RetryPolicy` (deterministic clock,
+            no real sleeps).  Pass ``RetryPolicy(max_attempts=1)`` to
+            disable retrying.
+    """
 
     def __init__(
         self,
@@ -33,16 +90,23 @@ class SignatureStore:
         fanout: int,
         tag: str = "pcube",
         codec: str = "adaptive",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.disk = disk
         self.fanout = fanout
         self.tag = tag
         self.codec = codec
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_stats = FaultStats()
         self._index = BPlusTree(order=128, disk=disk, tag=f"{tag}:index")
         # cell_id -> {ref_sid -> page_id}; mirrors the B+-tree for O(1)
         # unaccounted access (maintenance) while queries go through the
         # counted B+-tree path.
         self._directory: dict[str, dict[int, int]] = {}
+        # cell_id -> (cell, reason) for cells whose partials proved
+        # unreadable; cleared by rebuild_cell().
+        self._quarantined: dict[str, tuple[Cell, str]] = {}
+        self._journal: list[RewriteJournalEntry] = []
 
     # ------------------------------------------------------------------ #
     # writing
@@ -57,27 +121,110 @@ class SignatureStore:
     def replace_partials(
         self, cell: Cell, partials: Sequence[PartialSignature]
     ) -> None:
-        """Replace every stored partial of a cell (maintenance rewrite)."""
+        """Replace every stored partial of a cell (maintenance rewrite).
+
+        Atomic: the new pages are allocated first, then the directory swaps
+        to them in one step (the commit point), then the index is brought in
+        line and the old pages freed.  A journal entry covers the whole
+        rewrite, so a fault at any point leaves either the old or the new
+        partials fully readable — never a mix, never nothing.
+        """
+        self.recover()
         cell_id = cell.cell_id
-        existing = self._directory.get(cell_id, {})
-        for page_id in existing.values():
-            self.disk.free(page_id)
+        existing = dict(self._directory.get(cell_id, {}))
+        journal = RewriteJournalEntry(cell_id=cell_id, old_refs=existing)
+        self._journal.append(journal)
+        # Phase 1: allocate every new page.  A torn fault here propagates
+        # with the directory untouched; recover() frees the orphans.
         refs: dict[int, int] = {}
         for partial in partials:
             page_id = self.disk.allocate(
                 f"{self.tag}:sig", size=partial.size_bytes, payload=partial
             )
+            journal.new_pages.append(page_id)
             refs[partial.ref_sid] = page_id
-            if partial.ref_sid not in existing:
-                self._index.insert((cell_id, partial.ref_sid), page_id)
-        # Refs that disappeared or moved: rewrite the index entry lazily by
-        # inserting the new mapping; readers resolve through the directory
-        # payload check, so stale index slots are harmless but we keep the
-        # index dense by reinserting moved refs.
-        for ref in refs:
-            if ref in existing:
-                self._index.insert((cell_id, ref), refs[ref])
+        # Phase 2: commit — one directory swap.
+        journal.committed = True
         self._directory[cell_id] = refs
+        # Phase 3: keep the B+-tree exactly in line with the directory —
+        # vanished refs are deleted (not left stale), moved refs are
+        # replaced rather than duplicated.
+        for ref in existing:
+            self._index.delete((cell_id, ref))
+        for ref in sorted(refs):
+            self._index.insert((cell_id, ref), refs[ref])
+        # Phase 4: free the replaced pages (registered buffer pools are
+        # told to evict them, so no reader can see a stale partial).
+        for page_id in existing.values():
+            try:
+                self.disk.free(page_id)
+            except PageFault:
+                pass
+        self._journal.remove(journal)
+
+    def recover(self) -> int:
+        """Resolve interrupted rewrites; returns how many were resolved.
+
+        Called automatically at the start of every rewrite and rebuild; safe
+        to call at any time.
+        """
+        resolved = 0
+        for journal in list(self._journal):
+            if journal.committed:
+                # Roll forward: the directory already points at the new
+                # pages; free whatever old pages were not freed yet.
+                leftovers = journal.old_refs.values()
+            else:
+                # Roll back: the old pages are still current; free the
+                # partially allocated new generation.
+                leftovers = journal.new_pages
+            current = set(self._directory.get(journal.cell_id, {}).values())
+            for page_id in leftovers:
+                if page_id in current:
+                    continue
+                try:
+                    self.disk.free(page_id)
+                except PageFault:
+                    pass
+            self._journal.remove(journal)
+            resolved += 1
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # quarantine & rebuild
+    # ------------------------------------------------------------------ #
+
+    def quarantine(self, cell: Cell, reason: object) -> None:
+        """Mark a cell's stored signature as unreadable (degraded mode)."""
+        if cell.cell_id not in self._quarantined:
+            self.fault_stats.quarantines += 1
+        self._quarantined[cell.cell_id] = (cell, repr(reason))
+
+    def is_quarantined(self, cell: Cell) -> bool:
+        return cell.cell_id in self._quarantined
+
+    def quarantined_cells(self) -> list[Cell]:
+        """Cells awaiting a rebuild, in deterministic (cell id) order."""
+        return [
+            cell for _, (cell, _) in sorted(self._quarantined.items())
+        ]
+
+    def clear_quarantine(self, cell: Cell) -> None:
+        self._quarantined.pop(cell.cell_id, None)
+
+    def rebuild_cell(self, cell: Cell, signature: Signature) -> int:
+        """Store a freshly regenerated signature for a quarantined cell.
+
+        The signature comes from the base relation and the R-tree (see
+        :meth:`PCube.rebuild_cell`); the old — possibly corrupt — pages are
+        freed by the rewrite, and the quarantine is lifted.  Returns the
+        number of partials stored.
+        """
+        self.recover()
+        n_partials = self.put_signature(cell, signature)
+        self.clear_quarantine(cell)
+        self.fault_stats.rebuilds += 1
+        return n_partials
 
     # ------------------------------------------------------------------ #
     # reading
@@ -98,21 +245,38 @@ class SignatureStore:
         ref_sid: int,
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
+        on_retry: Callable[[int, Exception], None] | None = None,
     ) -> PartialSignature | None:
         """Load one partial by (cell, ref) — one counted ``SSIG`` page read.
 
         Returns ``None`` when the cell has no partial with that reference.
-        The index descent itself is served from the directory (equivalent
-        to a pinned B+-tree root path); tests exercise the counted B+-tree
-        separately.
+        Transient faults are retried under the store's
+        :attr:`retry_policy`; a read that keeps failing (or a detected
+        corruption) propagates as a typed storage fault for the caller's
+        degraded path.  The index descent itself is served from the
+        directory (equivalent to a pinned B+-tree root path); tests
+        exercise the counted B+-tree separately.
         """
         refs = self._directory.get(cell.cell_id)
         if refs is None or ref_sid not in refs:
             return None
         page_id = refs[ref_sid]
-        if pool is not None:
-            return pool.get(page_id, SSIG, counters)
-        return self.disk.read(page_id, SSIG, counters)
+
+        def read_once() -> PartialSignature:
+            if pool is not None:
+                return pool.get(page_id, SSIG, counters)
+            return self.disk.read(page_id, SSIG, counters)
+
+        def count_retry(attempt: int, exc: Exception) -> None:
+            self.fault_stats.retries += 1
+            if on_retry is not None:
+                on_retry(attempt, exc)
+
+        try:
+            return self.retry_policy.call(read_once, on_retry=count_retry)
+        except StorageFault:
+            self.fault_stats.transient_errors += 1
+            raise
 
     def load_full_signature(
         self,
@@ -125,7 +289,8 @@ class SignatureStore:
         refs = self._directory.get(cell.cell_id, {})
         for ref_sid in sorted(refs):
             partial = self.load_partial(cell, ref_sid, pool, counters)
-            assert partial is not None
+            if partial is None:
+                raise MissingPartialError(cell.cell_id, ref_sid)
             for sid, bits in partial.decode().items():
                 signature.set_node(sid, bits)
         return signature
@@ -135,11 +300,18 @@ class SignatureStore:
         cell: Cell,
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
+        fallback: "BooleanFallback | None" = None,
     ) -> "CellSignatureReader":
-        return CellSignatureReader(self, cell, pool, counters)
+        return CellSignatureReader(self, cell, pool, counters, fallback)
 
     def index_height(self) -> int:
         return self._index.height()
+
+
+#: Exact boolean resolver used in conservative mode: ``(cell, path,
+#: counters) -> does the entry at path contain data of the cell?``  Must be
+#: conservative (``True``) wherever it cannot answer exactly.
+BooleanFallback = Callable[[Cell, tuple[int, ...], "IOCounters | None"], bool]
 
 
 class CellSignatureReader:
@@ -148,6 +320,14 @@ class CellSignatureReader:
     Bit tests trigger partial loads per the paper's retrieval protocol; the
     cumulative wall-clock time spent loading is recorded in
     :attr:`load_seconds` (Figure 15 reports it against total query time).
+
+    When a partial is unreadable after retries the reader degrades instead
+    of failing: the unresolvable refs are remembered, the cell is
+    quarantined in the store, and bit tests that depend on the lost nodes
+    answer conservatively — ``True`` (no pruning) at internal nodes, and
+    exactly via ``fallback`` (a base-relation probe) where one is provided.
+    Algorithm 1 then still returns exactly the fault-free answer, just with
+    more block reads (the robustness overhead the stats record).
     """
 
     def __init__(
@@ -156,36 +336,71 @@ class CellSignatureReader:
         cell: Cell,
         pool: BufferPool | None,
         counters: IOCounters | None,
+        fallback: BooleanFallback | None = None,
     ) -> None:
         self.store = store
         self.cell = cell
         self.pool = pool
         self.counters = counters
+        self.fallback = fallback
         self.fanout = store.fanout
         self._nodes: dict[int, BitArray] = {}
         self._loaded_refs: set[int] = set()
         self._known_missing: set[int] = set()
+        self._unreadable_refs: set[int] = set()
         self.load_seconds = 0.0
         self.loads = 0
+        self.retries = 0
+        self.failed_loads = 0
+        self.degraded_checks = 0
         # The first partial (root reference) is loaded up front, as the
         # paper prescribes ("To begin with, we load the first partial
         # signature referenced by the R-tree root").
         self._load_ref(0)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any partial proved unreadable (conservative mode)."""
+        return bool(self._unreadable_refs)
+
     # ------------------------------------------------------------------ #
     # loading
     # ------------------------------------------------------------------ #
 
-    def _load_ref(self, ref_sid: int) -> bool:
-        """Load the partial referenced by ``ref_sid``; True if it existed."""
+    def _count_retry(self, attempt: int, exc: Exception) -> None:
+        self.retries += 1
+
+    def _load_ref(self, ref_sid: int) -> bool | None:
+        """Load the partial referenced by ``ref_sid``.
+
+        Returns ``True`` when loaded, ``False`` when the store provably has
+        no such partial, and ``None`` when the partial exists but could not
+        be read (transient fault that outlived the retry budget, or
+        corruption) — the caller must treat the nodes it may have held as
+        unknown.
+        """
         if ref_sid in self._loaded_refs:
             return True
         if ref_sid in self._known_missing:
             return False
+        if ref_sid in self._unreadable_refs:
+            return None
         started = time.perf_counter()
-        partial = self.store.load_partial(
-            self.cell, ref_sid, self.pool, self.counters
-        )
+        try:
+            partial = self.store.load_partial(
+                self.cell,
+                ref_sid,
+                self.pool,
+                self.counters,
+                on_retry=self._count_retry,
+            )
+        except StorageFault as fault:
+            self._unreadable_refs.add(ref_sid)
+            self.failed_loads += 1
+            self.store.fault_stats.degraded_loads += 1
+            self.store.quarantine(self.cell, fault)
+            self.load_seconds += time.perf_counter() - started
+            return None
         if partial is None:
             self._known_missing.add(ref_sid)
             self.load_seconds += time.perf_counter() - started
@@ -196,24 +411,48 @@ class CellSignatureReader:
         self.load_seconds += time.perf_counter() - started
         return True
 
-    def _ensure_node(self, node_path: Sequence[int], node_sid: int) -> bool:
-        """Make the node at ``node_path`` resident; False if it has no data.
+    def _ensure_node(self, node_path: Sequence[int], node_sid: int) -> bool | None:
+        """Make the node at ``node_path`` resident.
+
+        Returns ``True`` when resident, ``False`` when provably absent
+        (every candidate partial was readable and none held it), ``None``
+        when unresolvable (some candidate partial was unreadable).
 
         Follows the retrieval protocol: probe the partials referenced by
         each ancestor from the root downward until the node shows up.
         """
         if node_sid in self._nodes:
             return True
+        unresolved = False
         for ref in retrieval_refs(node_path, self.fanout):
             if ref in self._loaded_refs:
                 continue
-            if self._load_ref(ref) and node_sid in self._nodes:
+            outcome = self._load_ref(ref)
+            if outcome is None:
+                unresolved = True
+                continue
+            if outcome and node_sid in self._nodes:
                 return True
-        return node_sid in self._nodes
+        if node_sid in self._nodes:
+            return True
+        return None if unresolved else False
 
     # ------------------------------------------------------------------ #
     # bit tests (the query-time interface)
     # ------------------------------------------------------------------ #
+
+    def _conservative(self, path: tuple[int, ...]) -> bool:
+        """Answer an unresolvable bit test without losing correctness.
+
+        With a fallback, leaf-level paths are answered exactly from the
+        base relation (and internal paths conservatively); without one,
+        every unresolvable test answers ``True`` — boolean pruning is lost
+        for the affected subtree, result correctness is not.
+        """
+        self.degraded_checks += 1
+        if self.fallback is not None:
+            return self.fallback(self.cell, path, self.counters)
+        return True
 
     def check_entry(self, parent_path: Sequence[int], position: int) -> bool:
         """Whether the entry at 1-based ``position`` of the node at
@@ -226,7 +465,10 @@ class CellSignatureReader:
         from repro.core.sid import sid_of_path
 
         parent_sid = sid_of_path(parent_path, self.fanout)
-        if not self._ensure_node(parent_path, parent_sid):
+        resident = self._ensure_node(parent_path, parent_sid)
+        if resident is None:
+            return self._conservative(tuple(parent_path) + (position,))
+        if not resident:
             return False
         bits = self._nodes.get(parent_sid)
         return bits is not None and bits.get(position - 1)
@@ -234,7 +476,10 @@ class CellSignatureReader:
     def check_path(self, path: Sequence[int]) -> bool:
         """Whether the entry addressed by a full path contains cell data."""
         if not path:
-            return bool(self._nodes.get(0) and self._nodes[0].any())
+            resident = self._ensure_node((), 0)
+            if resident is None:
+                return self._conservative(())
+            return bool(resident and self._nodes.get(0) and self._nodes[0].any())
         return self.check_entry(tuple(path[:-1]), path[-1])
 
 
@@ -242,8 +487,9 @@ class AssembledReader:
     """Conjunction of several cell readers (lazy AND).
 
     Exact at leaf slots; conservative at internal nodes (see
-    :mod:`repro.core.ops`).  ``load_seconds``/``loads`` aggregate over the
-    underlying readers for the Figure 15 breakdown.
+    :mod:`repro.core.ops`).  ``load_seconds``/``loads`` and the fault
+    counters aggregate over the underlying readers; the conjunction is
+    degraded as soon as any member is.
     """
 
     def __init__(self, readers: Sequence[CellSignatureReader]) -> None:
@@ -258,6 +504,22 @@ class AssembledReader:
     @property
     def loads(self) -> int:
         return sum(reader.loads for reader in self.readers)
+
+    @property
+    def retries(self) -> int:
+        return sum(reader.retries for reader in self.readers)
+
+    @property
+    def failed_loads(self) -> int:
+        return sum(reader.failed_loads for reader in self.readers)
+
+    @property
+    def degraded_checks(self) -> int:
+        return sum(reader.degraded_checks for reader in self.readers)
+
+    @property
+    def degraded(self) -> bool:
+        return any(reader.degraded for reader in self.readers)
 
     def check_entry(self, parent_path: Sequence[int], position: int) -> bool:
         return all(

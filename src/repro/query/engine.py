@@ -286,6 +286,10 @@ class PreferenceEngine:
         stats.elapsed_seconds = time.perf_counter() - started
         if reader is not None:
             stats.sig_load_seconds = reader.load_seconds
+            stats.fault_retries = getattr(reader, "retries", 0)
+            stats.failed_loads = getattr(reader, "failed_loads", 0)
+            stats.degraded_checks = getattr(reader, "degraded_checks", 0)
+            stats.degraded = bool(getattr(reader, "degraded", False))
 
         tids = [e.tid for e in final_state.results if e.tid is not None]
         scores = (

@@ -31,6 +31,13 @@ class QueryStats:
             (Domination baseline).
         sig_load_seconds: Time spent loading partial signatures (Fig. 15).
         elapsed_seconds: End-to-end execution time.
+        fault_retries: Transient-fault retries the signature loads needed.
+        failed_loads: Partial loads abandoned after retries (each one put a
+            cell into conservative mode).
+        degraded_checks: Bit tests answered conservatively or via the
+            base-relation fallback because a partial was unreadable.
+        degraded: Whether this query ran with any signature degraded — the
+            per-query "degraded query" flag robustness benchmarks count.
     """
 
     counters: IOCounters = field(default_factory=IOCounters)
@@ -43,6 +50,10 @@ class QueryStats:
     verify_failed: int = 0
     sig_load_seconds: float = 0.0
     elapsed_seconds: float = 0.0
+    fault_retries: int = 0
+    failed_loads: int = 0
+    degraded_checks: int = 0
+    degraded: bool = False
 
     def note_heap(self, size: int) -> None:
         if size > self.peak_heap:
@@ -91,10 +102,16 @@ class QueryStats:
         return self.elapsed_seconds + seconds_per_io * self.total_io()
 
     def summary(self) -> dict[str, float]:
-        return {
+        summary = {
             "elapsed_seconds": self.elapsed_seconds,
             "total_io": self.total_io(),
             "peak_heap": self.peak_heap,
             "results": self.results,
             **{k: v for k, v in self.counters},
         }
+        if self.degraded or self.fault_retries or self.degraded_checks:
+            summary["degraded"] = int(self.degraded)
+            summary["fault_retries"] = self.fault_retries
+            summary["failed_loads"] = self.failed_loads
+            summary["degraded_checks"] = self.degraded_checks
+        return summary

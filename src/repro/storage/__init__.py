@@ -7,17 +7,47 @@ reproduction therefore allocates its nodes as pages on a
 :class:`~repro.storage.disk.SimulatedDisk` and reads them through an
 :class:`~repro.storage.counters.IOCounters` instance, so the counter
 breakdowns of Figures 6, 9 and 15 are measurable and hardware independent.
+
+The fault-tolerance layer (:mod:`repro.storage.faults`) wraps the disk with
+deterministic fault injection — transient read errors, checksummed-page
+corruption, torn rewrites — plus bounded retry-with-backoff, so the query
+engine's degraded-but-correct fallback paths can be exercised and measured.
 """
 
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import IOCounters
-from repro.storage.disk import SimulatedDisk
+from repro.storage.disk import PageFault, SimulatedDisk
+from repro.storage.errors import (
+    CorruptPageError,
+    StorageFault,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.storage.faults import (
+    DeterministicClock,
+    FaultPlan,
+    FaultRule,
+    FaultStats,
+    FaultyDisk,
+    RetryPolicy,
+)
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
 __all__ = [
     "BufferPool",
+    "CorruptPageError",
     "DEFAULT_PAGE_SIZE",
+    "DeterministicClock",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "FaultyDisk",
     "IOCounters",
     "Page",
+    "PageFault",
+    "RetryPolicy",
     "SimulatedDisk",
+    "StorageFault",
+    "TornWriteError",
+    "TransientIOError",
 ]

@@ -4,15 +4,24 @@ Query-time accounting in the paper counts *disk* accesses, so repeated hits
 on a hot page (the R-tree root, the first partial signature) must not be
 re-counted.  The buffer pool absorbs them: only misses reach
 :meth:`SimulatedDisk.read` and its counters.
+
+The pool registers itself with its disk, which calls :meth:`invalidate`
+whenever a page is freed — a maintenance rewrite or quarantine-rebuild can
+therefore never serve a stale cached partial.  An optional
+:class:`~repro.storage.faults.RetryPolicy` makes :meth:`get` retry
+transient read faults with deterministic backoff.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.storage.counters import IOCounters
 from repro.storage.disk import SimulatedDisk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.faults import RetryPolicy
 
 
 class BufferPool:
@@ -22,16 +31,27 @@ class BufferPool:
         disk: Backing store.
         capacity: Maximum number of resident pages.  ``capacity=0`` disables
             caching (every access is a disk read).
+        retry_policy: When given, transient read faults are retried with
+            bounded backoff before propagating.
     """
 
-    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int = 256,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.disk = disk
         self.capacity = capacity
+        self.retry_policy = retry_policy
         self._cache: OrderedDict[int, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        register = getattr(disk, "register_pool", None)
+        if register is not None:
+            register(self)
 
     def get(
         self,
@@ -49,7 +69,12 @@ class BufferPool:
             self._cache.move_to_end(page_id)
             return self._cache[page_id]
         self.misses += 1
-        payload = self.disk.read(page_id, category, counters)
+        if self.retry_policy is not None:
+            payload = self.retry_policy.call(
+                lambda: self.disk.read(page_id, category, counters)
+            )
+        else:
+            payload = self.disk.read(page_id, category, counters)
         if self.capacity > 0:
             self._cache[page_id] = payload
             if len(self._cache) > self.capacity:
@@ -57,7 +82,7 @@ class BufferPool:
         return payload
 
     def invalidate(self, page_id: int) -> None:
-        """Drop a page from the cache (after a write)."""
+        """Drop a page from the cache (after a write or free)."""
         self._cache.pop(page_id, None)
 
     def clear(self) -> None:

@@ -38,6 +38,16 @@ BTREE = "BTREE"
 
 KNOWN_CATEGORIES = (SSIG, SBLOCK, DBLOCK, DBOOL, BINDEX, BTABLE, RTREE, BTREE)
 
+#: Write-side categories, recorded on a disk's *separate*
+#: :attr:`~repro.storage.disk.SimulatedDisk.write_counters` so that the
+#: read-access figures (9, 15) stay untouched while maintenance I/O
+#: (Figure 7's rewrites) is measurable.
+ALLOC = "ALLOC"
+WRITE = "WRITE"
+FREE = "FREE"
+
+WRITE_CATEGORIES = (ALLOC, WRITE, FREE)
+
 
 class IOCounters:
     """A mutable multiset of I/O events, keyed by category string.

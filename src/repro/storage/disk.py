@@ -3,13 +3,25 @@
 The disk never serialises payloads; it tracks *logical* page sizes so that
 space figures (paper Figure 6) and access counts (Figures 9, 15) can be
 reported exactly, while the Python objects stay directly usable.
+
+Robustness additions:
+
+* every page is sealed with a checksum at allocate/write and verified on
+  read — corruption surfaces as a typed
+  :class:`~repro.storage.errors.CorruptPageError` instead of wrong bits;
+* writes, allocations and frees are tallied on :attr:`write_counters`
+  (separate from the read-side :attr:`counters` the paper's figures use),
+  so maintenance I/O is measurable;
+* buffer pools register themselves and are told to evict a page when it is
+  freed, so a rewrite can never serve a stale cached payload.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Iterator
 
-from repro.storage.counters import IOCounters
+from repro.storage.counters import ALLOC, FREE, WRITE, IOCounters
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
 
@@ -34,6 +46,24 @@ class SimulatedDisk:
         #: Disk-wide counters; reads may also record into caller-supplied
         #: counters (per-query accounting).
         self.counters = IOCounters()
+        #: Write-side accounting (``ALLOC`` / ``WRITE`` / ``FREE``), kept
+        #: separate so the read-access figures are unaffected.
+        self.write_counters = IOCounters()
+        #: Buffer pools to notify when a page is freed (weakly held — pools
+        #: are usually per-query and must not be kept alive by the disk).
+        self._pools: "weakref.WeakSet" = weakref.WeakSet()
+
+    # ------------------------------------------------------------------ #
+    # buffer-pool coordination
+    # ------------------------------------------------------------------ #
+
+    def register_pool(self, pool: Any) -> None:
+        """Register a buffer pool for free-time invalidation callbacks."""
+        self._pools.add(pool)
+
+    def _notify_freed(self, page_id: int) -> None:
+        for pool in list(self._pools):
+            pool.invalidate(page_id)
 
     # ------------------------------------------------------------------ #
     # allocation
@@ -48,20 +78,29 @@ class SimulatedDisk:
         """
         page_id = self._next_id
         self._next_id += 1
-        self._pages[page_id] = Page(
+        page = Page(
             page_id=page_id,
             tag=tag,
             size=self.page_size if size is None else size,
             payload=payload,
         )
+        page.seal()
+        self._pages[page_id] = page
+        self.write_counters.record(ALLOC)
         return page_id
 
     def free(self, page_id: int) -> None:
-        """Release a page."""
+        """Release a page (evicting it from every registered buffer pool)."""
         try:
             del self._pages[page_id]
         except KeyError:
             raise PageFault(page_id) from None
+        self.write_counters.record(FREE)
+        self._notify_freed(page_id)
+
+    def exists(self, page_id: int) -> bool:
+        """Whether a page id is currently allocated."""
+        return page_id in self._pages
 
     # ------------------------------------------------------------------ #
     # access
@@ -76,7 +115,10 @@ class SimulatedDisk:
         """Fetch a page payload, recording one access under ``category``.
 
         The access is recorded on the disk-wide counters and, when given, on
-        the per-query ``counters`` as well.
+        the per-query ``counters`` as well.  The payload is verified against
+        the page checksum; a mismatch raises
+        :class:`~repro.storage.errors.CorruptPageError` (the transfer still
+        counts — the bytes moved, they were just wrong).
         """
         try:
             page = self._pages[page_id]
@@ -85,6 +127,7 @@ class SimulatedDisk:
         self.counters.record(category)
         if counters is not None:
             counters.record(category)
+        page.verify()
         return page.payload
 
     def write(self, page_id: int, payload: Any, size: int | None = None) -> None:
@@ -96,6 +139,8 @@ class SimulatedDisk:
         page.payload = payload
         if size is not None:
             page.size = size
+        page.seal()
+        self.write_counters.record(WRITE)
 
     def peek(self, page_id: int) -> Page:
         """Inspect a page without counting an access (for tests/tools)."""

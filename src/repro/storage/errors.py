@@ -1,0 +1,43 @@
+"""Typed storage failures.
+
+Production disks fail in three characteristic ways, and the fault-tolerance
+layer names each so callers can react precisely:
+
+* :class:`TransientIOError` — the read failed this time but may succeed on a
+  retry (bus resets, timeouts).  Bounded retry-with-backoff is the remedy.
+* :class:`CorruptPageError` — the page transferred but its payload does not
+  match the checksum recorded at write time.  Retrying is pointless; the
+  page must be rebuilt from the base data.
+* :class:`TornWriteError` — a multi-page rewrite stopped part-way (power
+  loss mid-rewrite).  The rewrite journal guarantees the old pages are
+  still readable.
+
+:class:`StorageFault` is the common base so recovery code can catch the
+whole family at once.
+"""
+
+from __future__ import annotations
+
+
+class StorageFault(IOError):
+    """Base class of every injected or detected storage failure."""
+
+
+class TransientIOError(StorageFault):
+    """A read or write failed transiently; a retry may succeed."""
+
+
+class CorruptPageError(StorageFault):
+    """A page's payload does not match its recorded checksum."""
+
+    def __init__(self, page_id: int, tag: str = "") -> None:
+        super().__init__(
+            f"checksum mismatch on page {page_id}"
+            + (f" (tag {tag!r})" if tag else "")
+        )
+        self.page_id = page_id
+        self.tag = tag
+
+
+class TornWriteError(StorageFault):
+    """A multi-page rewrite was interrupted part-way through."""

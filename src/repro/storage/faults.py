@@ -1,0 +1,392 @@
+"""Deterministic, seeded fault injection over the simulated disk.
+
+Production disks fail; the paper's retrieval protocol (Section IV-B.2)
+assumes they don't.  This module supplies the missing failure model:
+
+* :class:`FaultPlan` — a declarative schedule of :class:`FaultRule`\\ s,
+  matched by page tag prefix, exact page id, access count and (seeded)
+  probability, so every fault sequence is reproducible bit for bit;
+* :class:`FaultyDisk` — a transparent wrapper around
+  :class:`~repro.storage.disk.SimulatedDisk` that consults the plan on
+  every operation and injects transient read errors, permanent page
+  corruption, or torn multi-page rewrites;
+* :class:`RetryPolicy` — bounded retry with exponential backoff over a
+  :class:`DeterministicClock` (no real sleeps, so tests and benchmarks stay
+  fast and reproducible);
+* :class:`FaultStats` — the tallies the robustness benchmarks report.
+
+A typical schedule::
+
+    plan = FaultPlan(
+        rules=[
+            FaultRule(kind="transient", tag="pcube:sig", count=2),
+            FaultRule(kind="corrupt", tag="pcube:sig", after=5, count=1),
+        ],
+        seed=7,
+    )
+    disk = FaultyDisk(SimulatedDisk(), plan)
+
+The first two partial-signature reads fail transiently (then succeed on
+retry); the sixth matching read permanently corrupts its page, which every
+later read detects as :class:`~repro.storage.errors.CorruptPageError`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.storage.counters import IOCounters
+from repro.storage.disk import PageFault, SimulatedDisk
+from repro.storage.errors import (
+    CorruptPageError,
+    StorageFault,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.storage.page import Page
+
+FAULT_KINDS = ("transient", "corrupt", "torn")
+
+
+# ---------------------------------------------------------------------- #
+# deterministic time + retry
+# ---------------------------------------------------------------------- #
+
+
+class DeterministicClock:
+    """A clock that only advances when told to sleep — no real waiting."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.now += seconds
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    ``max_attempts`` counts the initial try; ``max_attempts=1`` disables
+    retrying.  Backoff is charged to the deterministic clock, so the total
+    simulated wait is inspectable (``clock.now``) without real sleeps.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    clock: DeterministicClock = field(default_factory=DeterministicClock)
+    retries: int = 0  # lifetime retry count across calls
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        on_retry: Callable[[int, Exception], None] | None = None,
+    ) -> Any:
+        """Run ``fn``, retrying on :class:`TransientIOError` with backoff.
+
+        Permanent failures (:class:`CorruptPageError`, :class:`PageFault`)
+        propagate immediately — retrying cannot fix them.
+        """
+        delay = self.base_delay
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except TransientIOError as exc:
+                if attempt == self.max_attempts:
+                    raise
+                self.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.clock.sleep(delay)
+                delay *= self.multiplier
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------- #
+# fault schedules
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class FaultRule:
+    """One line of a fault schedule.
+
+    Attributes:
+        kind: ``"transient"`` (read fails, retry may succeed),
+            ``"corrupt"`` (page payload permanently damaged; every later
+            read raises :class:`CorruptPageError`) or ``"torn"`` (a write /
+            allocation raises :class:`TornWriteError` mid-rewrite).
+        op: Which operation the rule watches: ``"read"``, ``"write"`` or
+            ``"allocate"``.  Defaults to ``"read"`` for transient/corrupt
+            and is normally ``"allocate"`` or ``"write"`` for torn rules.
+        tag: Page-tag prefix filter (``""`` matches every page).
+        page_id: Exact page filter (``None`` matches every page).
+        after: Skip this many matching accesses before firing.
+        count: Fire at most this many times (``None`` = unlimited).
+        probability: Fire with this probability per eligible access, drawn
+            from the plan's seeded generator (1.0 = always).
+    """
+
+    kind: str
+    op: str = "read"
+    tag: str = ""
+    page_id: int | None = None
+    after: int = 0
+    count: int | None = 1
+    probability: float = 1.0
+    seen: int = field(default=0, repr=False)
+    fired: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.op not in ("read", "write", "allocate"):
+            raise ValueError(f"unknown fault op {self.op!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def matches(self, op: str, tag: str, page_id: int | None) -> bool:
+        if op != self.op:
+            return False
+        if self.tag and not tag.startswith(self.tag):
+            return False
+        if self.page_id is not None and page_id != self.page_id:
+            return False
+        return True
+
+    def exhausted(self) -> bool:
+        return self.count is not None and self.fired >= self.count
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of fault rules.
+
+    The plan is stateful: each rule tracks how many matching accesses it has
+    seen and how many times it has fired, so ``after``/``count`` windows are
+    exact and reproducible for a fixed workload and seed.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: int = 0) -> None:
+        self.rules = list(rules)
+        self._rng = random.Random(seed)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def next_fault(self, op: str, tag: str, page_id: int | None) -> FaultRule | None:
+        """The first rule that fires for this access, advancing rule state."""
+        for rule in self.rules:
+            if not rule.matches(op, tag, page_id):
+                continue
+            rule.seen += 1
+            if rule.exhausted() or rule.seen <= rule.after:
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            rule.fired += 1
+            return rule
+        return None
+
+    def pending(self) -> bool:
+        """Whether any rule can still fire."""
+        return any(not rule.exhausted() for rule in self.rules)
+
+
+class CorruptPayload:
+    """What a corrupted page holds: recognisably not the original object.
+
+    Carries the original payload for post-mortem inspection only; nothing in
+    the read path ever unwraps it — detection happens via the checksum.
+    """
+
+    def __init__(self, original: Any) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"CorruptPayload({type(self.original).__qualname__})"
+
+
+@dataclass
+class FaultStats:
+    """Fault and recovery tallies (robustness-overhead reporting)."""
+
+    transient_errors: int = 0
+    corrupt_pages: int = 0
+    torn_writes: int = 0
+    retries: int = 0
+    degraded_loads: int = 0
+    quarantines: int = 0
+    rebuilds: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "transient_errors": self.transient_errors,
+            "corrupt_pages": self.corrupt_pages,
+            "torn_writes": self.torn_writes,
+            "retries": self.retries,
+            "degraded_loads": self.degraded_loads,
+            "quarantines": self.quarantines,
+            "rebuilds": self.rebuilds,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# the fault-injecting disk
+# ---------------------------------------------------------------------- #
+
+
+class FaultyDisk:
+    """A :class:`SimulatedDisk` wrapper that injects scheduled faults.
+
+    Drop-in compatible with ``SimulatedDisk`` (every structure in the
+    system reads and writes through the same interface), so a whole system
+    can be built over a ``FaultyDisk`` with an empty plan and armed later::
+
+        disk = FaultyDisk(SimulatedDisk())
+        system = build_system(generate_relation(config, disk=disk))
+        disk.plan = FaultPlan([FaultRule(kind="transient", tag="pcube:sig")])
+
+    Injection points:
+
+    * ``read`` — ``transient`` rules raise :class:`TransientIOError` before
+      the transfer; ``corrupt`` rules damage the page payload in place
+      (without re-sealing), so this and every later read detects a checksum
+      mismatch and raises :class:`CorruptPageError`.
+    * ``write`` / ``allocate`` — ``torn`` rules raise
+      :class:`TornWriteError` before the operation, modelling a rewrite
+      interrupted part-way; ``transient`` rules raise
+      :class:`TransientIOError`.
+    """
+
+    def __init__(
+        self, inner: SimulatedDisk | None = None, plan: FaultPlan | None = None
+    ) -> None:
+        self.inner = inner if inner is not None else SimulatedDisk()
+        self.plan = plan if plan is not None else FaultPlan()
+        #: kind -> number of injected faults.
+        self.fault_counts: Counter[str] = Counter()
+        #: Chronological injection log: ``(op, kind, page_id)``.
+        self.injected: list[tuple[str, str, int | None]] = []
+
+    # -- plan consultation --------------------------------------------- #
+
+    def _consult(self, op: str, tag: str, page_id: int | None) -> FaultRule | None:
+        rule = self.plan.next_fault(op, tag, page_id)
+        if rule is not None:
+            self.fault_counts[rule.kind] += 1
+            self.injected.append((op, rule.kind, page_id))
+        return rule
+
+    def _corrupt(self, page: Page) -> None:
+        if not isinstance(page.payload, CorruptPayload):
+            page.payload = CorruptPayload(page.payload)
+        # The checksum is deliberately NOT re-sealed: the mismatch is the
+        # detection signal.
+
+    # -- faultable operations ------------------------------------------ #
+
+    def allocate(self, tag: str, size: int | None = None, payload: Any = None) -> int:
+        rule = self._consult("allocate", tag, None)
+        if rule is not None:
+            if rule.kind == "torn":
+                raise TornWriteError(f"torn allocation under tag {tag!r}")
+            if rule.kind == "transient":
+                raise TransientIOError(f"transient allocation fault ({tag!r})")
+        return self.inner.allocate(tag, size, payload)
+
+    def write(self, page_id: int, payload: Any, size: int | None = None) -> None:
+        tag = self.inner.peek(page_id).tag if self.inner.exists(page_id) else ""
+        rule = self._consult("write", tag, page_id)
+        if rule is not None:
+            if rule.kind == "torn":
+                raise TornWriteError(f"torn write on page {page_id}")
+            if rule.kind == "transient":
+                raise TransientIOError(f"transient write fault on page {page_id}")
+        self.inner.write(page_id, payload, size)
+
+    def read(
+        self,
+        page_id: int,
+        category: str,
+        counters: IOCounters | None = None,
+    ) -> Any:
+        if not self.inner.exists(page_id):
+            raise PageFault(page_id)
+        page = self.inner.peek(page_id)
+        rule = self._consult("read", page.tag, page_id)
+        if rule is not None:
+            if rule.kind == "transient":
+                # The transfer never happened: no access is counted.
+                raise TransientIOError(f"transient read fault on page {page_id}")
+            if rule.kind == "corrupt":
+                self._corrupt(page)
+        return self.inner.read(page_id, category, counters)
+
+    # -- transparent delegation ---------------------------------------- #
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
+
+    @property
+    def counters(self) -> IOCounters:
+        return self.inner.counters
+
+    @property
+    def write_counters(self) -> IOCounters:
+        return self.inner.write_counters
+
+    def register_pool(self, pool: Any) -> None:
+        self.inner.register_pool(pool)
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+
+    def exists(self, page_id: int) -> bool:
+        return self.inner.exists(page_id)
+
+    def peek(self, page_id: int) -> Page:
+        return self.inner.peek(page_id)
+
+    def pages(self, tag_prefix: str = "") -> Iterator[Page]:
+        return self.inner.pages(tag_prefix)
+
+    def page_count(self, tag_prefix: str = "") -> int:
+        return self.inner.page_count(tag_prefix)
+
+    def size_bytes(self, tag_prefix: str = "") -> int:
+        return self.inner.size_bytes(tag_prefix)
+
+    def size_mb(self, tag_prefix: str = "") -> float:
+        return self.inner.size_mb(tag_prefix)
+
+    def oversized_pages(self) -> list[Page]:
+        return self.inner.oversized_pages()
+
+
+__all__ = [
+    "CorruptPageError",
+    "CorruptPayload",
+    "DeterministicClock",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "FaultyDisk",
+    "RetryPolicy",
+    "StorageFault",
+    "TornWriteError",
+    "TransientIOError",
+]

@@ -5,15 +5,52 @@ arbitrary in-memory payload (a node object, a signature fragment, a slab of
 tuples, ...) together with a *logical size in bytes*; the logical size is what
 the space-accounting of Figure 6 sums, while reads/writes are counted per
 page regardless of payload size.
+
+Every page also records a CRC32 checksum of its payload *fingerprint* at
+allocate/write time, verified on read.  Payloads are live Python objects, so
+the fingerprint is content-based where the content is value-like (bytes,
+scalars, or anything exposing ``checksum_bytes()`` — partial signatures do)
+and type-based for mutable structural objects (R-tree / B+-tree nodes, heap
+tid slabs) that are legitimately mutated in place between writes.  Either
+way, a payload swapped for garbage is detected and surfaces as a typed
+:class:`~repro.storage.errors.CorruptPageError` instead of silently wrong
+bits.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.storage.errors import CorruptPageError
+
 #: Default page size in bytes, as used throughout the paper's evaluation.
 DEFAULT_PAGE_SIZE = 4096
+
+
+def payload_fingerprint(payload: Any) -> bytes:
+    """The byte string a page checksum is computed over.
+
+    Value-like payloads fingerprint their full content; structural objects
+    that are mutated in place between explicit writes fingerprint their type
+    (still enough to catch a payload replaced wholesale by corruption).
+    """
+    if payload is None:
+        return b"\x00none"
+    checksum_bytes = getattr(payload, "checksum_bytes", None)
+    if checksum_bytes is not None:
+        return checksum_bytes()
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return bytes(payload)
+    if isinstance(payload, (bool, int, float, str)):
+        return repr(payload).encode()
+    return type(payload).__qualname__.encode()
+
+
+def compute_checksum(payload: Any) -> int:
+    """CRC32 over the payload fingerprint."""
+    return zlib.crc32(payload_fingerprint(payload))
 
 
 @dataclass
@@ -28,13 +65,28 @@ class Page:
             for structures that decompose to fit, such as partial
             signatures).
         payload: The in-memory object this page holds.
+        checksum: CRC32 of the payload fingerprint, set by :meth:`seal`;
+            ``None`` means the page was never sealed (verification skips it).
     """
 
     page_id: int
     tag: str
     size: int
     payload: Any = field(default=None, repr=False)
+    checksum: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.size < 0:
             raise ValueError(f"page size must be non-negative, got {self.size}")
+
+    def seal(self) -> None:
+        """Record the current payload's checksum (called on allocate/write)."""
+        self.checksum = compute_checksum(self.payload)
+
+    def verify(self) -> None:
+        """Raise :class:`CorruptPageError` if the payload no longer matches
+        the checksum recorded by the last :meth:`seal`."""
+        if self.checksum is None:
+            return
+        if compute_checksum(self.payload) != self.checksum:
+            raise CorruptPageError(self.page_id, self.tag)

@@ -3,11 +3,18 @@
 import pytest
 
 from repro.core.signature import Signature
-from repro.core.store import AssembledReader, CellSignatureReader, SignatureStore
+from repro.core.store import (
+    AssembledReader,
+    CellSignatureReader,
+    MissingPartialError,
+    SignatureStore,
+)
 from repro.cube.cuboid import Cell
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import SSIG, IOCounters
 from repro.storage.disk import SimulatedDisk
+from repro.storage.errors import TornWriteError
+from repro.storage.faults import FaultPlan, FaultRule, FaultyDisk
 
 FANOUT = 4
 CELL = Cell(("A",), ("a1",))
@@ -159,3 +166,111 @@ def test_assembled_reader_requires_readers():
 def test_index_height(store):
     store.put_signature(CELL, wide_signature())
     assert store.index_height() >= 1
+
+
+def test_missing_partial_is_a_typed_error(store, monkeypatch):
+    store.put_signature(CELL, wide_signature())
+    monkeypatch.setattr(store, "load_partial", lambda *a, **k: None)
+    with pytest.raises(MissingPartialError) as excinfo:
+        store.load_full_signature(CELL)
+    assert excinfo.value.cell_id == CELL.cell_id
+
+
+def test_replace_keeps_index_consistent_with_directory(store):
+    store.put_signature(CELL, wide_signature())
+    n_wide = store.n_partials(CELL)
+    assert n_wide > 1
+    store.put_signature(CELL, Signature.from_paths([(1, 1)], FANOUT))
+    expected = {
+        (CELL.cell_id, ref): page
+        for ref, page in store._directory[CELL.cell_id].items()
+    }
+    entries = list(store._index.items())
+    # Exactly the live refs: no stale entries for vanished refs, no
+    # duplicates for refs that survived the rewrite.
+    assert dict(entries) == expected
+    assert len(entries) == len(expected)
+    for ref in range(n_wide):
+        if (CELL.cell_id, ref) not in expected:
+            assert store._index.search((CELL.cell_id, ref)) == []
+
+
+def test_quarantine_and_rebuild(store):
+    signature = wide_signature()
+    store.put_signature(CELL, signature)
+    store.quarantine(CELL, "corrupt page")
+    assert store.is_quarantined(CELL)
+    assert store.quarantined_cells() == [CELL]
+    assert store.fault_stats.quarantines == 1
+    store.quarantine(CELL, "again")  # re-quarantining is not double-counted
+    assert store.fault_stats.quarantines == 1
+    store.rebuild_cell(CELL, signature)
+    assert not store.is_quarantined(CELL)
+    assert store.fault_stats.rebuilds == 1
+    assert store.load_full_signature(CELL) == signature
+
+
+def test_load_partial_retries_transient_faults():
+    disk = FaultyDisk(SimulatedDisk(page_size=48))
+    store = SignatureStore(disk, fanout=FANOUT, codec="raw")
+    signature = wide_signature()
+    store.put_signature(CELL, signature)
+    disk.plan = FaultPlan([FaultRule(kind="transient", count=2)])
+    assert store.load_full_signature(CELL) == signature
+    assert store.fault_stats.retries == 2
+    assert store.fault_stats.transient_errors == 0  # none outlived retries
+
+
+def test_torn_rewrite_leaves_old_partials_readable():
+    disk = FaultyDisk(SimulatedDisk(page_size=48))
+    store = SignatureStore(disk, fanout=FANOUT, codec="raw")
+    old = wide_signature()
+    store.put_signature(CELL, old)
+    pages_before = disk.page_count("pcube:sig")
+    # First new-generation page lands, the second allocation tears.
+    disk.plan = FaultPlan(
+        [FaultRule(kind="torn", op="allocate", tag="pcube:sig", after=1, count=1)]
+    )
+    with pytest.raises(TornWriteError):
+        store.put_signature(CELL, old)
+    assert store.load_full_signature(CELL) == old  # old generation intact
+    assert disk.page_count("pcube:sig") == pages_before + 1  # one orphan
+    assert store.recover() == 1
+    assert disk.page_count("pcube:sig") == pages_before  # orphan reclaimed
+    replacement = Signature.from_paths([(2, 2)], FANOUT)
+    store.put_signature(CELL, replacement)
+    assert store.load_full_signature(CELL) == replacement
+
+
+def test_reader_degrades_on_corrupt_partial():
+    disk = FaultyDisk(SimulatedDisk(page_size=48))
+    store = SignatureStore(disk, fanout=FANOUT, codec="raw")
+    store.put_signature(CELL, Signature.from_paths([(1, 2)], FANOUT))
+    disk.plan = FaultPlan([FaultRule(kind="corrupt", tag="pcube:sig", count=1)])
+    reader = store.reader(CELL)
+    assert reader.degraded
+    assert reader.failed_loads == 1
+    assert store.is_quarantined(CELL)
+    # Conservative mode: unresolvable bit tests answer True — pruning is
+    # lost, correctness is not.
+    assert reader.check_entry((), 1)
+    assert reader.check_entry((), 3)
+    assert reader.degraded_checks == 2
+
+
+def test_reader_degraded_mode_uses_exact_fallback():
+    disk = FaultyDisk(SimulatedDisk(page_size=48))
+    store = SignatureStore(disk, fanout=FANOUT, codec="raw")
+    store.put_signature(CELL, Signature.from_paths([(1, 2)], FANOUT))
+    disk.plan = FaultPlan([FaultRule(kind="corrupt", tag="pcube:sig", count=1)])
+    probed = []
+
+    def fallback(cell, path, counters):
+        probed.append(path)
+        return path == (1, 2)
+
+    reader = store.reader(CELL, fallback=fallback)
+    assert reader.degraded
+    assert reader.check_path((1, 2))
+    assert not reader.check_path((1, 3))  # exact, not conservative
+    assert probed == [(1, 2), (1, 3)]

@@ -9,8 +9,12 @@ from repro.core.partial import decompose
 from repro.core.signature import Signature
 from repro.core.store import SignatureStore
 from repro.cube.cuboid import Cell
+from repro.data.synthetic import generate_relation
+from repro.data.workload import sample_predicate
 from repro.rtree.rtree import RTree
 from repro.storage.disk import PageFault, SimulatedDisk
+from repro.storage.faults import FaultPlan, FaultRule, FaultyDisk
+from repro.system import build_system
 
 
 def test_remove_path_failure_leaves_counts_intact():
@@ -95,3 +99,58 @@ def test_engine_queries_leave_disk_counters_consistent(small_system, rng):
     assert after >= before
     assert result.stats.total_io() <= after - before + result.stats.total_io()
     assert after - before >= result.stats.total_io()
+
+
+# ---------------------------------------------------------------------- #
+# fault schedules (the storage fault model, end to end)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.faults
+def test_transient_fault_schedule_is_transparent(small_system, small_config, rng):
+    """A bounded burst of transient read faults is absorbed by retries:
+    same answer, nonzero retry counter, no degradation."""
+    disk = FaultyDisk(SimulatedDisk())
+    faulty = build_system(generate_relation(small_config, disk=disk), fanout=8)
+    predicate = sample_predicate(small_system.relation, 1, rng)
+    baseline = small_system.engine.skyline(predicate)
+
+    disk.plan = FaultPlan(
+        [FaultRule(kind="transient", tag="pcube:sig", count=3)]
+    )
+    result = faulty.engine.skyline(predicate)
+    assert result.tids == baseline.tids
+    assert result.stats.fault_retries == 3
+    assert not result.stats.degraded
+    assert result.stats.failed_loads == 0
+
+
+@pytest.mark.faults
+def test_corruption_degrades_then_rebuild_restores(
+    small_system, small_config, rng
+):
+    """Permanent corruption flips the query to conservative mode (same
+    answer, more work); rebuilding the quarantined cell restores full
+    pruning at exactly the fault-free cost."""
+    disk = FaultyDisk(SimulatedDisk())
+    faulty = build_system(generate_relation(small_config, disk=disk), fanout=8)
+    predicate = sample_predicate(small_system.relation, 1, rng)
+    baseline = small_system.engine.skyline(predicate)
+
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="pcube:sig", count=1)]
+    )
+    degraded = faulty.engine.skyline(predicate)
+    assert degraded.tids == baseline.tids  # correctness survives
+    assert degraded.stats.degraded
+    assert degraded.stats.failed_loads >= 1
+    assert degraded.stats.degraded_checks > 0
+    quarantined = faulty.pcube.store.quarantined_cells()
+    assert quarantined
+
+    disk.plan = FaultPlan()
+    assert faulty.pcube.rebuild_quarantined() == quarantined
+    healed = faulty.engine.skyline(predicate)
+    assert healed.tids == baseline.tids
+    assert not healed.stats.degraded
+    assert healed.stats.ssig == baseline.stats.ssig

@@ -78,3 +78,25 @@ def test_clear_resets_stats(disk):
 def test_negative_capacity_rejected(disk):
     with pytest.raises(ValueError):
         BufferPool(disk, capacity=-1)
+
+
+def test_free_evicts_from_registered_pools(disk):
+    page_id = disk.allocate("t", payload="x")
+    pool_a = BufferPool(disk, capacity=4)
+    pool_b = BufferPool(disk, capacity=4)
+    pool_a.get(page_id, SBLOCK)
+    pool_b.get(page_id, SBLOCK)
+    disk.free(page_id)
+    # Neither pool may keep serving a freed page from cache.
+    assert len(pool_a) == 0
+    assert len(pool_b) == 0
+
+
+def test_freed_then_reallocated_id_is_never_aliased(disk):
+    pool = BufferPool(disk, capacity=4)
+    old = disk.allocate("t", payload="old")
+    pool.get(old, SBLOCK)
+    disk.free(old)
+    new = disk.allocate("t", payload="new")
+    assert new != old  # ids are monotonic, freed ids never reused
+    assert pool.get(new, SBLOCK) == "new"

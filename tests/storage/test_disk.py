@@ -100,3 +100,17 @@ def test_peek_does_not_count():
 def test_invalid_page_size_rejected():
     with pytest.raises(ValueError):
         SimulatedDisk(page_size=0)
+
+
+def test_write_accounting_is_separate_from_read_counters():
+    disk = SimulatedDisk()
+    page_id = disk.allocate("t", payload=1)
+    other = disk.allocate("t", payload=2)
+    disk.write(page_id, 3)
+    disk.write(page_id, 4)
+    disk.free(other)
+    assert disk.write_counters.get("ALLOC") == 2
+    assert disk.write_counters.get("WRITE") == 2
+    assert disk.write_counters.get("FREE") == 1
+    # Build/maintenance traffic never pollutes the paper's read figures.
+    assert disk.counters.total() == 0
