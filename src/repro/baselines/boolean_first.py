@@ -105,7 +105,10 @@ def select_tuples(
             if page not in seen_pages:
                 seen_pages.add(page)
                 stats.counters.record(BTABLE)
-            if all(
+            # B+-tree postings keep deleted tids (no index maintenance on
+            # delete), so tombstones are filtered here, after paying for
+            # the page that proves the row is dead.
+            if relation.is_live(tid) and all(
                 relation.bool_value(tid, dim) == val
                 for dim, val in conjuncts.items()
             ):

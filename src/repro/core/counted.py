@@ -131,6 +131,15 @@ class CountedSignature:
             sids.append(sid)
         return sids
 
+    def __eq__(self, other: object) -> bool:
+        """Exact count-level equality (consistency audits compare a live
+        counted signature against one rebuilt from the R-tree)."""
+        if not isinstance(other, CountedSignature):
+            return NotImplemented
+        return self.fanout == other.fanout and self._counts == other._counts
+
+    __hash__ = None  # mutable; forbid hashing, like Signature
+
     def __bool__(self) -> bool:
         return bool(self._counts)
 

@@ -12,13 +12,22 @@ time:
   single insert in their 1M-tuple run);
 * :func:`delete_tuple` / :func:`update_tuple` — the paper treats these as
   "similar" to insertion; the path-change machinery covers them directly.
+
+Every driver optionally runs under a :class:`~repro.core.wal.MaintenanceWAL`
+(pass ``wal=``): the operation's intent is journalled before any structure
+is touched, the merged path changes after the relation and R-tree phases,
+and each dirty cell's completed rewrite as it commits, so a crash at any
+point is recoverable (see :meth:`repro.system.PCubeSystem.recover`).
+Without a WAL the drivers behave exactly as before — the fast path the
+Figure 7 benchmarks time.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.pcube import PCube
+from repro.core.wal import MaintenanceWAL
 from repro.cube.cuboid import Cell
 from repro.cube.relation import Relation
 from repro.rtree.rtree import PathChange, RTree
@@ -46,17 +55,37 @@ def merge_changes(changes: Sequence[PathChange]) -> list[PathChange]:
     ]
 
 
+def _cell_logger(
+    wal: MaintenanceWAL | None, op_id: int | None
+) -> "Callable[[Cell], None] | None":
+    if wal is None or op_id is None:
+        return None
+    return lambda cell: wal.log_cell_stored(op_id, cell.cell_id)
+
+
 def insert_tuple(
     relation: Relation,
     rtree: RTree,
     pcube: PCube,
     bool_row: tuple,
     pref_row: tuple,
+    wal: MaintenanceWAL | None = None,
 ) -> tuple[int, set[Cell]]:
     """Insert one tuple end to end; returns (tid, dirty cells)."""
+    op_id = None
+    if wal is not None:
+        op_id = wal.begin(
+            "insert",
+            base=len(relation),
+            rows=[(tuple(bool_row), tuple(float(v) for v in pref_row))],
+        )
     tid = relation.append(bool_row, pref_row)
-    changes = rtree.insert(tid, pref_row)
-    dirty = pcube.apply_changes(changes)
+    changes = merge_changes(rtree.insert(tid, pref_row))
+    if wal is not None:
+        wal.log_changes(op_id, changes)
+    dirty = pcube.apply_changes(changes, on_cell_stored=_cell_logger(wal, op_id))
+    if wal is not None:
+        wal.commit(op_id)
     return tid, dirty
 
 
@@ -65,15 +94,31 @@ def insert_batch(
     rtree: RTree,
     pcube: PCube,
     rows: Sequence[tuple[tuple, tuple]],
+    wal: MaintenanceWAL | None = None,
 ) -> tuple[list[int], set[Cell]]:
     """Insert many tuples, patching signatures once at the end."""
+    op_id = None
+    if wal is not None:
+        op_id = wal.begin(
+            "insert_batch",
+            base=len(relation),
+            rows=[
+                (tuple(bool_row), tuple(float(v) for v in pref_row))
+                for bool_row, pref_row in rows
+            ],
+        )
     all_changes: list[PathChange] = []
     tids: list[int] = []
     for bool_row, pref_row in rows:
         tid = relation.append(bool_row, pref_row)
         tids.append(tid)
         all_changes.extend(rtree.insert(tid, pref_row))
-    dirty = pcube.apply_changes(merge_changes(all_changes))
+    changes = merge_changes(all_changes)
+    if wal is not None:
+        wal.log_changes(op_id, changes)
+    dirty = pcube.apply_changes(changes, on_cell_stored=_cell_logger(wal, op_id))
+    if wal is not None:
+        wal.commit(op_id)
     return tids, dirty
 
 
@@ -82,15 +127,25 @@ def delete_tuple(
     rtree: RTree,
     pcube: PCube,
     tid: int,
+    wal: MaintenanceWAL | None = None,
 ) -> set[Cell]:
     """Delete a tuple from the index and patch signatures.
 
     The relation keeps the row as a tombstone (its cell membership is still
-    needed to patch the right signatures); the R-tree and every signature
-    stop referencing it.
+    needed to patch the right signatures) but drops it from every live-row
+    access path; the R-tree and every signature stop referencing it.
     """
-    changes = rtree.delete(tid)
-    return pcube.apply_changes(changes)
+    op_id = None
+    if wal is not None:
+        op_id = wal.begin("delete", tid=tid)
+    relation.tombstone(tid)
+    changes = merge_changes(rtree.delete(tid))
+    if wal is not None:
+        wal.log_changes(op_id, changes)
+    dirty = pcube.apply_changes(changes, on_cell_stored=_cell_logger(wal, op_id))
+    if wal is not None:
+        wal.commit(op_id)
+    return dirty
 
 
 def update_tuple(
@@ -99,8 +154,27 @@ def update_tuple(
     pcube: PCube,
     tid: int,
     new_pref_row: tuple,
+    wal: MaintenanceWAL | None = None,
 ) -> set[Cell]:
-    """Move a tuple in preference space and patch signatures."""
-    changes = rtree.update(tid, new_pref_row)
+    """Move a tuple in preference space and patch signatures.
+
+    The relation is written *before* the R-tree is touched: overwriting a
+    preference row is pure memory (it cannot fail), so an exception inside
+    the R-tree mutation can no longer leave the index describing a point
+    the relation never adopted.
+    """
+    if not relation.is_live(tid):
+        raise KeyError(f"tid {tid} is not live")
+    op_id = None
+    if wal is not None:
+        op_id = wal.begin(
+            "update", tid=tid, pref_row=tuple(float(v) for v in new_pref_row)
+        )
     relation.overwrite_pref(tid, new_pref_row)
-    return pcube.apply_changes(changes)
+    changes = merge_changes(rtree.update(tid, new_pref_row))
+    if wal is not None:
+        wal.log_changes(op_id, changes)
+    dirty = pcube.apply_changes(changes, on_cell_stored=_cell_logger(wal, op_id))
+    if wal is not None:
+        wal.commit(op_id)
+    return dirty

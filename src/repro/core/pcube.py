@@ -8,7 +8,7 @@ incremental updates driven by R-tree path changes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.counted import CountedSignature
 from repro.core.generation import generate_cuboid_signatures
@@ -304,6 +304,38 @@ class PCube:
             self.rebuild_cell(cell)
         return rebuilt
 
+    def rebuild_all(self) -> int:
+        """Regenerate every materialised cell from the relation + R-tree.
+
+        The crash-recovery big hammer: when an interrupted operation left
+        the tree mid-mutation, the tree is reset first and then every cell
+        signature (and counted signature) is re-derived from scratch, in
+        deterministic cell-id order.  Cells whose tuples are all tombstoned
+        keep an empty signature, exactly as incremental deletes leave them.
+        Quarantines are lifted as a side effect — the fresh pages replace
+        whatever was unreadable.  Returns the number of cells stored.
+        """
+        paths = self.rtree.all_paths()
+        stored = 0
+        for cuboid in self.cuboids:
+            groups = cuboid.group(self.relation, include_tombstoned=True)
+            for cell in sorted(groups, key=lambda c: c.cell_id):
+                tids = [
+                    tid for tid in groups[cell] if self.relation.is_live(tid)
+                ]
+                signature = Signature.from_paths(
+                    (paths[tid] for tid in tids), self.fanout
+                )
+                self.store.put_signature(cell, signature)
+                self.store.clear_quarantine(cell)
+                if self.maintainable:
+                    counted = CountedSignature(self.fanout)
+                    for tid in tids:
+                        counted.add_path(paths[tid])
+                    self._counted[cell] = counted
+                stored += 1
+        return stored
+
     def signature_of(self, cell: Cell) -> Signature:
         """The stored (bitmap) signature of a materialised cell, reassembled
         without access accounting (tests and maintenance)."""
@@ -315,13 +347,25 @@ class PCube:
     # incremental maintenance (Section IV-B.3)
     # ------------------------------------------------------------------ #
 
-    def apply_changes(self, changes: Sequence[PathChange]) -> set[Cell]:
+    def apply_changes(
+        self,
+        changes: Sequence[PathChange],
+        on_cell_stored: "Callable[[Cell], None] | None" = None,
+    ) -> set[Cell]:
         """Patch signatures for a set of R-tree path changes.
 
         For every changed tuple and every materialised cuboid, the tuple's
         cell is updated: the old path's counts are removed, the new path's
         added; bits flip exactly when counts cross zero.  Dirty cells are
-        then re-decomposed and re-stored once.  Returns the dirty cells.
+        then re-decomposed and re-stored once, in cell-id order (the WAL
+        relies on that determinism to replay an interrupted store phase),
+        with ``on_cell_stored`` invoked after each cell commits.  Returns
+        the dirty cells.
+
+        The counted updates touch no disk page; the first disk access of
+        this method is the first cell's rewrite.  Crash recovery leans on
+        that: once the WAL holds the merged changes, any later crash left
+        the counted signatures fully post-op in memory.
         """
         if not self.maintainable:
             raise RuntimeError(
@@ -343,9 +387,41 @@ class PCube:
                 if change.new_path is not None:
                     counted.add_path(change.new_path)
                 dirty.add(cell)
-        for cell in dirty:
+        for cell in sorted(dirty, key=lambda c: c.cell_id):
             self.store.put_signature(cell, self._counted[cell].to_signature())
+            if on_cell_stored is not None:
+                on_cell_stored(cell)
         return dirty
+
+    def dirty_cells_for(self, changes: Sequence[PathChange]) -> set[Cell]:
+        """The cells a change stream touches — exactly the set
+        :meth:`apply_changes` would re-store (WAL replay recomputes it from
+        the journalled changes instead of trusting crash-time state)."""
+        dirty: set[Cell] = set()
+        for change in changes:
+            if change.old_path == change.new_path:
+                continue
+            for cuboid in self.cuboids:
+                dirty.add(cuboid.cell_for(self.relation, change.tid))
+        return dirty
+
+    def restore_cell(self, cell: Cell) -> None:
+        """Re-store one cell's signature from its in-memory counted state.
+
+        The WAL replay path: the counted signatures are fully post-op once
+        the changes record is durable, so re-deriving the bitmap from them
+        and rewriting the cell is idempotent.  Falls back to a full
+        recompute when no counted state is available."""
+        counted = self._counted.get(cell)
+        if counted is not None:
+            self.store.put_signature(cell, counted.to_signature())
+            self.store.clear_quarantine(cell)
+        else:
+            self.recompute_cell(cell)
+
+    def counted_of(self, cell: Cell) -> CountedSignature | None:
+        """The live counted signature of a cell (consistency audits)."""
+        return self._counted.get(cell)
 
     def recompute_cell(self, cell: Cell) -> Signature:
         """Rebuild one cell's signature from the current R-tree paths.
@@ -356,7 +432,9 @@ class PCube:
         """
         paths = self.rtree.all_paths()
         tids = [
-            tid for tid in self.relation.tids() if cell.matches(self.relation, tid)
+            tid
+            for tid in self.relation.live_tids()
+            if cell.matches(self.relation, tid)
         ]
         signature = Signature.from_paths(
             (paths[tid] for tid in tids), self.fanout

@@ -307,6 +307,55 @@ class SignatureStore:
     def index_height(self) -> int:
         return self._index.height()
 
+    def refs_for(self, cell: Cell) -> dict[int, int]:
+        """The directory's ``ref_sid -> page_id`` map for a cell (audits)."""
+        return dict(self._directory.get(cell.cell_id, {}))
+
+    def directory_entries(self) -> list[tuple[tuple[str, int], int]]:
+        """Every ``((cell_id, ref_sid), page_id)`` pair in the directory,
+        in key order — the shape :meth:`index_entries` returns, so audits
+        can compare the two views directly."""
+        return [
+            ((cell_id, ref), refs[ref])
+            for cell_id in sorted(self._directory)
+            for refs in (self._directory[cell_id],)
+            for ref in sorted(refs)
+        ]
+
+    def index_entries(self) -> list[tuple[tuple[str, int], int]]:
+        """Every ``((cell_id, ref_sid), page_id)`` pair in the B+-tree, in
+        key order (consistency audits compare this against the directory)."""
+        entries: list[tuple[tuple[str, int], int]] = []
+        for key in self._index.distinct_keys():
+            for page_id in self._index.search(key):
+                entries.append((key, page_id))
+        return entries
+
+    def reset_index(self) -> int:
+        """Discard and re-derive the (cell, ref) B+-tree from the directory.
+
+        The directory is authoritative (the index mirrors it for counted
+        query-time descents), and a crash between B+-tree page writes can
+        leave the index structurally broken mid-split — so crash recovery
+        does not repair it, it rebuilds it.  Returns the number of entries
+        reinserted.  Idempotent.
+        """
+        for page in list(self.disk.pages(f"{self.tag}:index")):
+            try:
+                self.disk.free(page.page_id)
+            except PageFault:
+                pass
+        self._index = BPlusTree(
+            order=128, disk=self.disk, tag=f"{self.tag}:index"
+        )
+        entries = 0
+        for cell_id in sorted(self._directory):
+            refs = self._directory[cell_id]
+            for ref in sorted(refs):
+                self._index.insert((cell_id, ref), refs[ref])
+                entries += 1
+        return entries
+
 
 #: Exact boolean resolver used in conservative mode: ``(cell, path,
 #: counters) -> does the entry at path contain data of the cell?``  Must be

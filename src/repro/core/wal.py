@@ -1,0 +1,237 @@
+"""The maintenance write-ahead log.
+
+Incremental maintenance (paper Section IV-B.3) mutates three structures —
+the base relation's heap, the R-tree and the per-cell signatures — and
+PR 1's read-path contract (signatures are stale-but-rebuildable, never
+silently wrong) only holds if a crash between those mutations is
+recoverable.  This module journals every maintenance operation so that
+:meth:`repro.system.PCubeSystem.recover` can finish (or deterministically
+redo) whatever a crash interrupted.
+
+Record protocol — one disk page per record, tag ``wal:rec``:
+
+1. ``intent`` — written by :meth:`MaintenanceWAL.begin` *before any other
+   page is touched*.  Carries the operation name and everything needed to
+   re-apply its relation-level effect: the rows (and the pre-operation
+   relation length, so replay knows which appends already happened) for
+   inserts, the tid for deletes, the tid and new preference row for
+   updates.
+2. ``changes`` — written after the relation and R-tree mutations complete,
+   holding the merged :class:`~repro.rtree.rtree.PathChange` records.  Its
+   presence is the recovery watershed: counted-signature patching is pure
+   memory, so once this record is durable only the per-cell store phase can
+   be incomplete.
+3. ``cell`` — one per dirty cell, written after that cell's atomic
+   signature rewrite commits.  Replay skips cells already marked.
+4. Commit is *truncation*: every record page of the operation is freed.
+   ``free`` is not a faultable operation (a dead process cannot half-forget
+   a page it never needed again), so commit is atomic and an empty WAL
+   means the last operation fully completed.
+
+Exactly one operation may be in flight; :meth:`MaintenanceWAL.begin` raises
+while a pending operation exists, forcing recovery before new work — the
+same discipline a single-writer maintenance thread would enforce.
+
+The *disk pages* are the WAL's source of truth: :meth:`MaintenanceWAL
+.pending` reconstructs the in-flight operation from whatever record pages
+survived, in LSN order, precisely because a crash leaves the in-memory
+bookkeeping untrustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.query.stats import MaintenanceStats
+from repro.rtree.rtree import PathChange
+from repro.storage.disk import SimulatedDisk
+
+#: Nominal on-disk sizes (the simulator accounts space, not bytes-exact
+#: encodings): a fixed record header plus per-item costs.
+_RECORD_HEADER_BYTES = 24
+_PATH_COMPONENT_BYTES = 2
+_VALUE_BYTES = 8
+
+
+def _encode_change(change: PathChange) -> tuple:
+    return (change.tid, change.old_path, change.new_path)
+
+
+def _decode_change(raw: Sequence) -> PathChange:
+    tid, old_path, new_path = raw
+    return PathChange(
+        tid,
+        None if old_path is None else tuple(old_path),
+        None if new_path is None else tuple(new_path),
+    )
+
+
+@dataclass
+class PendingOp:
+    """One interrupted maintenance operation, reconstructed from disk.
+
+    ``changes is None`` means the crash predates the ``changes`` record —
+    the relation / R-tree phase may be mid-mutation.  ``stored_cells``
+    holds the cell ids whose signature rewrite provably committed.
+    """
+
+    op_id: int
+    op: str
+    payload: dict[str, Any]
+    changes: list[PathChange] | None = None
+    stored_cells: list[str] = field(default_factory=list)
+
+
+class MaintenanceWAL:
+    """Intent journal for the incremental-maintenance drivers.
+
+    Args:
+        disk: The system disk (records live beside the structures they
+            protect, under their own tag).
+        tag: Page-tag prefix; records use ``f"{tag}:rec"``.
+        stats: Shared maintenance tallies (record/commit counts).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        tag: str = "wal",
+        stats: MaintenanceStats | None = None,
+    ) -> None:
+        self.disk = disk
+        self.tag = tag
+        self.stats = stats if stats is not None else MaintenanceStats()
+        self._next_lsn = 0
+        self._next_op_id = 0
+        # Rebuild the counters from surviving records ("reopen" semantics:
+        # a WAL constructed over a disk with live records must not reuse
+        # their ids).
+        for record in self._records():
+            self._next_lsn = max(self._next_lsn, record["lsn"] + 1)
+            self._next_op_id = max(self._next_op_id, record["op_id"] + 1)
+
+    # ------------------------------------------------------------------ #
+    # the record pages
+    # ------------------------------------------------------------------ #
+
+    @property
+    def record_tag(self) -> str:
+        return f"{self.tag}:rec"
+
+    def _records(self) -> list[dict[str, Any]]:
+        """Every surviving record, in LSN order, straight from the disk."""
+        return sorted(
+            (page.payload for page in self.disk.pages(self.record_tag)),
+            key=lambda record: record["lsn"],
+        )
+
+    def _record_pages(self, op_id: int) -> list[int]:
+        return [
+            page.page_id
+            for page in self.disk.pages(self.record_tag)
+            if page.payload["op_id"] == op_id
+        ]
+
+    def _append(self, record: dict[str, Any], size: int) -> None:
+        record["lsn"] = self._next_lsn
+        self._next_lsn += 1
+        self.disk.allocate(
+            self.record_tag, size=_RECORD_HEADER_BYTES + size, payload=record
+        )
+        self.stats.wal_records += 1
+
+    # ------------------------------------------------------------------ #
+    # the journalling protocol
+    # ------------------------------------------------------------------ #
+
+    def begin(self, op: str, **payload: Any) -> int:
+        """Journal an operation's intent; returns its op id.
+
+        Raises:
+            RuntimeError: while a previous operation's records survive —
+                recovery must run before new maintenance starts.
+        """
+        if self.pending() is not None:
+            raise RuntimeError(
+                "the WAL holds an interrupted maintenance operation; "
+                "run recover() before starting new maintenance"
+            )
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        size = _VALUE_BYTES * (
+            1 + sum(len(str(value)) for value in payload.values())
+        )
+        self._append(
+            {"op_id": op_id, "kind": "intent", "op": op, "payload": payload},
+            size=size,
+        )
+        return op_id
+
+    def log_changes(self, op_id: int, changes: Sequence[PathChange]) -> None:
+        """Journal the merged path changes (relation + R-tree are done)."""
+        encoded = [_encode_change(change) for change in changes]
+        size = sum(
+            _VALUE_BYTES
+            + _PATH_COMPONENT_BYTES
+            * (len(old or ()) + len(new or ()))
+            for _, old, new in encoded
+        )
+        self._append(
+            {"op_id": op_id, "kind": "changes", "changes": encoded}, size=size
+        )
+
+    def log_cell_stored(self, op_id: int, cell_id: str) -> None:
+        """Journal one cell's completed signature rewrite."""
+        self._append(
+            {"op_id": op_id, "kind": "cell", "cell_id": cell_id},
+            size=len(cell_id),
+        )
+
+    def commit(self, op_id: int) -> None:
+        """Truncate the operation's records — the atomic happy ending.
+
+        Page frees cannot fault or crash (a dying process cannot half-lose
+        interest in a page), so after the first free returns the operation
+        is observably either fully present or fully gone per page, and the
+        loop completes unconditionally.
+        """
+        for page_id in self._record_pages(op_id):
+            self.disk.free(page_id)
+        self.stats.wal_commits += 1
+
+    # ------------------------------------------------------------------ #
+    # recovery-side view
+    # ------------------------------------------------------------------ #
+
+    def pending(self) -> PendingOp | None:
+        """The interrupted operation the disk records describe, if any."""
+        records = self._records()
+        if not records:
+            return None
+        ops: dict[int, PendingOp] = {}
+        for record in records:
+            op_id = record["op_id"]
+            if record["kind"] == "intent":
+                ops[op_id] = PendingOp(
+                    op_id=op_id,
+                    op=record["op"],
+                    payload=dict(record["payload"]),
+                )
+            elif record["kind"] == "changes":
+                ops[op_id].changes = [
+                    _decode_change(raw) for raw in record["changes"]
+                ]
+            elif record["kind"] == "cell":
+                ops[op_id].stored_cells.append(record["cell_id"])
+        if len(ops) != 1:  # pragma: no cover - begin() forbids this
+            raise RuntimeError(
+                f"WAL holds records of {len(ops)} operations; expected 1"
+            )
+        return next(iter(ops.values()))
+
+    def is_empty(self) -> bool:
+        return self.disk.page_count(self.record_tag) == 0
+
+
+__all__ = ["MaintenanceWAL", "PendingOp"]

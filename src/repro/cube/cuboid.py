@@ -63,11 +63,20 @@ class Cuboid:
     def name(self) -> str:
         return "(" + ",".join(self.dims) + ")"
 
-    def group(self, relation: Relation) -> dict[Cell, list[int]]:
-        """Group tids of ``relation`` into this cuboid's cells."""
+    def group(
+        self, relation: Relation, include_tombstoned: bool = False
+    ) -> dict[Cell, list[int]]:
+        """Group live tids of ``relation`` into this cuboid's cells.
+
+        Signatures describe the queryable (live) partition, so tombstoned
+        rows are skipped by default; pass ``include_tombstoned=True`` for
+        storage-level audits that need every slot."""
         positions = [relation.schema.boolean_position(d) for d in self.dims]
+        tids = (
+            relation.tids() if include_tombstoned else relation.live_tids()
+        )
         groups: dict[Cell, list[int]] = {}
-        for tid in relation.tids():
+        for tid in tids:
             row = relation.bool_row(tid)
             cell = Cell(self.dims, tuple(row[p] for p in positions))
             groups.setdefault(cell, []).append(tid)

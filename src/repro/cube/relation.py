@@ -62,6 +62,7 @@ class Relation:
         )
         self.rows_per_page = max(1, self.disk.page_size // self._row_bytes)
         self._page_ids: list[int] = []
+        self._tombstones: set[int] = set()
         self._build_heap()
 
     def _build_heap(self) -> None:
@@ -87,22 +88,67 @@ class Relation:
         tid = len(self)
         self._bool_rows.append(tuple(bool_row))
         self._pref_rows.append(tuple(float(v) for v in pref_row))
+        self._append_to_page(tid)
+        return tid
+
+    def _append_to_page(self, tid: int) -> None:
+        """Page one already-buffered row (the tail of the heap file)."""
         if self._page_ids:
             last_page = self.disk.peek(self._page_ids[-1])
             if len(last_page.payload) < self.rows_per_page:
                 last_page.payload.append(tid)
                 last_page.size += self._row_bytes
-                return tid
+                return
         self._page_ids.append(
             self.disk.allocate(self.tag, size=self._row_bytes, payload=[tid])
         )
-        return tid
+
+    def paged_count(self) -> int:
+        """How many rows have reached heap pages (rows are paged in tid
+        order, so this is also the first unpaged tid)."""
+        return sum(
+            len(self.disk.peek(page_id).payload) for page_id in self._page_ids
+        )
+
+    def repair_heap(self) -> int:
+        """Page any buffered rows a crash left off the heap file.
+
+        ``append`` buffers the row before allocating its page, so a crash
+        in the allocation leaves a contiguous unpaged tail; re-paging that
+        tail is idempotent.  Returns the number of rows repaired.
+        """
+        first_unpaged = self.paged_count()
+        for tid in range(first_unpaged, len(self)):
+            self._append_to_page(tid)
+        return len(self) - first_unpaged
 
     def overwrite_pref(self, tid: int, pref_row: tuple) -> None:
         """Replace a row's preference values in place (update experiments)."""
         if len(pref_row) != self.schema.n_preference:
             raise ValueError("preference row width does not match schema")
         self._pref_rows[tid] = tuple(float(v) for v in pref_row)
+
+    # ------------------------------------------------------------------ #
+    # tombstones (incremental deletes)
+    # ------------------------------------------------------------------ #
+
+    def tombstone(self, tid: int) -> None:
+        """Mark a row deleted.  The row data stays in place (so signature
+        maintenance can still resolve its cells) but every live-row access
+        path — ``scan``, ``pref_points``, ``live_tids`` — skips it.
+        Idempotent: tombstoning a tombstone is a no-op."""
+        if not 0 <= tid < len(self):
+            raise IndexError(f"tid {tid} out of range")
+        self._tombstones.add(tid)
+
+    def is_live(self, tid: int) -> bool:
+        return 0 <= tid < len(self) and tid not in self._tombstones
+
+    def live_tids(self) -> Iterator[int]:
+        return (tid for tid in range(len(self)) if tid not in self._tombstones)
+
+    def live_count(self) -> int:
+        return len(self) - len(self._tombstones)
 
     # ------------------------------------------------------------------ #
     # plain (uncounted) access for in-memory algorithms
@@ -124,8 +170,12 @@ class Relation:
         return range(len(self))
 
     def pref_points(self) -> Iterator[tuple[int, tuple[float, ...]]]:
-        """All ``(tid, preference_point)`` pairs (R-tree loading input)."""
-        return enumerate(self._pref_rows)
+        """Live ``(tid, preference_point)`` pairs (R-tree loading input)."""
+        return (
+            (tid, point)
+            for tid, point in enumerate(self._pref_rows)
+            if tid not in self._tombstones
+        )
 
     # ------------------------------------------------------------------ #
     # counted access paths
@@ -139,10 +189,14 @@ class Relation:
         counters: IOCounters | None = None,
         category: str = BTABLE,
     ) -> Iterator[int]:
-        """Full table scan: yields every tid, reading each heap page once."""
+        """Full table scan: yields every *live* tid, reading each heap page
+        once.  Tombstoned rows still occupy their slots (and are paid for in
+        the page read) but are not yielded."""
         for page_id in self._page_ids:
             tids = self.disk.read(page_id, category, counters)
-            yield from tids
+            for tid in tids:
+                if tid not in self._tombstones:
+                    yield tid
 
     def fetch(
         self,

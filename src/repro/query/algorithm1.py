@@ -47,9 +47,20 @@ class HeapEntry:
     Node entries carry the MBR their *parent* stored for them (``rect``) —
     known without reading the node itself, which is what strategies must
     prune on.
+
+    ``tie`` breaks sum-key collisions.  The skyline strategies' key is a
+    float sum of coordinates, and rounding can make a dominated point's key
+    *equal* to its dominator's (the real-arithmetic strict inequality
+    collapses to a tie in the last ulp).  BBS's correctness argument needs
+    the dominator out of the heap first, so strategies supply the probe
+    vector itself as a lexicographic tie-break: float addition is monotone,
+    hence componentwise-≤ implies key-≤, and on a key tie componentwise-≤
+    plus somewhere-< implies lexicographically-<.  Node entries use the low
+    corner, which is componentwise ≤ every contained point, so dominating
+    chains pop first inductively.
     """
 
-    __slots__ = ("key", "seq", "path", "node", "tid", "point", "rect")
+    __slots__ = ("key", "tie", "seq", "path", "node", "tid", "point", "rect")
 
     def __init__(
         self,
@@ -60,8 +71,10 @@ class HeapEntry:
         tid: int | None = None,
         point: tuple[float, ...] | None = None,
         rect: Rect | None = None,
+        tie: tuple[float, ...] = (),
     ) -> None:
         self.key = key
+        self.tie = tie
         self.seq = seq
         self.path = path
         self.node = node
@@ -74,7 +87,7 @@ class HeapEntry:
         return self.tid is not None
 
     def __lt__(self, other: "HeapEntry") -> bool:
-        return (self.key, self.seq) < (other.key, other.seq)
+        return (self.key, self.tie, self.seq) < (other.key, other.tie, other.seq)
 
     def __repr__(self) -> str:
         what = f"tid={self.tid}" if self.is_tuple else f"node#{self.node.node_id}"
@@ -140,6 +153,12 @@ class SkylineStrategy:
     def point_key(self, point: Sequence[float]) -> float:
         return sum(self._project(point))
 
+    def node_tie(self, rect: Rect) -> tuple[float, ...]:
+        return self._project(rect.lows)
+
+    def point_tie(self, point: Sequence[float]) -> tuple[float, ...]:
+        return self._project(point)
+
     def prune(self, entry: HeapEntry) -> bool:
         """Dominated by a discovered skyline point?
 
@@ -178,6 +197,12 @@ class TopKStrategy:
     def point_key(self, point: Sequence[float]) -> float:
         return self.fn.score(point)
 
+    def node_tie(self, rect: Rect) -> tuple[float, ...]:
+        return ()  # top-k correctness is tie-order independent (≥ tests)
+
+    def point_tie(self, point: Sequence[float]) -> tuple[float, ...]:
+        return ()
+
     def prune(self, entry: HeapEntry) -> bool:
         """At least k discovered objects score no worse than the bound."""
         return len(self.scores) >= self.k and entry.key >= self.scores[-1]
@@ -214,6 +239,7 @@ def make_root_state(rtree: RTree, strategy: Strategy) -> SearchState:
         node=root,
         point=mbr.lows,
         rect=mbr,
+        tie=strategy.node_tie(mbr),
     )
     state.heap.append(entry)
     return state
@@ -302,6 +328,7 @@ def run_algorithm1(
                     path=child_path,
                     tid=child.tid,
                     point=point,
+                    tie=strategy.point_tie(point),
                 )
             else:
                 child_entry = HeapEntry(
@@ -311,6 +338,7 @@ def run_algorithm1(
                     node=child.child,
                     point=child.mbr.lows,
                     rect=child.mbr,
+                    tie=strategy.node_tie(child.mbr),
                 )
             if strategy.prune(child_entry):
                 stats.dominance_pruned += 1

@@ -75,6 +75,12 @@ class DynamicSkylineStrategy:
     def point_key(self, point: Sequence[float]) -> float:
         return sum(transform_point(point, self.query_point))
 
+    def node_tie(self, rect: Rect) -> tuple[float, ...]:
+        return transform_rect_lower(rect, self.query_point)
+
+    def point_tie(self, point: Sequence[float]) -> tuple[float, ...]:
+        return transform_point(point, self.query_point)
+
     def _probe(self, entry: HeapEntry) -> tuple[float, ...]:
         assert entry.point is not None
         if entry.is_tuple:

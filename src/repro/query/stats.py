@@ -16,6 +16,38 @@ from repro.storage.counters import (
 
 
 @dataclass
+class MaintenanceStats:
+    """Maintenance-side tallies: WAL traffic and crash-recovery work.
+
+    Attributes:
+        wal_records: Intent / changes / cell records journalled.
+        wal_commits: Operations whose WAL region was truncated (committed).
+        recoveries: ``recover()`` calls that found an interrupted operation.
+        replayed_cells: Cells re-stored by roll-forward replay.
+        reindexes: Recoveries that fell back to the full deterministic
+            rebuild (R-tree reset + every cell regenerated).
+        rows_repaired: Buffered heap rows recovery had to re-page.
+    """
+
+    wal_records: int = 0
+    wal_commits: int = 0
+    recoveries: int = 0
+    replayed_cells: int = 0
+    reindexes: int = 0
+    rows_repaired: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "wal_records": self.wal_records,
+            "wal_commits": self.wal_commits,
+            "recoveries": self.recoveries,
+            "replayed_cells": self.replayed_cells,
+            "reindexes": self.reindexes,
+            "rows_repaired": self.rows_repaired,
+        }
+
+
+@dataclass
 class QueryStats:
     """Everything a single query execution is measured by.
 

@@ -583,6 +583,33 @@ class RTree:
         return changes
 
     # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+
+    def reset(self, points: Iterable[tuple[int, Sequence[float]]]) -> None:
+        """Discard the whole tree and rebuild it from ``points``.
+
+        Crash recovery's reconstruction path: an interrupted mutation can
+        leave nodes mid-split, so the tree is not repaired in place — every
+        page under the tree's tag is freed (orphans included) and the
+        points are re-inserted in ascending tid order.  The split policies
+        are deterministic, so the resulting shape — hence every tuple
+        path — is a pure function of the point set, and a recovery that is
+        itself interrupted converges when re-run.
+        """
+        for page in list(self.disk.pages(self.tag)):
+            self.disk.free(page.page_id)
+        self._points = {}
+        self._tid_leaf = {}
+        self._paths = {}
+        self._dirty_tids = set()
+        self._reinserted_levels = set()
+        self._next_node_id = 0
+        self.root = self._new_node(level=0)
+        for tid, point in sorted(points):
+            self.insert(tid, point)
+
+    # ------------------------------------------------------------------ #
     # internal wiring for the bulk loader
     # ------------------------------------------------------------------ #
 

@@ -48,7 +48,19 @@ from repro.storage.errors import (
 )
 from repro.storage.page import Page
 
-FAULT_KINDS = ("transient", "corrupt", "torn")
+FAULT_KINDS = ("transient", "corrupt", "torn", "crash")
+
+
+class SimulatedCrash(RuntimeError):
+    """Process death at a declared crash point.
+
+    Deliberately *not* a :class:`StorageFault`: nothing in the read/write
+    path may absorb it (no retry, no degraded fallback, no quarantine) —
+    it must unwind the whole operation exactly as a real crash would kill
+    the process, leaving whatever the disk already holds as the only
+    surviving state.  Recovery happens on "reopen" via
+    :meth:`repro.system.PCubeSystem.recover`.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -126,8 +138,11 @@ class FaultRule:
     Attributes:
         kind: ``"transient"`` (read fails, retry may succeed),
             ``"corrupt"`` (page payload permanently damaged; every later
-            read raises :class:`CorruptPageError`) or ``"torn"`` (a write /
-            allocation raises :class:`TornWriteError` mid-rewrite).
+            read raises :class:`CorruptPageError`), ``"torn"`` (a write /
+            allocation raises :class:`TornWriteError` mid-rewrite) or
+            ``"crash"`` (the process dies: :class:`SimulatedCrash` is
+            raised *before* the operation takes effect, so the page the
+            access would have produced never reaches the disk).
         op: Which operation the rule watches: ``"read"``, ``"write"`` or
             ``"allocate"``.  Defaults to ``"read"`` for transient/corrupt
             and is normally ``"allocate"`` or ``"write"`` for torn rules.
@@ -269,6 +284,11 @@ class FaultyDisk:
       :class:`TornWriteError` before the operation, modelling a rewrite
       interrupted part-way; ``transient`` rules raise
       :class:`TransientIOError`.
+    * any op — ``crash`` rules raise :class:`SimulatedCrash` before the
+      operation: the process is dead and only already-durable pages
+      survive.  A rule with ``probability=0.0`` and ``count=None`` never
+      fires but still counts matching accesses in ``rule.seen`` — the
+      crash-sweep tests use this to enumerate a workload's crash points.
     """
 
     def __init__(
@@ -301,6 +321,8 @@ class FaultyDisk:
     def allocate(self, tag: str, size: int | None = None, payload: Any = None) -> int:
         rule = self._consult("allocate", tag, None)
         if rule is not None:
+            if rule.kind == "crash":
+                raise SimulatedCrash(f"crash before allocation under {tag!r}")
             if rule.kind == "torn":
                 raise TornWriteError(f"torn allocation under tag {tag!r}")
             if rule.kind == "transient":
@@ -311,6 +333,8 @@ class FaultyDisk:
         tag = self.inner.peek(page_id).tag if self.inner.exists(page_id) else ""
         rule = self._consult("write", tag, page_id)
         if rule is not None:
+            if rule.kind == "crash":
+                raise SimulatedCrash(f"crash before write on page {page_id}")
             if rule.kind == "torn":
                 raise TornWriteError(f"torn write on page {page_id}")
             if rule.kind == "transient":
@@ -328,6 +352,8 @@ class FaultyDisk:
         page = self.inner.peek(page_id)
         rule = self._consult("read", page.tag, page_id)
         if rule is not None:
+            if rule.kind == "crash":
+                raise SimulatedCrash(f"crash before read of page {page_id}")
             if rule.kind == "transient":
                 # The transfer never happened: no access is counted.
                 raise TransientIOError(f"transient read fault on page {page_id}")
@@ -386,6 +412,7 @@ __all__ = [
     "FaultStats",
     "FaultyDisk",
     "RetryPolicy",
+    "SimulatedCrash",
     "StorageFault",
     "TornWriteError",
     "TransientIOError",

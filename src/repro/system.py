@@ -13,9 +13,14 @@ from dataclasses import dataclass, field
 
 from repro.baselines.boolean_first import build_boolean_indexes
 from repro.btree.btree import BPlusTree
+from repro.core import maintenance
+from repro.core.counted import CountedSignature
 from repro.core.pcube import PCube
+from repro.core.signature import Signature
+from repro.core.wal import MaintenanceWAL, PendingOp
 from repro.cube.relation import Relation
 from repro.query.engine import PreferenceEngine
+from repro.query.stats import MaintenanceStats
 from repro.rtree.bulk import bulk_load
 from repro.rtree.rtree import RTree, fanout_for_page
 from repro.storage.disk import SimulatedDisk
@@ -31,6 +36,25 @@ class BuildTimings:
 
 
 @dataclass
+class ConsistencyReport:
+    """What :meth:`PCubeSystem.verify_consistency` found.
+
+    ``problems`` is empty exactly when every invariant holds; each entry is
+    a human-readable description of one violation.
+    """
+
+    problems: list[str] = field(default_factory=list)
+    cells_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass
 class PCubeSystem:
     """A fully built system: storage, indexes, cube and engine."""
 
@@ -40,6 +64,10 @@ class PCubeSystem:
     indexes: dict[str, BPlusTree]
     engine: PreferenceEngine
     timings: BuildTimings = field(default_factory=BuildTimings)
+    wal: MaintenanceWAL | None = None
+    maintenance_stats: MaintenanceStats = field(
+        default_factory=MaintenanceStats
+    )
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -58,6 +86,208 @@ class PCubeSystem:
     def btree_size_mb(self) -> float:
         return self.disk.size_mb("btree")
 
+    # ------------------------------------------------------------------ #
+    # crash-safe maintenance (WAL-protected drivers)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, bool_row: tuple, pref_row: tuple):
+        """WAL-protected single-tuple insert; returns (tid, dirty cells)."""
+        return maintenance.insert_tuple(
+            self.relation, self.rtree, self.pcube, bool_row, pref_row,
+            wal=self.wal,
+        )
+
+    def insert_batch(self, rows):
+        """WAL-protected batch insert; returns (tids, dirty cells)."""
+        return maintenance.insert_batch(
+            self.relation, self.rtree, self.pcube, rows, wal=self.wal
+        )
+
+    def delete(self, tid: int):
+        """WAL-protected delete; returns the dirty cells."""
+        return maintenance.delete_tuple(
+            self.relation, self.rtree, self.pcube, tid, wal=self.wal
+        )
+
+    def update(self, tid: int, new_pref_row: tuple):
+        """WAL-protected preference update; returns the dirty cells."""
+        return maintenance.update_tuple(
+            self.relation, self.rtree, self.pcube, tid, new_pref_row,
+            wal=self.wal,
+        )
+
+    # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+
+    def recover(self) -> str:
+        """Finish (or deterministically redo) an interrupted operation.
+
+        The recovery state machine, keyed on what the WAL holds:
+
+        * no records — ``"clean"``: the last operation committed (or its
+          intent never became durable, in which case it simply never
+          happened; the caller may re-submit it).
+        * intent only — ``"reindexed"``: the crash hit the relation or
+          R-tree phase, and a mid-mutation R-tree is not incrementally
+          reconcilable.  The relation-level effect is re-applied from the
+          intent (idempotently), buffered heap rows are re-paged, and the
+          R-tree, every cell signature and the store's B+-tree index are
+          rebuilt deterministically from the base data.
+        * intent + changes — ``"replayed"``: relation, R-tree and the
+          in-memory counted signatures are complete; only per-cell store
+          rewrites may be missing.  The dirty set is recomputed from the
+          journalled changes and every cell without a completion record is
+          re-stored from its counted signature.
+
+        The WAL is truncated only after the work is done, so a crash
+        *during* recovery leaves the records in place and a re-run
+        converges (every step above is idempotent).
+        """
+        if self.wal is None:
+            raise RuntimeError("this system was built without a WAL")
+        pending = self.wal.pending()
+        if pending is None:
+            return "clean"
+        self.maintenance_stats.recoveries += 1
+        if pending.changes is None:
+            outcome = self._recover_reindex(pending)
+        else:
+            outcome = self._recover_replay(pending)
+        self.wal.commit(pending.op_id)
+        return outcome
+
+    def _reapply_relation(self, pending: PendingOp) -> None:
+        """Idempotently re-apply the intent's relation-level effect."""
+        payload = pending.payload
+        if pending.op in ("insert", "insert_batch"):
+            # Rows are buffered in memory before any disk page is touched,
+            # so ``len(relation) - base`` of them are already in; re-page
+            # the buffered tail first (appends must stay in tid order),
+            # then apply the rest.
+            self.maintenance_stats.rows_repaired += (
+                self.relation.repair_heap()
+            )
+            already = len(self.relation) - payload["base"]
+            for bool_row, pref_row in payload["rows"][already:]:
+                self.relation.append(bool_row, pref_row)
+        elif pending.op == "delete":
+            self.relation.tombstone(payload["tid"])
+            self.maintenance_stats.rows_repaired += (
+                self.relation.repair_heap()
+            )
+        elif pending.op == "update":
+            self.relation.overwrite_pref(payload["tid"], payload["pref_row"])
+            self.maintenance_stats.rows_repaired += (
+                self.relation.repair_heap()
+            )
+        else:  # pragma: no cover - begin() only journals the four ops
+            raise RuntimeError(f"unknown journalled op {pending.op!r}")
+
+    def _recover_reindex(self, pending: PendingOp) -> str:
+        self._reapply_relation(pending)
+        self.rtree.reset(self.relation.pref_points())
+        self.pcube.rebuild_all()
+        self.pcube.store.reset_index()
+        self.maintenance_stats.reindexes += 1
+        return "reindexed"
+
+    def _recover_replay(self, pending: PendingOp) -> str:
+        stored = set(pending.stored_cells)
+        dirty = self.pcube.dirty_cells_for(pending.changes)
+        for cell in sorted(dirty, key=lambda c: c.cell_id):
+            if cell.cell_id in stored:
+                continue
+            self.pcube.restore_cell(cell)
+            self.wal.log_cell_stored(pending.op_id, cell.cell_id)
+            self.maintenance_stats.replayed_cells += 1
+        return "replayed"
+
+    # ------------------------------------------------------------------ #
+    # the consistency audit
+    # ------------------------------------------------------------------ #
+
+    def verify_consistency(self) -> ConsistencyReport:
+        """Check every cross-structure invariant; returns the findings.
+
+        Verified, against the base relation as ground truth:
+
+        * the WAL holds no interrupted operation;
+        * every buffered relation row reached a heap page;
+        * the R-tree indexes exactly the live tids;
+        * per cell: the stored signature equals one rebuilt from the live
+          members' R-tree paths, and (when maintainable) the counted
+          signature's counts match a fresh re-count;
+        * the store holds no cell outside the cuboids' group-bys, none of
+          its cells is quarantined, and its B+-tree index mirrors the
+          directory exactly.
+        """
+        report = ConsistencyReport()
+        problems = report.problems
+        if self.wal is not None and not self.wal.is_empty():
+            problems.append("WAL holds an interrupted maintenance operation")
+        unpaged = len(self.relation) - self.relation.paged_count()
+        if unpaged:
+            problems.append(f"{unpaged} relation rows never reached a heap page")
+        paths = self.rtree.all_paths()
+        live = set(self.relation.live_tids())
+        if set(paths) != live:
+            missing = sorted(live - set(paths))[:5]
+            extra = sorted(set(paths) - live)[:5]
+            problems.append(
+                f"R-tree tids diverge from live tids "
+                f"(missing={missing}, extra={extra})"
+            )
+        expected_ids: set[str] = set()
+        for cuboid in self.pcube.cuboids:
+            groups = cuboid.group(self.relation, include_tombstoned=True)
+            for cell in sorted(groups, key=lambda c: c.cell_id):
+                report.cells_checked += 1
+                expected_ids.add(cell.cell_id)
+                member_paths = [
+                    paths[tid]
+                    for tid in groups[cell]
+                    if tid in live and tid in paths
+                ]
+                expected = Signature.from_paths(member_paths, self.pcube.fanout)
+                try:
+                    stored = self.pcube.signature_of(cell)
+                except Exception as exc:
+                    problems.append(f"cell {cell}: unreadable ({exc!r})")
+                    continue
+                if stored != expected:
+                    problems.append(
+                        f"cell {cell}: stored signature diverges from the "
+                        f"R-tree partition"
+                    )
+                if self.pcube.maintainable:
+                    counted = self.pcube.counted_of(cell)
+                    recounted = CountedSignature.from_paths(
+                        member_paths, self.pcube.fanout
+                    )
+                    if counted is None:
+                        if member_paths:
+                            problems.append(
+                                f"cell {cell}: no counted signature"
+                            )
+                    elif counted != recounted:
+                        problems.append(
+                            f"cell {cell}: counted signature diverges from a "
+                            f"fresh re-count"
+                        )
+        for cell_id in self.pcube.store.cells():
+            if cell_id not in expected_ids:
+                problems.append(f"store holds unknown cell {cell_id!r}")
+        for cell in self.pcube.store.quarantined_cells():
+            problems.append(f"cell {cell} is quarantined")
+        directory = self.pcube.store.directory_entries()
+        index = sorted(self.pcube.store.index_entries())
+        if sorted(directory) != index:
+            problems.append(
+                "the store's B+-tree index diverges from its directory"
+            )
+        return report
+
 
 def build_system(
     relation: Relation,
@@ -69,6 +299,7 @@ def build_system(
     with_indexes: bool = True,
     pool_capacity: int = 4096,
     eager_assembly: bool = False,
+    with_wal: bool = True,
 ) -> PCubeSystem:
     """Build R-tree + P-Cube + baseline indexes over an existing relation.
 
@@ -85,6 +316,9 @@ def build_system(
         with_indexes: Also build the per-dimension B+-trees the baselines
             need (skippable when only the Signature method runs).
         pool_capacity / eager_assembly: Engine configuration.
+        with_wal: Attach a :class:`MaintenanceWAL` so the system's
+            ``insert`` / ``insert_batch`` / ``delete`` / ``update`` methods
+            run crash-safe (costs nothing until an operation journals).
     """
     disk = relation.disk
     dims = relation.schema.n_preference
@@ -130,6 +364,10 @@ def build_system(
         pool_capacity=pool_capacity,
         eager_assembly=eager_assembly,
     )
+    maintenance_stats = MaintenanceStats()
+    wal = (
+        MaintenanceWAL(disk, stats=maintenance_stats) if with_wal else None
+    )
     return PCubeSystem(
         relation=relation,
         rtree=rtree,
@@ -137,4 +375,6 @@ def build_system(
         indexes=indexes,
         engine=engine,
         timings=timings,
+        wal=wal,
+        maintenance_stats=maintenance_stats,
     )

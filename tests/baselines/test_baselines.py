@@ -234,3 +234,37 @@ def test_naive_topk_tie_break_and_bounds():
         (2, 2.0),
     ]
     assert naive_skyline([]) == []
+
+
+def test_select_tuples_excludes_tombstoned_rows_on_both_paths():
+    """Deleted rows stay in heap pages and B+-tree postings, but neither
+    access path may return them."""
+    from repro.cube.relation import Relation
+    from repro.cube.schema import Schema
+    from repro.storage.counters import BINDEX
+    from repro.storage.disk import SimulatedDisk
+
+    disk = SimulatedDisk(page_size=128)  # many heap pages => index scan wins
+    schema = Schema(("A",), ("X", "Y"))
+    bool_rows = [(i % 10,) for i in range(200)]
+    pref_rows = [(i / 200, 1 - i / 200) for i in range(200)]
+    relation = Relation(schema, bool_rows, pref_rows, disk=disk)
+    indexes = build_boolean_indexes(relation, disk=disk)
+    for tid in range(0, 200, 7):
+        relation.tombstone(tid)
+    live = set(relation.live_tids())
+
+    # Table scan (empty predicate always scans the heap).
+    stats = QueryStats()
+    assert set(select_tuples(relation, indexes, BooleanPredicate(), stats)) == live
+
+    # Index scan: postings still hold the dead tids; verification drops them.
+    stats = QueryStats()
+    selected = select_tuples(
+        relation, indexes, BooleanPredicate({"A": 3}), stats
+    )
+    assert stats.counters.get(BINDEX) > 0  # the index path actually ran
+    assert set(selected) == {
+        tid for tid in live if relation.bool_value(tid, "A") == 3
+    }
+    assert set(indexes["A"].search(3)) - live  # dead tids were candidates

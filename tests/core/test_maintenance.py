@@ -58,6 +58,76 @@ def test_merge_changes_insert_then_delete_cancels():
     assert merge_changes(stream) == []
 
 
+def test_merge_changes_random_stream_keeps_endpoints():
+    """Property: merged = first old_path, last new_path, one record per tid."""
+    rng = random.Random(19)
+    current: dict = {}
+    first_old: dict = {}
+    stream = []
+    for _ in range(200):
+        tid = rng.randrange(12)
+        old = current.get(tid)
+        new = (
+            None
+            if old is not None and rng.random() < 0.3
+            else (rng.randrange(4), rng.randrange(4))
+        )
+        if old == new:
+            continue
+        if tid not in first_old:
+            first_old[tid] = old
+        stream.append(PathChange(tid, old, new))
+        current[tid] = new
+    merged = {c.tid: c for c in merge_changes(stream)}
+    assert len(merged) <= len({c.tid for c in stream})
+    for tid, change in merged.items():
+        assert change.old_path == first_old[tid]
+        assert change.new_path == current[tid]
+    # Every tid missing from the merge collapsed to a no-op.
+    for tid in {c.tid for c in stream} - set(merged):
+        assert first_old[tid] == current[tid]
+
+
+def test_merged_replay_matches_unmerged_replay():
+    """Applying the merged batch to a counted signature is equivalent to
+    replaying the raw stream change by change."""
+    from repro.core.counted import CountedSignature
+
+    rng = random.Random(11)
+    fanout = 4
+    # Path components are 1-based slot positions in [1, fanout].
+    base_paths = {tid: (tid % 4 + 1, tid // 4 + 1) for tid in range(8)}
+    current = dict(base_paths)
+    stream = []
+    for _ in range(150):
+        tid = rng.randrange(12)
+        old = current.get(tid)
+        new = (
+            None
+            if old is not None and rng.random() < 0.3
+            else (rng.randrange(1, 5), rng.randrange(1, 5))
+        )
+        if old == new:
+            continue
+        stream.append(PathChange(tid, old, new))
+        current[tid] = new
+
+    def replay(changes):
+        counted = CountedSignature.from_paths(
+            list(base_paths.values()), fanout
+        )
+        for change in changes:
+            if change.old_path is not None:
+                counted.remove_path(change.old_path)
+            if change.new_path is not None:
+                counted.add_path(change.new_path)
+        return counted
+
+    merged, raw = replay(merge_changes(stream)), replay(stream)
+    assert merged == raw
+    assert merged.to_signature() == raw.to_signature()
+
+
 # --------------------------------------------------------------------------- #
 # end-to-end drivers
 # --------------------------------------------------------------------------- #
@@ -216,3 +286,41 @@ def test_queries_stay_correct_after_maintenance(fresh_system, rng):
         )
     )
     assert set(result.tids) == truth
+
+
+# --------------------------------------------------------------------------- #
+# ordering and tombstone contracts
+# --------------------------------------------------------------------------- #
+
+
+def test_update_writes_relation_before_rtree(system, monkeypatch):
+    """Crash-safety ordering: the relation already holds the new preference
+    row when the R-tree mutation starts, so recovery can trust the heap."""
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("rtree down")
+
+    monkeypatch.setattr(system.rtree, "update", boom)
+    with pytest.raises(RuntimeError, match="rtree down"):
+        update_tuple(
+            system.relation, system.rtree, system.pcube, 3, (0.7, 0.3)
+        )
+    assert system.relation.pref_point(3) == (0.7, 0.3)
+
+
+def test_update_refuses_tombstoned_tid(system):
+    delete_tuple(system.relation, system.rtree, system.pcube, 4)
+    with pytest.raises(KeyError):
+        update_tuple(
+            system.relation, system.rtree, system.pcube, 4, (0.1, 0.1)
+        )
+
+
+def test_delete_tombstones_the_relation_row(system):
+    delete_tuple(system.relation, system.rtree, system.pcube, 10)
+    assert not system.relation.is_live(10)
+    assert 10 not in set(system.relation.live_tids())
+    assert 10 not in list(system.relation.scan())
+    # Row data is retained so late readers (and recovery) can still group it.
+    assert len(system.relation) == 300
+    assert system.relation.bool_row(10) is not None

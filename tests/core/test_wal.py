@@ -1,0 +1,99 @@
+"""Unit tests for the maintenance write-ahead log."""
+
+import pytest
+
+from repro.core.wal import MaintenanceWAL
+from repro.query.stats import MaintenanceStats
+from repro.rtree.rtree import PathChange
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk()
+
+
+@pytest.fixture
+def wal(disk):
+    return MaintenanceWAL(disk)
+
+
+def test_fresh_wal_is_empty(wal):
+    assert wal.is_empty()
+    assert wal.pending() is None
+
+
+def test_begin_journals_a_durable_intent(wal, disk):
+    op_id = wal.begin("insert", base=3, rows=[(("a",), (0.1, 0.2))])
+    assert not wal.is_empty()
+    pending = wal.pending()
+    assert pending.op_id == op_id
+    assert pending.op == "insert"
+    assert pending.payload == {"base": 3, "rows": [(("a",), (0.1, 0.2))]}
+    assert pending.changes is None
+    assert pending.stored_cells == []
+    assert disk.page_count("wal:rec") == 1
+
+
+def test_full_lifecycle_reconstructs_from_disk(wal):
+    op_id = wal.begin("delete", tid=4)
+    changes = [
+        PathChange(4, (1, 2), None),
+        PathChange(7, (2, 1), (1, 2)),
+        PathChange(9, None, (2, 2)),
+    ]
+    wal.log_changes(op_id, changes)
+    wal.log_cell_stored(op_id, "A=a1")
+    wal.log_cell_stored(op_id, "B=b2")
+    pending = wal.pending()
+    assert pending.changes == changes
+    assert pending.stored_cells == ["A=a1", "B=b2"]
+
+
+def test_commit_truncates_atomically(wal, disk):
+    op_id = wal.begin("update", tid=1, pref_row=(0.5, 0.5))
+    wal.log_changes(op_id, [PathChange(1, (1, 1), (2, 1))])
+    wal.commit(op_id)
+    assert wal.is_empty()
+    assert wal.pending() is None
+    assert disk.page_count("wal:rec") == 0
+
+
+def test_begin_refuses_while_an_op_is_pending(wal):
+    wal.begin("insert", base=0, rows=[])
+    with pytest.raises(RuntimeError, match="recover"):
+        wal.begin("insert", base=0, rows=[])
+
+
+def test_reopen_resumes_lsn_and_op_counters(disk):
+    first = MaintenanceWAL(disk)
+    op_id = first.begin("delete", tid=2)
+    first.log_changes(op_id, [PathChange(2, (1,), None)])
+    # A "reopened" WAL over the same disk sees the surviving records and
+    # must not reuse their ids.
+    second = MaintenanceWAL(disk)
+    pending = second.pending()
+    assert pending.op_id == op_id
+    assert pending.changes == [PathChange(2, (1,), None)]
+    second.commit(pending.op_id)
+    assert second.begin("insert", base=0, rows=[]) > op_id
+
+
+def test_stats_count_records_and_commits(disk):
+    stats = MaintenanceStats()
+    wal = MaintenanceWAL(disk, stats=stats)
+    op_id = wal.begin("insert", base=0, rows=[])
+    wal.log_changes(op_id, [])
+    wal.log_cell_stored(op_id, "A=a1")
+    wal.commit(op_id)
+    assert stats.wal_records == 3
+    assert stats.wal_commits == 1
+
+
+def test_paths_survive_the_round_trip_as_tuples(wal):
+    op_id = wal.begin("insert", base=0, rows=[])
+    wal.log_changes(op_id, [PathChange(0, None, (1, 2, 3))])
+    change = wal.pending().changes[0]
+    assert change.old_path is None
+    assert change.new_path == (1, 2, 3)
+    assert isinstance(change.new_path, tuple)

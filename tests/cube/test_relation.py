@@ -101,3 +101,82 @@ def test_values_coerced_to_float(schema):
     relation = Relation(schema, [(1, 1)], [(1, 2)])
     assert relation.pref_point(0) == (1.0, 2.0)
     assert isinstance(relation.pref_point(0)[0], float)
+
+
+# --------------------------------------------------------------------------- #
+# tombstones
+# --------------------------------------------------------------------------- #
+
+
+def test_tombstone_hides_row_from_live_views(relation):
+    relation.tombstone(5)
+    assert not relation.is_live(5)
+    assert 5 not in set(relation.live_tids())
+    assert 5 not in list(relation.scan())
+    assert all(tid != 5 for tid, _ in relation.pref_points())
+    assert relation.live_count() == 19
+    # Row data and numbering survive: len() and fetch are unchanged.
+    assert len(relation) == 20
+    assert relation.bool_row(5) == (2, 1)
+
+
+def test_tombstone_is_idempotent_and_bounds_checked(relation):
+    relation.tombstone(5)
+    relation.tombstone(5)
+    assert relation.live_count() == 19
+    with pytest.raises(IndexError):
+        relation.tombstone(20)
+
+
+def test_scan_still_reads_pages_holding_only_tombstones(schema):
+    disk = SimulatedDisk(page_size=128)
+    bool_rows = [(i, i) for i in range(20)]
+    pref_rows = [(float(i), float(i)) for i in range(20)]
+    relation = Relation(schema, bool_rows, pref_rows, disk=disk)
+    for tid in range(20):
+        relation.tombstone(tid)
+    counters = IOCounters()
+    assert list(relation.scan(counters, BTABLE)) == []
+    # Liveness is a row property; the pages are still transferred.
+    assert counters.get(BTABLE) == relation.heap_page_count()
+
+
+# --------------------------------------------------------------------------- #
+# heap repair (crash recovery support)
+# --------------------------------------------------------------------------- #
+
+
+def test_paged_count_tracks_appends(schema):
+    relation = Relation(schema, [(1, 1)] * 3, [(0.0, 0.0)] * 3)
+    assert relation.paged_count() == 3
+    relation.append((2, 2), (0.5, 0.5))
+    assert relation.paged_count() == 4
+    assert relation.repair_heap() == 0  # nothing buffered
+
+
+def test_repair_heap_pages_the_tail_after_an_interrupted_append(schema):
+    from repro.storage.faults import (
+        FaultPlan,
+        FaultRule,
+        FaultyDisk,
+        SimulatedCrash,
+    )
+
+    disk = FaultyDisk(SimulatedDisk(page_size=128))
+    bool_rows = [(i, i) for i in range(4)]
+    pref_rows = [(float(i), float(i)) for i in range(4)]
+    relation = Relation(schema, bool_rows, pref_rows, disk=disk)
+    rows_per_page = relation.rows_per_page
+    # Fill the open page, then crash on the allocation of the next one.
+    disk.plan = FaultPlan([FaultRule(kind="crash", op="allocate", tag="heap")])
+    while len(relation) % rows_per_page != 0:
+        relation.append((9, 9), (0.9, 0.9))
+    with pytest.raises(SimulatedCrash):
+        relation.append((7, 7), (0.7, 0.7))
+    disk.plan = FaultPlan()
+    # The row landed in memory but never reached a heap page.
+    assert len(relation) == relation.paged_count() + 1
+    assert relation.repair_heap() == 1
+    assert relation.paged_count() == len(relation)
+    assert list(relation.scan()) == list(range(len(relation)))
+    assert relation.bool_row(len(relation) - 1) == (7, 7)

@@ -304,3 +304,22 @@ def test_dynamic_skyline_property(raw, qx, qy):
     )
     expected = set(naive_dynamic_skyline(list(enumerate(points)), query_point))
     assert set(tids) == expected
+
+
+def test_dynamic_skyline_float_tie_regression():
+    """Sum-key ties must not let a dominated point pop before its dominator.
+
+    With q = (1/7, 5/7), the transformed coordinates of (4/7, 4/7) and
+    (4/7, 6/7) differ by one ulp per dimension yet their float *sums* are
+    identical, so without a lexicographic tie-break BBS reports the
+    dominated point first and wrongly keeps it (hypothesis's original
+    falsifying example, pinned here explicitly)."""
+    schema = Schema(("A",), ("X", "Y"))
+    points = [(4 / 7.0, 4 / 7.0), (4 / 7.0, 6 / 7.0)]
+    relation = Relation(schema, [("a",)] * len(points), points)
+    system = build_system(relation, fanout=4, with_indexes=False)
+    query_point = (1 / 7.0, 5 / 7.0)
+    tids, _, _ = dynamic_skyline_signature(
+        relation, system.rtree, system.pcube, query_point
+    )
+    assert set(tids) == {1}

@@ -240,3 +240,80 @@ def test_storage_fault_family():
     assert issubclass(CorruptPageError, StorageFault)
     assert issubclass(TornWriteError, StorageFault)
     assert issubclass(StorageFault, IOError)
+
+
+# ---------------------------------------------------------------------- #
+# crash injection
+# ---------------------------------------------------------------------- #
+
+
+def test_crash_rule_fires_on_read_write_and_allocate():
+    from repro.storage.faults import SimulatedCrash
+
+    for op in ("read", "write", "allocate"):
+        disk = FaultyDisk(
+            SimulatedDisk(), FaultPlan([FaultRule(kind="crash", op=op)])
+        )
+        if op == "allocate":
+            with pytest.raises(SimulatedCrash):
+                disk.allocate("t", payload="p")
+            continue
+        page_id = disk.allocate("t", payload="p")
+        with pytest.raises(SimulatedCrash):
+            getattr(disk, op)(*((page_id, SSIG) if op == "read" else (page_id, "q")))
+
+
+def test_crash_leaves_the_page_untouched():
+    from repro.storage.faults import SimulatedCrash
+
+    disk = FaultyDisk(SimulatedDisk())
+    page_id = disk.allocate("t", payload="before")
+    disk.plan = FaultPlan([FaultRule(kind="crash", op="write", count=1)])
+    with pytest.raises(SimulatedCrash):
+        disk.write(page_id, "after")
+    assert disk.peek(page_id).payload == "before"
+
+
+def test_crash_is_not_a_storage_fault():
+    """Retry loops and degraded-read paths must never absorb a crash."""
+    from repro.storage.faults import SimulatedCrash
+
+    assert not issubclass(SimulatedCrash, StorageFault)
+    assert issubclass(SimulatedCrash, RuntimeError)
+
+
+def test_crash_is_not_retried():
+    from repro.storage.faults import SimulatedCrash
+
+    disk = FaultyDisk(
+        SimulatedDisk(), FaultPlan([FaultRule(kind="crash", op="read")])
+    )
+    page_id = disk.inner.allocate("t", payload="p")
+    policy = RetryPolicy(max_attempts=5)
+    with pytest.raises(SimulatedCrash):
+        policy.call(lambda: disk.read(page_id, SSIG))
+    assert policy.retries == 0
+
+
+def test_probability_zero_rule_counts_accesses_without_firing():
+    """The crash-sweep enumeration trick: seen advances, nothing raises."""
+    rule = FaultRule(kind="crash", op="read", tag="t", probability=0.0, count=None)
+    disk = FaultyDisk(SimulatedDisk(), FaultPlan([rule]))
+    page_id = disk.inner.allocate("t", payload="p")
+    for _ in range(5):
+        assert disk.read(page_id, SSIG) == "p"
+    assert rule.seen == 5
+    assert disk.fault_counts.get("crash", 0) == 0
+
+
+def test_free_is_unfaultable():
+    """WAL commit truncation relies on free never consulting the plan."""
+    from repro.storage.faults import SimulatedCrash  # noqa: F401
+
+    disk = FaultyDisk(SimulatedDisk())
+    page_id = disk.allocate("t", payload="p")
+    disk.plan = FaultPlan(
+        [FaultRule(kind="crash", op=op) for op in ("read", "write", "allocate")]
+    )
+    disk.free(page_id)
+    assert not disk.exists(page_id)
