@@ -11,6 +11,11 @@ harness runs 10k-50k tuples on a pure-Python simulator.  Wall-clock numbers
 therefore mix Python overhead into what was disk time; tables report both
 raw ``time`` and ``t@5ms`` — execution time under a 5 ms-per-page-access
 disk model — plus the raw access counts, which are hardware independent.
+
+The seeded data sets (sweep sizes, per-size seeds, the CoverType twin) are
+defined once in :mod:`repro.data.fixtures`, shared with ``tests/`` and the
+``python -m repro.bench`` runner, so a regression seen by the runner can be
+reproduced here on the identical input.
 """
 
 from __future__ import annotations
@@ -19,18 +24,16 @@ import random
 
 import pytest
 
-from repro.data.covertype import covertype_relation
-from repro.data.synthetic import SyntheticConfig, generate_relation
-from repro.system import build_system
-
-#: The scalability sweep (paper: 1M, 5M, 10M).
-SWEEP_SIZES = (10_000, 20_000, 50_000)
-#: Queries averaged per data point.
-N_QUERIES = 5
-#: Modeled random-access latency (2008-era disk).
-SECONDS_PER_IO = 0.005
-#: R-tree fanout for the synthetic sweeps (keeps height 3 at 50k tuples).
-SWEEP_FANOUT = 64
+from repro.data.fixtures import (  # noqa: F401 - re-exported for figures
+    N_QUERIES,
+    SECONDS_PER_IO,
+    SWEEP_FANOUT,
+    SWEEP_SIZES,
+    build_covertype_system,
+    build_sweep_system,
+    covertype_predicates,
+    sweep_config,
+)
 
 
 def fmt_seconds(seconds: float) -> str:
@@ -55,57 +58,20 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
         )
 
 
-def sweep_config(n_tuples: int, **overrides) -> SyntheticConfig:
-    """The paper's default synthetic setting: Db = Dp = 3, C = 100."""
-    params = dict(
-        n_tuples=n_tuples,
-        n_boolean=3,
-        cardinality=100,
-        n_preference=3,
-        distribution="uniform",
-        seed=n_tuples % 97 + 7,
-    )
-    params.update(overrides)
-    return SyntheticConfig(**params)
-
-
 @pytest.fixture(scope="session")
 def sweep_systems():
     """One built system per sweep size (shared by Figures 6, 8, 9, 10)."""
-    systems = {}
-    for n_tuples in SWEEP_SIZES:
-        relation = generate_relation(sweep_config(n_tuples))
-        systems[n_tuples] = build_system(relation, fanout=SWEEP_FANOUT)
-    return systems
+    return {
+        n_tuples: build_sweep_system(n_tuples) for n_tuples in SWEEP_SIZES
+    }
 
 
 @pytest.fixture(scope="session")
 def covertype_system():
     """The CoverType twin (Figures 14, 15, 16)."""
-    relation = covertype_relation(n_rows=40_000)
-    return build_system(relation, fanout=SWEEP_FANOUT)
+    return build_covertype_system()
 
 
 @pytest.fixture()
 def query_rng():
     return random.Random(2008)
-
-
-def covertype_predicates(system, rng, max_conjuncts=4):
-    """A nested predicate chain over the high-cardinality attributes,
-    anchored at a live tuple (the Figure 14-16 workload)."""
-    from repro.data.workload import sample_predicate
-
-    relation = system.relation
-    dims = relation.schema.boolean_dims[:max_conjuncts]
-    predicate = sample_predicate(relation, 1, rng, dims=dims[:1])
-    chain = [predicate]
-    for dim in dims[1:]:
-        anchor = next(
-            tid for tid in relation.tids() if predicate.matches(relation, tid)
-        )
-        predicate = predicate.drill_down(
-            dim, relation.bool_value(anchor, dim)
-        )
-        chain.append(predicate)
-    return chain

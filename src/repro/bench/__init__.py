@@ -1,0 +1,106 @@
+"""Reproducible benchmark runner: ``python -m repro.bench``.
+
+Runs the seeded sweeps behind the ``benchmarks/test_fig*.py`` figures and
+emits one ``BENCH_pcube.json``::
+
+    {
+      "schema": "repro.bench/v1",
+      "seed": 7, "sizes": [...], "n_queries": 5,
+      "figures": {
+        "fig08": {
+          "title": "...",
+          "series": {
+            "Signature": {"points": [
+              {"x": 10000, "wall_ms": ..., "io": {"SSIG": ..., "total": ...},
+               "heap_peak": ..., "prune_counts": {"pref": ..., "bool": ...},
+               "results": ...}, ...]},
+            ...
+          }
+        }, ...
+      }
+    }
+
+Two runs with the same seed produce byte-identical JSON modulo the
+``wall_ms`` fields; everything else is gateable with
+``--compare baseline.json --fail-over pct`` (see :mod:`repro.bench.compare`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.bench.compare import (
+    WALL_FIELDS,
+    Delta,
+    compare_reports,
+    flatten_metrics,
+)
+from repro.bench.report import format_table, render_report
+from repro.bench.scenarios import SCENARIOS, BenchContext
+from repro.data.fixtures import N_QUERIES, SWEEP_SIZES
+
+SCHEMA = "repro.bench/v1"
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMA",
+    "WALL_FIELDS",
+    "BenchContext",
+    "Delta",
+    "compare_reports",
+    "dumps_report",
+    "flatten_metrics",
+    "format_table",
+    "render_report",
+    "run_benchmarks",
+    "strip_wall",
+]
+
+
+def run_benchmarks(
+    figures: Iterable[str] | None = None,
+    seed: int = 7,
+    sizes: Iterable[int] | None = None,
+    n_queries: int = N_QUERIES,
+) -> dict[str, Any]:
+    """Run the selected figure scenarios and assemble the report dict."""
+    selected = list(figures) if figures is not None else list(SCENARIOS)
+    unknown = [name for name in selected if name not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        raise ValueError(f"unknown figures {unknown}; known: {known}")
+    ctx = BenchContext(
+        seed=seed,
+        sizes=tuple(sizes) if sizes is not None else SWEEP_SIZES,
+        n_queries=n_queries,
+    )
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "seed": ctx.seed,
+        "sizes": list(ctx.sizes),
+        "n_queries": ctx.n_queries,
+        "figures": {},
+    }
+    for name in selected:
+        report["figures"][name] = SCENARIOS[name](ctx)
+    return report
+
+
+def dumps_report(report: dict[str, Any]) -> str:
+    """Canonical JSON text: sorted keys, two-space indent, newline-final."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def strip_wall(value: Any) -> Any:
+    """A deep copy with every wall-clock field removed — the part of a
+    report that must be byte-identical across same-seed runs."""
+    if isinstance(value, dict):
+        return {
+            key: strip_wall(item)
+            for key, item in value.items()
+            if key not in WALL_FIELDS
+        }
+    if isinstance(value, list):
+        return [strip_wall(item) for item in value]
+    return value

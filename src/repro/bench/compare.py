@@ -1,0 +1,122 @@
+"""Baseline comparison: the CI regression gate behind ``--compare``.
+
+Only deterministic metrics are gated — io counts, heap peaks, prune counts,
+result counts, materialised sizes.  Wall-clock fields (anything named
+``wall_ms``) are reported for information but never fail the gate by
+default: the runner's point of difference from a profiler is that its
+gateable numbers are pure functions of the seeded input, so a failure means
+*the algorithm changed*, not that the CI machine was busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: Fields that vary run-to-run and are excluded from determinism/gating.
+WALL_FIELDS = frozenset({"wall_ms"})
+
+#: Float-representation tolerance.  Gated metrics are deterministic
+#: functions of the seeded input, so anything beyond rounding error is a
+#: genuine change and should face the relative gate.
+ABS_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric that moved between baseline and current."""
+
+    path: str  # "fig09/Signature/x=20000/io.SBLOCK"
+    baseline: float
+    current: float
+
+    @property
+    def pct(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 0.0
+        return 100.0 * (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        pct = self.pct
+        pct_text = "new" if pct == float("inf") else f"{pct:+.1f}%"
+        return (
+            f"{self.path}: {self.baseline:g} -> {self.current:g}"
+            f" ({pct_text})"
+        )
+
+
+def flatten_metrics(
+    point: dict[str, Any], include_wall: bool = False
+) -> dict[str, float]:
+    """Dotted metric paths of one series point, minus ``x``."""
+    flat: dict[str, float] = {}
+
+    def walk(prefix: str, value) -> None:
+        if isinstance(value, dict):
+            for key in sorted(value):
+                walk(f"{prefix}.{key}" if prefix else key, value[key])
+        elif isinstance(value, (int, float)):
+            name = prefix.rsplit(".", 1)[-1]
+            if name != "x" and (include_wall or name not in WALL_FIELDS):
+                flat[prefix] = float(value)
+
+    walk("", point)
+    return flat
+
+
+def _iter_points(
+    report: dict[str, Any],
+) -> Iterator[tuple[str, str, Any, dict[str, Any]]]:
+    for fig_name in sorted(report.get("figures", {})):
+        figure = report["figures"][fig_name]
+        for series_name in sorted(figure.get("series", {})):
+            for point in figure["series"][series_name].get("points", []):
+                yield fig_name, series_name, point.get("x"), point
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    fail_over: float = 10.0,
+    include_wall: bool = False,
+) -> tuple[list[Delta], list[str]]:
+    """Diff two reports; return (regressions, notes).
+
+    A metric regresses when it exceeds the baseline by more than
+    ``fail_over`` percent *and* by more than :data:`ABS_SLACK` absolute.
+    Figures/series/points present on only one side are noted, not failed
+    (baselines are expected to lag when scenarios are added).
+    """
+    baseline_points = {
+        (fig, series, x): point
+        for fig, series, x, point in _iter_points(baseline)
+    }
+    regressions: list[Delta] = []
+    notes: list[str] = []
+    seen: set[tuple] = set()
+
+    for fig, series, x, point in _iter_points(current):
+        key = (fig, series, x)
+        seen.add(key)
+        base_point = baseline_points.get(key)
+        if base_point is None:
+            notes.append(f"{fig}/{series}/x={x}: not in baseline (skipped)")
+            continue
+        base_metrics = flatten_metrics(base_point, include_wall)
+        for path, value in flatten_metrics(point, include_wall).items():
+            if path not in base_metrics:
+                notes.append(f"{fig}/{series}/x={x}/{path}: new metric")
+                continue
+            base = base_metrics[path]
+            slack = max(abs(base) * fail_over / 100.0, ABS_SLACK)
+            if value - base > slack:
+                regressions.append(
+                    Delta(f"{fig}/{series}/x={x}/{path}", base, value)
+                )
+
+    for key in baseline_points.keys() - seen:
+        fig, series, x = key
+        notes.append(f"{fig}/{series}/x={x}: missing from current run")
+
+    regressions.sort(key=lambda d: d.path)
+    return regressions, notes

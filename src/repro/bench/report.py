@@ -1,0 +1,78 @@
+"""Text rendering for benchmark reports (the human-facing half).
+
+The JSON report is the machine interface (see :mod:`repro.bench` for the
+schema); this module turns it back into the compact tables the pytest
+benchmark suite prints, so ``python -m repro.bench`` output reads like
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def fmt_ms(ms: float) -> str:
+    if ms < 1.0:
+        return f"{ms * 1e3:.0f}us"
+    if ms < 1000.0:
+        return f"{ms:.1f}ms"
+    return f"{ms / 1e3:.2f}s"
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """One aligned table, EXPERIMENTS.md style."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [f"=== {title} ==="]
+    lines.append(
+        "  " + "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    )
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _point_cells(point: dict[str, Any]) -> list[str]:
+    io = point.get("io") or {}
+    prunes = point.get("prune_counts") or {}
+    cells = [
+        fmt_ms(point["wall_ms"]) if "wall_ms" in point else "-",
+        f"{io['total']:.1f}" if "total" in io else "-",
+        f"{point['heap_peak']:.1f}" if "heap_peak" in point else "-",
+    ]
+    if prunes:
+        cells.append(f"{prunes.get('pref', 0):.1f}/{prunes.get('bool', 0):.1f}")
+    elif "size_mb" in point:
+        cells.append(f"{point['size_mb']:.2f}MB")
+    else:
+        cells.append("-")
+    return cells
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Render every figure of a report as one text block."""
+    blocks: list[str] = []
+    for name in sorted(report.get("figures", {})):
+        figure = report["figures"][name]
+        rows = []
+        for series_name in sorted(figure.get("series", {})):
+            series = figure["series"][series_name]
+            for point in series.get("points", []):
+                rows.append(
+                    [series_name, point.get("x", "-")]
+                    + _point_cells(point)
+                )
+        if not rows:
+            continue
+        blocks.append(
+            format_table(
+                f"{name}: {figure.get('title', '')}",
+                ["series", "x", "wall", "io", "heap", "pref/bool"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

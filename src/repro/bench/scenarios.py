@@ -1,0 +1,262 @@
+"""Benchmark scenarios: the ``benchmarks/test_fig*.py`` sweeps as plain
+functions.
+
+Each scenario mirrors one pytest benchmark module figure-for-figure — same
+seeded data sets (via :mod:`repro.data.fixtures`), same measurement loop,
+same method set — but returns a JSON-ready dict instead of printing a
+table, so ``python -m repro.bench`` can emit a comparable, diffable record.
+
+Only the query *workload* is driven by the runner's ``--seed``; the data
+sets keep their size-derived seeds, so a regression found here replays in
+the pytest suite on the identical input.
+
+Figures 7, 11, 12 and 14-16 (updates, cardinality/dimension sweeps, the
+CoverType workload) remain pytest-only: they vary the data set itself
+rather than measuring fixed seeded inputs, so there is no stable baseline
+for ``--compare`` to gate on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.baselines.boolean_first import (
+    boolean_first_skyline,
+    boolean_first_topk,
+    build_boolean_indexes,
+)
+from repro.baselines.domination_first import (
+    domination_first_skyline,
+    ranking_topk,
+)
+from repro.baselines.index_merge import index_merge_topk
+from repro.core.pcube import PCube
+from repro.data.fixtures import N_QUERIES, SWEEP_SIZES, build_sweep_system, sweep_config
+from repro.data.synthetic import generate_relation
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.skyline import skyline_signature
+from repro.query.stats import QueryStats
+from repro.query.topk import topk_signature
+from repro.rtree.rtree import RTree
+
+K_VALUES = (10, 20, 50, 100)
+
+
+@dataclass
+class BenchContext:
+    """One runner invocation: seed, sweep sizes, and cached built systems."""
+
+    seed: int = 7
+    sizes: tuple[int, ...] = SWEEP_SIZES
+    n_queries: int = N_QUERIES
+    _systems: dict[int, Any] = field(default_factory=dict)
+
+    def system(self, n_tuples: int):
+        if n_tuples not in self._systems:
+            self._systems[n_tuples] = build_sweep_system(n_tuples)
+        return self._systems[n_tuples]
+
+    def rng(self, tag: str) -> random.Random:
+        """A per-scenario workload RNG, independent of figure selection."""
+        return random.Random(
+            (self.seed * 0x9E3779B1) ^ zlib.crc32(tag.encode("ascii"))
+        )
+
+
+def averaged_point(x, stats_list: list[QueryStats]) -> dict[str, Any]:
+    """One series point: metrics averaged over the query sample.
+
+    ``wall_ms`` is the only nondeterministic field; everything else is a
+    pure function of the seeded input and safe to gate with ``--compare``.
+    """
+    n = len(stats_list)
+    categories: dict[str, float] = {}
+    for stats in stats_list:
+        for category, count in stats.counters:
+            categories[category] = categories.get(category, 0) + count
+    io = {cat: count / n for cat, count in sorted(categories.items())}
+    io["total"] = sum(s.total_io() for s in stats_list) / n
+    return {
+        "x": x,
+        "wall_ms": sum(s.elapsed_seconds for s in stats_list) * 1e3 / n,
+        "io": io,
+        "heap_peak": sum(s.peak_heap for s in stats_list) / n,
+        "prune_counts": {
+            "pref": sum(s.dominance_pruned for s in stats_list) / n,
+            "bool": sum(s.boolean_pruned for s in stats_list) / n,
+        },
+        "results": sum(s.results for s in stats_list) / n,
+    }
+
+
+def _series(names: list[str]) -> dict[str, dict[str, list]]:
+    return {name: {"points": []} for name in names}
+
+
+# --------------------------------------------------------------------- #
+# figures
+# --------------------------------------------------------------------- #
+
+
+def fig05_construction(ctx: BenchContext) -> dict[str, Any]:
+    """Construction time vs T (insert-built R-tree vs P-Cube vs B-trees)."""
+    series = _series(["B-tree", "P-Cube", "R-tree"])
+    for n_tuples in ctx.sizes:
+        relation = generate_relation(sweep_config(n_tuples))
+        started = time.perf_counter()
+        rtree = RTree(
+            dims=relation.schema.n_preference,
+            max_entries=64,
+            disk=relation.disk,
+        )
+        for tid, point in relation.pref_points():
+            rtree.insert(tid, point)
+        rtree_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        PCube.build(relation, rtree, maintainable=False)
+        pcube_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        build_boolean_indexes(relation)
+        btree_seconds = time.perf_counter() - started
+
+        for name, seconds in (
+            ("R-tree", rtree_seconds),
+            ("P-Cube", pcube_seconds),
+            ("B-tree", btree_seconds),
+        ):
+            series[name]["points"].append(
+                {"x": n_tuples, "wall_ms": seconds * 1e3}
+            )
+    return {"title": "construction time vs T", "series": series}
+
+
+def fig06_size(ctx: BenchContext) -> dict[str, Any]:
+    """Materialised size vs T (MB); fully deterministic."""
+    series = _series(["B-tree", "P-Cube", "R-tree"])
+    for n_tuples in ctx.sizes:
+        system = ctx.system(n_tuples)
+        for name, size_mb in (
+            ("R-tree", system.rtree_size_mb()),
+            ("P-Cube", system.pcube_size_mb()),
+            ("B-tree", system.btree_size_mb()),
+        ):
+            series[name]["points"].append({"x": n_tuples, "size_mb": size_mb})
+    return {"title": "materialised size vs T (MB)", "series": series}
+
+
+def _skyline_sweep(ctx: BenchContext, tag: str) -> dict[str, Any]:
+    """The Figure 8/9/10 loop: N skyline queries per size, three methods."""
+    rng = ctx.rng(tag)
+    series = _series(["Boolean", "Domination", "Signature"])
+    for n_tuples in ctx.sizes:
+        system = ctx.system(n_tuples)
+        samples: dict[str, list[QueryStats]] = {
+            name: [] for name in series
+        }
+        for _ in range(ctx.n_queries):
+            predicate = sample_predicate(system.relation, 1, rng)
+            sig_tids, sig_stats, _ = skyline_signature(
+                system.relation, system.rtree, system.pcube, predicate
+            )
+            bool_tids, bool_stats = boolean_first_skyline(
+                system.relation, system.indexes, predicate
+            )
+            dom_tids, dom_stats, _ = domination_first_skyline(
+                system.relation, system.rtree, predicate
+            )
+            if not set(sig_tids) == set(bool_tids) == set(dom_tids):
+                raise AssertionError(
+                    f"skyline mismatch at T={n_tuples}: {predicate!r}"
+                )
+            samples["Signature"].append(sig_stats)
+            samples["Boolean"].append(bool_stats)
+            samples["Domination"].append(dom_stats)
+        for name, stats_list in samples.items():
+            series[name]["points"].append(
+                averaged_point(n_tuples, stats_list)
+            )
+    return series
+
+
+def fig08_skyline_time(ctx: BenchContext) -> dict[str, Any]:
+    return {
+        "title": "skyline execution time vs T",
+        "series": _skyline_sweep(ctx, "fig08"),
+    }
+
+
+def fig09_disk_access(ctx: BenchContext) -> dict[str, Any]:
+    """Disk accesses vs T; the io category breakdown is the payload."""
+    series = _skyline_sweep(ctx, "fig09")
+    return {
+        "title": "disk accesses per skyline query vs T",
+        "series": {
+            name: series[name] for name in ("Domination", "Signature")
+        },
+    }
+
+
+def fig10_heap(ctx: BenchContext) -> dict[str, Any]:
+    return {
+        "title": "peak candidate-heap size vs T",
+        "series": _skyline_sweep(ctx, "fig10"),
+    }
+
+
+def fig13_topk(ctx: BenchContext) -> dict[str, Any]:
+    """Top-k time vs k at the largest sweep size, four methods."""
+    rng = ctx.rng("fig13")
+    t_size = max(ctx.sizes)
+    system = ctx.system(t_size)
+    relation = system.relation
+    series = _series(["Boolean", "IndexMerge", "Ranking", "Signature"])
+    for k in K_VALUES:
+        samples: dict[str, list[QueryStats]] = {name: [] for name in series}
+        for _ in range(ctx.n_queries):
+            predicate = sample_predicate(relation, 1, rng)
+            fn = sample_linear_function(relation.schema.n_preference, rng)
+            ranked_sig, sig_stats, _ = topk_signature(
+                relation, system.rtree, system.pcube, fn, k, predicate
+            )
+            ranked_bool, bool_stats = boolean_first_topk(
+                relation, system.indexes, fn, k, predicate
+            )
+            ranked_rank, rank_stats, _ = ranking_topk(
+                relation, system.rtree, fn, k, predicate
+            )
+            ranked_merge, merge_stats = index_merge_topk(
+                relation, system.rtree, system.indexes, fn, k, predicate
+            )
+            reference = [round(score, 9) for _, score in ranked_sig]
+            for other in (ranked_bool, ranked_rank, ranked_merge):
+                if [round(score, 9) for _, score in other] != reference:
+                    raise AssertionError(
+                        f"top-k mismatch at k={k}: {predicate!r}"
+                    )
+            samples["Signature"].append(sig_stats)
+            samples["Boolean"].append(bool_stats)
+            samples["Ranking"].append(rank_stats)
+            samples["IndexMerge"].append(merge_stats)
+        for name, stats_list in samples.items():
+            series[name]["points"].append(averaged_point(k, stats_list))
+    return {
+        "title": f"top-k time vs k (T={t_size:,})",
+        "series": series,
+    }
+
+
+#: figure name → scenario function, in paper order.
+SCENARIOS: dict[str, Callable[[BenchContext], dict[str, Any]]] = {
+    "fig05": fig05_construction,
+    "fig06": fig06_size,
+    "fig08": fig08_skyline_time,
+    "fig09": fig09_disk_access,
+    "fig10": fig10_heap,
+    "fig13": fig13_topk,
+}

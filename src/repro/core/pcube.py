@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 from repro.core.counted import CountedSignature
 from repro.core.generation import generate_cuboid_signatures
 from repro.core.ops import intersect_all
+from repro.obs.trace import COVER, Tracer
 from repro.core.signature import Signature
 from repro.core.store import (
     AssembledReader,
@@ -160,6 +161,7 @@ class PCube:
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
         eager: bool = False,
+        tracer: Tracer | None = None,
     ):
         """A boolean-prune reader for the conjunction of ``cells``.
 
@@ -167,7 +169,9 @@ class PCube:
         combine per-cell readers with a lazy AND by default; with
         ``eager=True`` the full signatures are loaded and intersected with
         the exact recursive operator up front (paper Fig. 3), trading load
-        cost for maximal pruning.
+        cost for maximal pruning.  A ``tracer`` is handed down to every
+        per-cell reader (partial-load events) and receives one ``cover``
+        event describing the assembly decision.
         """
         if not cells:
             raise ValueError("reader_for_cells needs at least one cell")
@@ -181,8 +185,18 @@ class PCube:
                 if not self.materialised_cell(atom):
                     # The atomic cell has no partials: no tuple carries this
                     # value, so the conjunction is empty.
+                    if tracer is not None:
+                        tracer.event(
+                            COVER, cells=[c.cell_id for c in cells], empty=True
+                        )
                     return EmptyReader()
                 resolved.append(atom)
+        if tracer is not None:
+            tracer.event(
+                COVER,
+                cells=[cell.cell_id for cell in resolved],
+                eager=eager,
+            )
         if eager:
             try:
                 signatures = [
@@ -197,7 +211,12 @@ class PCube:
                 pass
         readers = [
             CellSignatureReader(
-                self.store, cell, pool, counters, fallback=self.boolean_fallback
+                self.store,
+                cell,
+                pool,
+                counters,
+                fallback=self.boolean_fallback,
+                tracer=tracer,
             )
             for cell in resolved
         ]
@@ -254,6 +273,7 @@ class PCube:
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
         eager: bool = False,
+        tracer: Tracer | None = None,
     ):
         """A boolean-prune reader for a conjunction, using the best
         materialised cover (see :meth:`cover_for_dims`)."""
@@ -261,8 +281,10 @@ class PCube:
             raise ValueError("reader_for_predicate needs at least one conjunct")
         cover = self.cover_for_dims(conjuncts)
         if cover is None:
+            if tracer is not None:
+                tracer.event(COVER, conjuncts=sorted(conjuncts), empty=True)
             return EmptyReader()
-        return self.reader_for_cells(cover, pool, counters, eager)
+        return self.reader_for_cells(cover, pool, counters, eager, tracer)
 
     def boolean_fallback(
         self,

@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 from repro.bitmap.bitarray import BitArray
 from repro.btree.btree import BPlusTree
 from repro.core.partial import PartialSignature, decompose, retrieval_refs
+from repro.obs.trace import DEGRADED, Tracer
 from repro.core.signature import Signature
 from repro.cube.cuboid import Cell
 from repro.storage.buffer import BufferPool
@@ -301,8 +302,9 @@ class SignatureStore:
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
         fallback: "BooleanFallback | None" = None,
+        tracer: Tracer | None = None,
     ) -> "CellSignatureReader":
-        return CellSignatureReader(self, cell, pool, counters, fallback)
+        return CellSignatureReader(self, cell, pool, counters, fallback, tracer)
 
     def index_height(self) -> int:
         return self._index.height()
@@ -386,12 +388,14 @@ class CellSignatureReader:
         pool: BufferPool | None,
         counters: IOCounters | None,
         fallback: BooleanFallback | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.store = store
         self.cell = cell
         self.pool = pool
         self.counters = counters
         self.fallback = fallback
+        self.tracer = tracer
         self.fanout = store.fanout
         self._nodes: dict[int, BitArray] = {}
         self._loaded_refs: set[int] = set()
@@ -448,16 +452,31 @@ class CellSignatureReader:
             self.failed_loads += 1
             self.store.fault_stats.degraded_loads += 1
             self.store.quarantine(self.cell, fault)
-            self.load_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.load_seconds += elapsed
+            if self.tracer is not None:
+                self.tracer.sig_load(
+                    self.cell.cell_id, ref_sid, "unreadable", elapsed
+                )
             return None
         if partial is None:
             self._known_missing.add(ref_sid)
-            self.load_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.load_seconds += elapsed
+            if self.tracer is not None:
+                self.tracer.sig_load(
+                    self.cell.cell_id, ref_sid, "missing", elapsed
+                )
             return False
         self._loaded_refs.add(ref_sid)
         self._nodes.update(partial.decode())
         self.loads += 1
-        self.load_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.load_seconds += elapsed
+        if self.tracer is not None:
+            self.tracer.sig_load(
+                self.cell.cell_id, ref_sid, "loaded", elapsed
+            )
         return True
 
     def _ensure_node(self, node_path: Sequence[int], node_sid: int) -> bool | None:
@@ -499,6 +518,13 @@ class CellSignatureReader:
         for the affected subtree, result correctness is not.
         """
         self.degraded_checks += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                DEGRADED,
+                cell_id=self.cell.cell_id,
+                path=path,
+                exact=self.fallback is not None,
+            )
         if self.fallback is not None:
             return self.fallback(self.cell, path, self.counters)
         return True

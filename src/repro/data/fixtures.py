@@ -1,0 +1,189 @@
+"""Seeded data-set fixtures shared by tests, benchmarks and the runner.
+
+One module owns every seeded input the repo measures against, so the pytest
+suites (``tests/conftest.py``, ``benchmarks/conftest.py``) and the
+reproducible benchmark runner (``python -m repro.bench``) are guaranteed to
+build *identical* relations and systems — a bench regression can be
+replayed under a debugger from the test suite and vice versa.
+
+Three families:
+
+* the **paper example** — Table I's eight tuples, the Figure 1 R-tree
+  (m = 1, M = 2) and its ⟨1,1,1⟩ ... ⟨2,2,2⟩ paths, for bit-exact checks
+  against Figures 2-4;
+* the **synthetic sweeps** — the paper's default setting (Db = Dp = 3,
+  C = 100, uniform) at the scaled-down sizes of EXPERIMENTS.md, with the
+  same derived per-size seed everywhere;
+* the **CoverType twin** — the real-data schema of Figures 14-16.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.data.synthetic import SyntheticConfig, generate_relation
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry
+from repro.rtree.rtree import RTree
+from repro.system import PCubeSystem, build_system
+
+# --------------------------------------------------------------------- #
+# the paper's running example (Table I / Figure 1)
+# --------------------------------------------------------------------- #
+
+#: Table I, in order t1..t8 (tids 0..7).
+PAPER_ROWS = [
+    # (A,    B,    X,     Y)
+    ("a1", "b1", 0.00, 0.40),
+    ("a2", "b2", 0.20, 0.60),
+    ("a1", "b1", 0.30, 0.70),
+    ("a3", "b3", 0.50, 0.40),
+    ("a4", "b1", 0.60, 0.00),
+    ("a2", "b3", 0.72, 0.30),
+    ("a4", "b2", 0.72, 0.36),
+    ("a3", "b3", 0.85, 0.62),
+]
+
+#: The paths column of Table I (1-based slot positions, root first).
+PAPER_PATHS = {
+    0: (1, 1, 1),
+    1: (1, 1, 2),
+    2: (1, 2, 1),
+    3: (1, 2, 2),
+    4: (2, 1, 1),
+    5: (2, 1, 2),
+    6: (2, 2, 1),
+    7: (2, 2, 2),
+}
+
+
+def paper_relation() -> Relation:
+    """Table I as a fresh :class:`Relation` (schema A, B | X, Y)."""
+    schema = Schema(("A", "B"), ("X", "Y"))
+    bool_rows = [(a, b) for a, b, _, _ in PAPER_ROWS]
+    pref_rows = [(x, y) for _, _, x, y in PAPER_ROWS]
+    return Relation(schema, bool_rows, pref_rows)
+
+
+def build_paper_rtree(relation: Relation) -> RTree:
+    """The exact R-tree of Figure 1: root → {N1, N2} → four leaves of two
+    tuples each, in Table I's path order."""
+    tree = RTree(dims=2, max_entries=2, min_entries=1)
+    leaves = []
+    for first in range(0, 8, 2):
+        leaf = tree._new_node(level=0)
+        for tid in (first, first + 1):
+            point = relation.pref_point(tid)
+            leaf.add_entry(Entry(Rect.from_point(point), tid=tid))
+        tree._sync_page(leaf)
+        leaves.append(leaf)
+    inner = []
+    for half in range(2):
+        node = tree._new_node(level=1)
+        for leaf in leaves[2 * half : 2 * half + 2]:
+            node.add_entry(Entry(leaf.mbr(), child=leaf))
+        tree._sync_page(node)
+        inner.append(node)
+    root = tree._new_node(level=2)
+    for node in inner:
+        root.add_entry(Entry(node.mbr(), child=node))
+    tree._sync_page(root)
+
+    points = {tid: relation.pref_point(tid) for tid in range(8)}
+    tid_leaf = {tid: leaves[tid // 2] for tid in range(8)}
+    tree._adopt_bulk(root, points, tid_leaf)
+    return tree
+
+
+# --------------------------------------------------------------------- #
+# synthetic sweeps (the scaled-down Section VI setting)
+# --------------------------------------------------------------------- #
+
+#: The scalability sweep (paper: 1M, 5M, 10M).
+SWEEP_SIZES = (10_000, 20_000, 50_000)
+#: Queries averaged per data point.
+N_QUERIES = 5
+#: Modeled random-access latency (2008-era disk).
+SECONDS_PER_IO = 0.005
+#: R-tree fanout for the synthetic sweeps (keeps height 3 at 50k tuples).
+SWEEP_FANOUT = 64
+
+
+def sweep_config(n_tuples: int, **overrides) -> SyntheticConfig:
+    """The paper's default synthetic setting: Db = Dp = 3, C = 100.
+
+    The per-size data seed is derived from ``n_tuples`` alone, so every
+    consumer — pytest benchmark, bench runner, ad-hoc script — generates
+    the same relation for the same size.
+    """
+    params = dict(
+        n_tuples=n_tuples,
+        n_boolean=3,
+        cardinality=100,
+        n_preference=3,
+        distribution="uniform",
+        seed=n_tuples % 97 + 7,
+    )
+    params.update(overrides)
+    return SyntheticConfig(**params)
+
+
+def build_sweep_system(
+    n_tuples: int, fanout: int = SWEEP_FANOUT, **overrides
+) -> PCubeSystem:
+    """One fully built sweep system (relation + R-tree + P-Cube + indexes)."""
+    relation = generate_relation(sweep_config(n_tuples, **overrides))
+    return build_system(relation, fanout=fanout)
+
+
+def small_config() -> SyntheticConfig:
+    """The unit-test workhorse: 1.5k tuples, Db = 3 at C = 8, Dp = 2."""
+    return SyntheticConfig(
+        n_tuples=1500,
+        n_boolean=3,
+        cardinality=8,
+        n_preference=2,
+        distribution="uniform",
+        seed=11,
+    )
+
+
+# --------------------------------------------------------------------- #
+# the CoverType twin (Figures 14-16)
+# --------------------------------------------------------------------- #
+
+#: Row count of the scaled-down CoverType twin used everywhere.
+COVERTYPE_ROWS = 40_000
+
+
+def build_covertype_system(
+    n_rows: int = COVERTYPE_ROWS, fanout: int = SWEEP_FANOUT
+) -> PCubeSystem:
+    from repro.data.covertype import covertype_relation
+
+    relation = covertype_relation(n_rows=n_rows)
+    return build_system(relation, fanout=fanout)
+
+
+def covertype_predicates(
+    system: PCubeSystem, rng: random.Random, max_conjuncts: int = 4
+):
+    """A nested predicate chain over the high-cardinality attributes,
+    anchored at a live tuple (the Figure 14-16 workload)."""
+    from repro.data.workload import sample_predicate
+
+    relation = system.relation
+    dims = relation.schema.boolean_dims[:max_conjuncts]
+    predicate = sample_predicate(relation, 1, rng, dims=dims[:1])
+    chain = [predicate]
+    for dim in dims[1:]:
+        anchor = next(
+            tid for tid in relation.tids() if predicate.matches(relation, tid)
+        )
+        predicate = predicate.drill_down(
+            dim, relation.bool_value(anchor, dim)
+        )
+        chain.append(predicate)
+    return chain

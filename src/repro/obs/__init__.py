@@ -1,0 +1,33 @@
+"""Observability: structured query-execution tracing.
+
+See :mod:`repro.obs.trace` for the span/event model and
+``tests/obs/test_trace.py`` for the contract (span per BBS phase, prune
+events summing to :class:`~repro.query.stats.QueryStats`, <5% overhead
+with tracing disabled).
+"""
+
+from repro.obs.trace import (
+    COVER,
+    DEGRADED,
+    EXPAND,
+    PRUNE,
+    PRUNE_ARMS,
+    REPORT,
+    SIG_LOAD,
+    Span,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "COVER",
+    "DEGRADED",
+    "EXPAND",
+    "PRUNE",
+    "PRUNE_ARMS",
+    "REPORT",
+    "SIG_LOAD",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+]

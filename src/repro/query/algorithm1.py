@@ -21,9 +21,11 @@ address of their bit — the bridge between the two prunings.
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
+from repro.obs.trace import EXPAND, REPORT, Tracer
 from repro.query.ranking import RankingFunction
 from repro.query.stats import QueryStats
 from repro.rtree.geometry import Rect, dominates
@@ -255,6 +257,7 @@ def run_algorithm1(
     block_category: str = SBLOCK,
     state: SearchState | None = None,
     keep_lists: bool = True,
+    tracer: Tracer | None = None,
 ) -> SearchState:
     """Run (or resume) Algorithm 1 until the heap empties or top-k finishes.
 
@@ -273,85 +276,118 @@ def run_algorithm1(
         state: Resume from a reconstructed state (drill-down / roll-up).
         keep_lists: Maintain ``b_list`` / ``d_list`` (disable to save memory
             when no follow-up query will ever resume from this one).
+        tracer: Optional :class:`~repro.obs.trace.Tracer`.  When given, the
+            two BBS phases open spans (``bbs:init`` for heap seeding,
+            ``bbs:search`` for the progressive loop) and every pruned
+            entry, node expansion and reported result emits an event;
+            when ``None`` the hooks cost one comparison each.
     """
-    if state is None:
-        state = make_root_state(rtree, strategy)
-    heap = state.heap
-    heapq.heapify(heap)
-    stats.note_heap(len(heap))
-
-    while heap:
-        entry = heapq.heappop(heap)
-        if strategy.finished(entry.key):
-            heapq.heappush(heap, entry)  # keep it for incremental reuse
-            break
-        # --- prune procedure (paper lines 14-20): preference then boolean.
-        if strategy.prune(entry):
-            stats.dominance_pruned += 1
-            if keep_lists:
-                state.d_list.append(entry)
-            continue
-        if reader is not None and not reader.check_path(entry.path):
-            stats.boolean_pruned += 1
-            if keep_lists:
-                state.b_list.append(entry)
-            continue
-
-        if entry.is_tuple:
-            if verifier is not None:
-                stats.verified += 1
-                if not verifier(entry.tid):
-                    stats.verify_failed += 1
-                    continue
-            if strategy.add_result(entry):
-                state.results.append(entry)
-                stats.results += 1
-            continue
-
-        # --- expand the node: one counted R-tree block read.
-        node = entry.node
-        assert node is not None and node.page_id is not None
-        if pool is not None:
-            pool.get(node.page_id, block_category, stats.counters)
-        else:
-            rtree.disk.read(node.page_id, block_category, stats.counters)
-        stats.nodes_expanded += 1
-
-        for slot, child in node.live_entries():
-            position = slot + 1
-            child_path = entry.path + (position,)
-            if child.is_leaf_entry:
-                point = child.mbr.lows
-                child_entry = HeapEntry(
-                    key=strategy.point_key(point),
-                    seq=state.next_seq(),
-                    path=child_path,
-                    tid=child.tid,
-                    point=point,
-                    tie=strategy.point_tie(point),
-                )
-            else:
-                child_entry = HeapEntry(
-                    key=strategy.node_key(child.mbr),
-                    seq=state.next_seq(),
-                    path=child_path,
-                    node=child.child,
-                    point=child.mbr.lows,
-                    rect=child.mbr,
-                    tie=strategy.node_tie(child.mbr),
-                )
-            if strategy.prune(child_entry):
-                stats.dominance_pruned += 1
-                if keep_lists:
-                    state.d_list.append(child_entry)
-                continue
-            if reader is not None and not reader.check_entry(
-                entry.path, position
-            ):
-                stats.boolean_pruned += 1
-                if keep_lists:
-                    state.b_list.append(child_entry)
-                continue
-            heapq.heappush(heap, child_entry)
+    with (
+        tracer.span("bbs:init", resumed=state is not None)
+        if tracer is not None
+        else nullcontext()
+    ):
+        if state is None:
+            state = make_root_state(rtree, strategy)
+        heap = state.heap
+        heapq.heapify(heap)
         stats.note_heap(len(heap))
+
+    search_span = (
+        tracer.span("bbs:search", heap0=len(heap))
+        if tracer is not None
+        else nullcontext()
+    )
+    with search_span:
+        while heap:
+            entry = heapq.heappop(heap)
+            if strategy.finished(entry.key):
+                heapq.heappush(heap, entry)  # keep it for incremental reuse
+                break
+            # --- prune procedure (paper lines 14-20): preference then
+            # boolean.
+            if strategy.prune(entry):
+                stats.dominance_pruned += 1
+                if tracer is not None:
+                    tracer.prune("pref", path=entry.path, key=entry.key)
+                if keep_lists:
+                    state.d_list.append(entry)
+                continue
+            if reader is not None and not reader.check_path(entry.path):
+                stats.boolean_pruned += 1
+                if tracer is not None:
+                    tracer.prune("bool", path=entry.path, key=entry.key)
+                if keep_lists:
+                    state.b_list.append(entry)
+                continue
+
+            if entry.is_tuple:
+                if verifier is not None:
+                    stats.verified += 1
+                    if not verifier(entry.tid):
+                        stats.verify_failed += 1
+                        continue
+                if strategy.add_result(entry):
+                    state.results.append(entry)
+                    stats.results += 1
+                    if tracer is not None:
+                        tracer.event(REPORT, tid=entry.tid, key=entry.key)
+                continue
+
+            # --- expand the node: one counted R-tree block read.
+            node = entry.node
+            assert node is not None and node.page_id is not None
+            if pool is not None:
+                pool.get(node.page_id, block_category, stats.counters)
+            else:
+                rtree.disk.read(node.page_id, block_category, stats.counters)
+            stats.nodes_expanded += 1
+            if tracer is not None:
+                tracer.event(EXPAND, path=entry.path, heap=len(heap))
+
+            for slot, child in node.live_entries():
+                position = slot + 1
+                child_path = entry.path + (position,)
+                if child.is_leaf_entry:
+                    point = child.mbr.lows
+                    child_entry = HeapEntry(
+                        key=strategy.point_key(point),
+                        seq=state.next_seq(),
+                        path=child_path,
+                        tid=child.tid,
+                        point=point,
+                        tie=strategy.point_tie(point),
+                    )
+                else:
+                    child_entry = HeapEntry(
+                        key=strategy.node_key(child.mbr),
+                        seq=state.next_seq(),
+                        path=child_path,
+                        node=child.child,
+                        point=child.mbr.lows,
+                        rect=child.mbr,
+                        tie=strategy.node_tie(child.mbr),
+                    )
+                if strategy.prune(child_entry):
+                    stats.dominance_pruned += 1
+                    if tracer is not None:
+                        tracer.prune(
+                            "pref", path=child_path, key=child_entry.key
+                        )
+                    if keep_lists:
+                        state.d_list.append(child_entry)
+                    continue
+                if reader is not None and not reader.check_entry(
+                    entry.path, position
+                ):
+                    stats.boolean_pruned += 1
+                    if tracer is not None:
+                        tracer.prune(
+                            "bool", path=child_path, key=child_entry.key
+                        )
+                    if keep_lists:
+                        state.b_list.append(child_entry)
+                    continue
+                heapq.heappush(heap, child_entry)
+            stats.note_heap(len(heap))
     return state

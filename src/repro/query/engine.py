@@ -21,10 +21,12 @@ entries; those are carried over too (they were neither pruned nor reported).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.pcube import PCube
+from repro.obs.trace import Tracer
 from repro.cube.relation import Relation
 from repro.query.algorithm1 import (
     SearchState,
@@ -88,7 +90,7 @@ class PreferenceEngine:
     # standard queries
     # ------------------------------------------------------------------ #
 
-    def _reader(self, predicate: BooleanPredicate, pool, stats):
+    def _reader(self, predicate: BooleanPredicate, pool, stats, tracer=None):
         if predicate.is_empty():
             return None
         return self.pcube.reader_for_predicate(
@@ -96,21 +98,29 @@ class PreferenceEngine:
             pool,
             stats.counters,
             eager=self.eager_assembly,
+            tracer=tracer,
         )
 
     def skyline(
         self,
         predicate: BooleanPredicate | None = None,
         preference_by: tuple[str, ...] | None = None,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         """A standard skyline query (Algorithm 1 from the root).
 
         ``preference_by`` restricts the skyline to a subset of preference
         dimensions by name (Section III's ``preference by N'1, ..., N'j``).
+        Pass a :class:`~repro.obs.trace.Tracer` to capture the span tree
+        and prune/load events of the execution.
         """
         predicate = predicate or BooleanPredicate()
         return self._run(
-            "skyline", predicate, state=None, preference_by=preference_by
+            "skyline",
+            predicate,
+            state=None,
+            preference_by=preference_by,
+            tracer=tracer,
         )
 
     def topk(
@@ -118,10 +128,13 @@ class PreferenceEngine:
         fn: RankingFunction,
         k: int,
         predicate: BooleanPredicate | None = None,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         """A standard top-k query."""
         predicate = predicate or BooleanPredicate()
-        return self._run("topk", predicate, state=None, fn=fn, k=k)
+        return self._run(
+            "topk", predicate, state=None, fn=fn, k=k, tracer=tracer
+        )
 
     def dynamic_skyline(
         self,
@@ -186,7 +199,11 @@ class PreferenceEngine:
             )
 
     def drill_down(
-        self, previous: QueryResult, dim: str, value: Any
+        self,
+        previous: QueryResult,
+        dim: str,
+        value: Any,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         """Strengthen the previous query's predicate by one conjunct."""
         self._check_incremental(previous)
@@ -196,16 +213,20 @@ class PreferenceEngine:
             + previous.state.d_list
             + previous.state.heap
         )
+        dominated = {id(entry) for entry in previous.state.d_list}
         return self._run(
             previous.kind,
             predicate,
-            state=("drill", carried, list(previous.state.b_list)),
+            state=("drill", carried, list(previous.state.b_list), dominated),
             fn=previous.fn,
             k=previous.k,
             preference_by=previous.preference_by,
+            tracer=tracer,
         )
 
-    def roll_up(self, previous: QueryResult, dim: str) -> QueryResult:
+    def roll_up(
+        self, previous: QueryResult, dim: str, tracer: Tracer | None = None
+    ) -> QueryResult:
         """Relax the previous query's predicate by removing one conjunct."""
         self._check_incremental(previous)
         predicate = previous.predicate.roll_up(dim)
@@ -217,10 +238,11 @@ class PreferenceEngine:
         return self._run(
             previous.kind,
             predicate,
-            state=("roll", carried, list(previous.state.d_list)),
+            state=("roll", carried, list(previous.state.d_list), frozenset()),
             fn=previous.fn,
             k=previous.k,
             preference_by=previous.preference_by,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------ #
@@ -235,55 +257,94 @@ class PreferenceEngine:
         fn: RankingFunction | None = None,
         k: int | None = None,
         preference_by: tuple[str, ...] | None = None,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         stats = QueryStats()
         pool = BufferPool(self.rtree.disk, capacity=self.pool_capacity)
-        started = time.perf_counter()
-        reader = self._reader(predicate, pool, stats)
-        if kind == "skyline":
-            subspace = None
-            if preference_by is not None:
-                subspace = tuple(
-                    self.relation.schema.preference_position(name)
-                    for name in preference_by
-                )
-            strategy: SkylineStrategy | TopKStrategy = SkylineStrategy(
-                self.rtree.dims, subspace=subspace
+        if tracer is not None and tracer.counters is None:
+            tracer.counters = stats.counters
+        query_span = (
+            tracer.span(
+                f"query:{kind}",
+                predicate=repr(predicate),
+                incremental=state is not None,
             )
-        else:
-            assert fn is not None and k is not None
-            strategy = TopKStrategy(fn, k)
-
-        resume_state: SearchState | None = None
-        if state is not None:
-            mode, carried, kept_list = state
-            resume_state = SearchState()
-            if mode == "drill":
-                resume_state.b_list = kept_list  # still fail the stronger BP
-            else:
-                resume_state.d_list = kept_list  # still dominated
-            resume_state.seq = max(
-                (entry.seq for entry in carried), default=0
-            )
-            for entry in carried:
-                # Pre-filter with the new predicate's signature, as the
-                # paper suggests, to keep the rebuilt heap small.
-                if reader is not None and not reader.check_path(entry.path):
-                    resume_state.b_list.append(entry)
-                    stats.boolean_pruned += 1
-                else:
-                    resume_state.heap.append(entry)
-
-        final_state = run_algorithm1(
-            self.rtree,
-            strategy,
-            stats,
-            reader=reader,
-            pool=pool,
-            block_category=SBLOCK,
-            state=resume_state,
+            if tracer is not None
+            else nullcontext()
         )
-        stats.elapsed_seconds = time.perf_counter() - started
+        with query_span:
+            started = time.perf_counter()
+            with (
+                tracer.span("reader:setup")
+                if tracer is not None
+                else nullcontext()
+            ):
+                reader = self._reader(predicate, pool, stats, tracer)
+            if kind == "skyline":
+                subspace = None
+                if preference_by is not None:
+                    subspace = tuple(
+                        self.relation.schema.preference_position(name)
+                        for name in preference_by
+                    )
+                strategy: SkylineStrategy | TopKStrategy = SkylineStrategy(
+                    self.rtree.dims, subspace=subspace
+                )
+            else:
+                assert fn is not None and k is not None
+                strategy = TopKStrategy(fn, k)
+
+            resume_state: SearchState | None = None
+            if state is not None:
+                mode, carried, kept_list, dominated = state
+                resume_state = SearchState()
+                if mode == "drill":
+                    # still fail the stronger BP
+                    resume_state.b_list = kept_list
+                else:
+                    resume_state.d_list = kept_list  # still dominated
+                resume_state.seq = max(
+                    (entry.seq for entry in carried), default=0
+                )
+                with (
+                    tracer.span("resume:prefilter", mode=mode)
+                    if tracer is not None
+                    else nullcontext()
+                ):
+                    for entry in carried:
+                        # Pre-filter with the new predicate's signature, as
+                        # the paper suggests, to keep the rebuilt heap small.
+                        if reader is not None and not reader.check_path(
+                            entry.path
+                        ):
+                            resume_state.b_list.append(entry)
+                            stats.boolean_pruned += 1
+                            if tracer is not None:
+                                # A carried entry the old query already
+                                # preference-pruned that the new signature
+                                # rejects too fails both arms.
+                                arm = (
+                                    "both"
+                                    if id(entry) in dominated
+                                    else "bool"
+                                )
+                                tracer.prune(
+                                    arm, path=entry.path, key=entry.key
+                                )
+                        else:
+                            resume_state.heap.append(entry)
+
+            final_state = run_algorithm1(
+                self.rtree,
+                strategy,
+                stats,
+                reader=reader,
+                pool=pool,
+                block_category=SBLOCK,
+                state=resume_state,
+                tracer=tracer,
+            )
+            stats.elapsed_seconds = time.perf_counter() - started
         if reader is not None:
             stats.sig_load_seconds = reader.load_seconds
             stats.fault_retries = getattr(reader, "retries", 0)

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from repro.core.pcube import PCube
+from repro.obs.trace import Tracer
 from repro.cube.relation import Relation
 from repro.query.algorithm1 import SearchState, SkylineStrategy, run_algorithm1
 from repro.query.predicates import BooleanPredicate
@@ -23,6 +25,7 @@ def skyline_signature(
     eager_assembly: bool = False,
     keep_lists: bool = True,
     preference_by: tuple[str, ...] | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[list[int], QueryStats, SearchState]:
     """The paper's skyline query processing (Algorithm 1 + signatures).
 
@@ -47,28 +50,45 @@ def skyline_signature(
     stats = QueryStats()
     if pool is None:
         pool = BufferPool(rtree.disk, capacity=4096)
-    started = time.perf_counter()
-    reader = None
-    if predicate is not None and not predicate.is_empty():
-        reader = pcube.reader_for_predicate(
-            predicate.conjuncts, pool, stats.counters, eager=eager_assembly
-        )
-    subspace = None
-    if preference_by is not None:
-        subspace = tuple(
-            relation.schema.preference_position(name) for name in preference_by
-        )
-    strategy = SkylineStrategy(dims=rtree.dims, subspace=subspace)
-    state = run_algorithm1(
-        rtree,
-        strategy,
-        stats,
-        reader=reader,
-        pool=pool,
-        block_category=SBLOCK,
-        keep_lists=keep_lists,
+    if tracer is not None and tracer.counters is None:
+        tracer.counters = stats.counters
+    query_span = (
+        tracer.span("query:skyline") if tracer is not None else nullcontext()
     )
-    stats.elapsed_seconds = time.perf_counter() - started
+    with query_span:
+        started = time.perf_counter()
+        reader = None
+        if predicate is not None and not predicate.is_empty():
+            with (
+                tracer.span("reader:setup")
+                if tracer is not None
+                else nullcontext()
+            ):
+                reader = pcube.reader_for_predicate(
+                    predicate.conjuncts,
+                    pool,
+                    stats.counters,
+                    eager=eager_assembly,
+                    tracer=tracer,
+                )
+        subspace = None
+        if preference_by is not None:
+            subspace = tuple(
+                relation.schema.preference_position(name)
+                for name in preference_by
+            )
+        strategy = SkylineStrategy(dims=rtree.dims, subspace=subspace)
+        state = run_algorithm1(
+            rtree,
+            strategy,
+            stats,
+            reader=reader,
+            pool=pool,
+            block_category=SBLOCK,
+            keep_lists=keep_lists,
+            tracer=tracer,
+        )
+        stats.elapsed_seconds = time.perf_counter() - started
     if reader is not None:
         stats.sig_load_seconds = reader.load_seconds
     tids = [entry.tid for entry in state.results if entry.tid is not None]

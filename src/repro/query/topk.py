@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from repro.core.pcube import PCube
+from repro.obs.trace import Tracer
 from repro.cube.relation import Relation
 from repro.query.algorithm1 import SearchState, TopKStrategy, run_algorithm1
 from repro.query.predicates import BooleanPredicate
@@ -25,6 +27,7 @@ def topk_signature(
     pool: BufferPool | None = None,
     eager_assembly: bool = False,
     keep_lists: bool = True,
+    tracer: Tracer | None = None,
 ) -> tuple[list[tuple[int, float]], QueryStats, SearchState]:
     """Top-k processing per Section V-B: best-first by the lower bound of
     ``fn`` over each node, k-th-score preference pruning, signature-based
@@ -38,23 +41,39 @@ def topk_signature(
     stats = QueryStats()
     if pool is None:
         pool = BufferPool(rtree.disk, capacity=4096)
-    started = time.perf_counter()
-    reader = None
-    if predicate is not None and not predicate.is_empty():
-        reader = pcube.reader_for_predicate(
-            predicate.conjuncts, pool, stats.counters, eager=eager_assembly
-        )
-    strategy = TopKStrategy(fn, k)
-    state = run_algorithm1(
-        rtree,
-        strategy,
-        stats,
-        reader=reader,
-        pool=pool,
-        block_category=SBLOCK,
-        keep_lists=keep_lists,
+    if tracer is not None and tracer.counters is None:
+        tracer.counters = stats.counters
+    query_span = (
+        tracer.span("query:topk", k=k) if tracer is not None else nullcontext()
     )
-    stats.elapsed_seconds = time.perf_counter() - started
+    with query_span:
+        started = time.perf_counter()
+        reader = None
+        if predicate is not None and not predicate.is_empty():
+            with (
+                tracer.span("reader:setup")
+                if tracer is not None
+                else nullcontext()
+            ):
+                reader = pcube.reader_for_predicate(
+                    predicate.conjuncts,
+                    pool,
+                    stats.counters,
+                    eager=eager_assembly,
+                    tracer=tracer,
+                )
+        strategy = TopKStrategy(fn, k)
+        state = run_algorithm1(
+            rtree,
+            strategy,
+            stats,
+            reader=reader,
+            pool=pool,
+            block_category=SBLOCK,
+            keep_lists=keep_lists,
+            tracer=tracer,
+        )
+        stats.elapsed_seconds = time.perf_counter() - started
     if reader is not None:
         stats.sig_load_seconds = reader.load_seconds
     ranked = [

@@ -1,0 +1,202 @@
+"""The reproducible benchmark runner: determinism, schema, gating, CLI.
+
+Everything runs at miniature sizes (hundreds of tuples, 2 queries per
+point) — the contract being tested is reproducibility and report shape,
+not performance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCENARIOS,
+    compare_reports,
+    dumps_report,
+    flatten_metrics,
+    run_benchmarks,
+    strip_wall,
+)
+from repro.bench.__main__ import main
+
+TINY = dict(figures=["fig06", "fig08", "fig13"], sizes=[300, 600], n_queries=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_benchmarks(seed=7, **TINY)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_modulo_wall(self, tiny_report):
+        again = run_benchmarks(seed=7, **TINY)
+        assert dumps_report(strip_wall(tiny_report)) == dumps_report(
+            strip_wall(again)
+        )
+
+    def test_different_seed_changes_workload(self, tiny_report):
+        other = run_benchmarks(seed=8, **TINY)
+        assert dumps_report(strip_wall(tiny_report)) != dumps_report(
+            strip_wall(other)
+        )
+
+    def test_strip_wall_removes_only_wall_fields(self, tiny_report):
+        stripped = strip_wall(tiny_report)
+        text = dumps_report(stripped)
+        assert "wall_ms" not in text
+        point = stripped["figures"]["fig08"]["series"]["Signature"][
+            "points"
+        ][0]
+        assert {"x", "io", "heap_peak", "prune_counts", "results"} <= set(
+            point
+        )
+
+
+class TestSchema:
+    def test_report_envelope(self, tiny_report):
+        assert tiny_report["schema"] == "repro.bench/v1"
+        assert tiny_report["seed"] == 7
+        assert tiny_report["sizes"] == [300, 600]
+        assert set(tiny_report["figures"]) == set(TINY["figures"])
+
+    def test_point_shape(self, tiny_report):
+        for figure in tiny_report["figures"].values():
+            assert figure["series"], figure
+            for series in figure["series"].values():
+                assert series["points"]
+                for point in series["points"]:
+                    assert "x" in point
+                    if "io" in point:
+                        assert "total" in point["io"]
+                        assert point["io"]["total"] >= 0
+
+    def test_fig13_x_axis_is_k(self, tiny_report):
+        points = tiny_report["figures"]["fig13"]["series"]["Signature"][
+            "points"
+        ]
+        assert [p["x"] for p in points] == [10, 20, 50, 100]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figures"):
+            run_benchmarks(figures=["fig99"], sizes=[100])
+
+    def test_all_scenarios_registered(self):
+        assert {"fig05", "fig06", "fig08", "fig09", "fig10", "fig13"} == set(
+            SCENARIOS
+        )
+
+
+class TestCompare:
+    def test_identical_reports_clean(self, tiny_report):
+        regressions, notes = compare_reports(
+            tiny_report, json.loads(dumps_report(tiny_report))
+        )
+        assert regressions == []
+        assert notes == []
+
+    def test_doctored_baseline_trips_gate(self, tiny_report):
+        baseline = json.loads(dumps_report(tiny_report))
+        point = baseline["figures"]["fig08"]["series"]["Signature"][
+            "points"
+        ][0]
+        point["io"]["total"] *= 0.5
+        regressions, _ = compare_reports(
+            tiny_report, baseline, fail_over=10.0
+        )
+        assert len(regressions) == 1
+        assert regressions[0].path.endswith("io.total")
+        assert regressions[0].pct > 10.0
+
+    def test_wall_never_gates_by_default(self, tiny_report):
+        baseline = json.loads(dumps_report(tiny_report))
+        for figure in baseline["figures"].values():
+            for series in figure["series"].values():
+                for point in series["points"]:
+                    if "wall_ms" in point:
+                        point["wall_ms"] = 1e-12
+        regressions, _ = compare_reports(tiny_report, baseline)
+        assert regressions == []
+
+    def test_missing_points_noted_not_failed(self, tiny_report):
+        baseline = json.loads(dumps_report(tiny_report))
+        del baseline["figures"]["fig13"]
+        regressions, notes = compare_reports(tiny_report, baseline)
+        assert regressions == []
+        assert any("not in baseline" in note for note in notes)
+
+    def test_flatten_excludes_wall_and_x(self, tiny_report):
+        point = tiny_report["figures"]["fig08"]["series"]["Signature"][
+            "points"
+        ][0]
+        flat = flatten_metrics(point)
+        assert "x" not in flat
+        assert all("wall_ms" not in path for path in flat)
+        assert "io.total" in flat
+        assert flatten_metrics(point, include_wall=True)["wall_ms"] >= 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "fig13" in out
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_pcube.json"
+        code = main(
+            [
+                "--figures",
+                "fig06",
+                "--sizes",
+                "300",
+                "--queries",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.bench/v1"
+        assert "fig06" in capsys.readouterr().out
+
+    def test_compare_gate_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "current.json"
+        baseline_path = tmp_path / "baseline.json"
+        args = [
+            "--figures",
+            "fig06",
+            "--sizes",
+            "300",
+            "--queries",
+            "1",
+            "--quiet",
+            "--out",
+            str(out),
+        ]
+        assert main(args) == 0
+        baseline = json.loads(out.read_text())
+        baseline["figures"]["fig06"]["series"]["P-Cube"]["points"][0][
+            "size_mb"
+        ] *= 0.2
+        baseline_path.write_text(json.dumps(baseline))
+        code = main(
+            args + ["--compare", str(baseline_path), "--fail-over", "10"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # Without --fail-over the diff is informational only.
+        assert main(args + ["--compare", str(baseline_path)]) == 0
+
+    def test_bad_usage(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--figures", "fig99"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit):
+            main(["--fail-over", "5"])  # requires --compare
+        assert main(["--compare", str(tmp_path / "absent.json"),
+                     "--figures", "fig06", "--sizes", "300",
+                     "--queries", "1", "--quiet",
+                     "--out", str(tmp_path / "o.json")]) == 2

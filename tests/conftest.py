@@ -4,6 +4,11 @@
 eight-tuple database of Table I, the R-tree of Figure 1 (m = 1, M = 2) and
 the paths ⟨1,1,1⟩ ... ⟨2,2,2⟩, so signature/assembly/maintenance behaviour
 can be checked bit for bit against Figures 2-4.
+
+The seeded data sets themselves live in :mod:`repro.data.fixtures`, shared
+with ``benchmarks/conftest.py`` and the ``python -m repro.bench`` runner so
+every measurement path sees identical inputs; this module only wraps them
+as pytest fixtures.
 """
 
 from __future__ import annotations
@@ -13,76 +18,30 @@ import random
 import pytest
 
 from repro.cube.relation import Relation
-from repro.cube.schema import Schema
+from repro.data.fixtures import (
+    PAPER_PATHS,
+    PAPER_ROWS,
+    build_paper_rtree,
+    paper_relation as _paper_relation,
+    small_config as _small_config,
+)
 from repro.data.synthetic import SyntheticConfig, generate_relation
-from repro.rtree.geometry import Rect
-from repro.rtree.node import Entry
 from repro.rtree.rtree import RTree
 from repro.system import build_system
 
-#: Table I, in order t1..t8 (tids 0..7).
-PAPER_ROWS = [
-    # (A,    B,    X,     Y)
-    ("a1", "b1", 0.00, 0.40),
-    ("a2", "b2", 0.20, 0.60),
-    ("a1", "b1", 0.30, 0.70),
-    ("a3", "b3", 0.50, 0.40),
-    ("a4", "b1", 0.60, 0.00),
-    ("a2", "b3", 0.72, 0.30),
-    ("a4", "b2", 0.72, 0.36),
-    ("a3", "b3", 0.85, 0.62),
-]
-
-#: The paths column of Table I (1-based slot positions, root first).
-PAPER_PATHS = {
-    0: (1, 1, 1),
-    1: (1, 1, 2),
-    2: (1, 2, 1),
-    3: (1, 2, 2),
-    4: (2, 1, 1),
-    5: (2, 1, 2),
-    6: (2, 2, 1),
-    7: (2, 2, 2),
-}
+__all__ = ["PAPER_PATHS", "PAPER_ROWS"]
 
 
 @pytest.fixture
 def paper_relation() -> Relation:
-    schema = Schema(("A", "B"), ("X", "Y"))
-    bool_rows = [(a, b) for a, b, _, _ in PAPER_ROWS]
-    pref_rows = [(x, y) for _, _, x, y in PAPER_ROWS]
-    return Relation(schema, bool_rows, pref_rows)
+    return _paper_relation()
 
 
 @pytest.fixture
 def paper_rtree(paper_relation: Relation) -> RTree:
     """The exact R-tree of Figure 1: root → {N1, N2} → four leaves of two
     tuples each, in Table I's path order."""
-    tree = RTree(dims=2, max_entries=2, min_entries=1)
-    leaves = []
-    for first in range(0, 8, 2):
-        leaf = tree._new_node(level=0)
-        for tid in (first, first + 1):
-            point = paper_relation.pref_point(tid)
-            leaf.add_entry(Entry(Rect.from_point(point), tid=tid))
-        tree._sync_page(leaf)
-        leaves.append(leaf)
-    inner = []
-    for half in range(2):
-        node = tree._new_node(level=1)
-        for leaf in leaves[2 * half : 2 * half + 2]:
-            node.add_entry(Entry(leaf.mbr(), child=leaf))
-        tree._sync_page(node)
-        inner.append(node)
-    root = tree._new_node(level=2)
-    for node in inner:
-        root.add_entry(Entry(node.mbr(), child=node))
-    tree._sync_page(root)
-
-    points = {tid: paper_relation.pref_point(tid) for tid in range(8)}
-    tid_leaf = {tid: leaves[tid // 2] for tid in range(8)}
-    tree._adopt_bulk(root, points, tid_leaf)
-    return tree
+    return build_paper_rtree(paper_relation)
 
 
 @pytest.fixture
@@ -92,14 +51,7 @@ def rng() -> random.Random:
 
 @pytest.fixture(scope="session")
 def small_config() -> SyntheticConfig:
-    return SyntheticConfig(
-        n_tuples=1500,
-        n_boolean=3,
-        cardinality=8,
-        n_preference=2,
-        distribution="uniform",
-        seed=11,
-    )
+    return _small_config()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,171 @@
+"""Differential oracle: random relations × random predicates, every method.
+
+Hypothesis generates both the relation *and* the predicate (including
+predicates selecting empty subsets, all-duplicate point sets, single-tuple
+relations), runs the same query through the signature engine and through
+every baseline — naive, boolean-first, domination-first / ranking, and
+index-merge — and requires identical answers.  On failure, hypothesis
+shrinks to the minimal relation/predicate pair that still disagrees, which
+is the debugging artifact this suite exists to produce.
+
+This complements ``test_equivalence.py``: that file sweeps realistic
+seeded configurations with sampled (always-satisfiable) predicates; this
+one lets the fuzzer pick adversarial inputs, predicates that match
+nothing included.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.boolean_first import (
+    boolean_first_skyline,
+    boolean_first_topk,
+)
+from repro.baselines.domination_first import (
+    domination_first_skyline,
+    ranking_topk,
+)
+from repro.baselines.index_merge import index_merge_topk
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.cube.relation import Relation
+from repro.cube.schema import Schema
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import LinearFunction
+from repro.query.skyline import skyline_signature
+from repro.query.topk import topk_signature
+from repro.system import build_system
+
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (A, B, X, Y) rows: two boolean dims of cardinality ≤ 4, an 9×9 grid of
+#: preference points (deliberately collision-heavy so duplicate points and
+#: fully-dominated leaves are common).
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    ),
+    min_size=1,
+    max_size=48,
+)
+
+#: 1-2 conjuncts whose values may not occur in the relation at all — the
+#: empty-subset path every method must agree on.
+predicate_strategy = st.dictionaries(
+    keys=st.sampled_from(("A", "B")),
+    values=st.integers(min_value=0, max_value=3),
+    min_size=1,
+    max_size=2,
+)
+
+
+def make_relation(rows) -> Relation:
+    schema = Schema(("A", "B"), ("X", "Y"))
+    return Relation(
+        schema,
+        [(a, b) for a, b, _, _ in rows],
+        [(x / 8.0, y / 8.0) for _, _, x, y in rows],
+    )
+
+
+def qualifying_points(relation: Relation, predicate: BooleanPredicate):
+    return [
+        (tid, relation.pref_point(tid))
+        for tid in relation.tids()
+        if predicate.matches(relation, tid)
+    ]
+
+
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy, conjuncts=predicate_strategy)
+def test_differential_skyline(rows, conjuncts):
+    """Signature skyline ≡ naive ≡ boolean-first ≡ domination-first."""
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate(conjuncts)
+
+    expected = sorted(naive_skyline(qualifying_points(relation, predicate)))
+    sig_tids, _, _ = skyline_signature(
+        relation, system.rtree, system.pcube, predicate
+    )
+    bool_tids, _ = boolean_first_skyline(
+        relation, system.indexes, predicate
+    )
+    dom_tids, _, _ = domination_first_skyline(
+        relation, system.rtree, predicate
+    )
+    assert sorted(sig_tids) == expected
+    assert sorted(bool_tids) == expected
+    assert sorted(dom_tids) == expected
+
+
+@DIFFERENTIAL_SETTINGS
+@given(
+    rows=rows_strategy,
+    conjuncts=predicate_strategy,
+    weights=st.tuples(
+        st.floats(min_value=0.05, max_value=3.0),
+        st.floats(min_value=0.05, max_value=3.0),
+    ),
+    k=st.integers(min_value=1, max_value=15),
+)
+def test_differential_topk(rows, conjuncts, weights, k):
+    """Signature top-k ≡ naive ≡ boolean-first ≡ ranking ≡ index-merge.
+
+    Score lists are compared (rounded to 1e-9) rather than tid lists:
+    the collision-heavy grid produces score ties whose tie-break order is
+    legitimately method-specific.
+    """
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate(conjuncts)
+    fn = LinearFunction(weights)
+
+    expected = [
+        round(score, 9)
+        for _, score in naive_topk(
+            qualifying_points(relation, predicate), fn, k
+        )
+    ]
+    ranked_sig, _, _ = topk_signature(
+        relation, system.rtree, system.pcube, fn, k, predicate
+    )
+    ranked_bool, _ = boolean_first_topk(
+        relation, system.indexes, fn, k, predicate
+    )
+    ranked_rank, _, _ = ranking_topk(
+        relation, system.rtree, fn, k, predicate
+    )
+    ranked_merge, _ = index_merge_topk(
+        relation, system.rtree, system.indexes, fn, k, predicate
+    )
+    for name, ranked in (
+        ("signature", ranked_sig),
+        ("boolean_first", ranked_bool),
+        ("ranking", ranked_rank),
+        ("index_merge", ranked_merge),
+    ):
+        scores = [round(score, 9) for _, score in ranked]
+        assert scores == expected, f"{name} disagrees with naive"
+
+
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy, conjuncts=predicate_strategy)
+def test_differential_skyline_members_qualify(rows, conjuncts):
+    """Every reported skyline member satisfies the predicate (no method
+    may leak a tuple from outside the selected subset)."""
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate(conjuncts)
+    sig_tids, _, _ = skyline_signature(
+        relation, system.rtree, system.pcube, predicate
+    )
+    assert all(predicate.matches(relation, tid) for tid in sig_tids)
