@@ -28,6 +28,10 @@ from repro.bench import (
     render_report,
     run_benchmarks,
 )
+from repro.bench.serving import (
+    DEFAULT_THREADS as SERVING_THREADS,
+    run_serving_benchmark,
+)
 from repro.data.fixtures import N_QUERIES, SWEEP_SIZES
 
 
@@ -65,9 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"queries averaged per data point (default: {N_QUERIES})",
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the concurrent-serving throughput sweep instead of the "
+        "figure scenarios (writes BENCH_serving.json by default)",
+    )
+    parser.add_argument(
+        "--serving-threads",
+        default=None,
+        metavar="N,N,...",
+        help="worker-thread counts for --serving (default: "
+        + ",".join(str(n) for n in SERVING_THREADS)
+        + ")",
+    )
+    parser.add_argument(
         "--out",
-        default="BENCH_pcube.json",
-        help="output JSON path (default: BENCH_pcube.json)",
+        default=None,
+        help="output JSON path (default: BENCH_pcube.json, or "
+        "BENCH_serving.json with --serving)",
     )
     parser.add_argument(
         "--compare",
@@ -110,24 +129,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.queries < 1:
         parser.error("--queries must be >= 1")
 
-    figures = _csv(args.figures) if args.figures else None
-    try:
-        sizes = (
-            [int(n) for n in _csv(args.sizes)] if args.sizes else None
-        )
-    except ValueError:
-        parser.error(f"--sizes must be integers: {args.sizes!r}")
-    try:
-        report = run_benchmarks(
-            figures=figures,
-            seed=args.seed,
-            sizes=sizes,
-            n_queries=args.queries,
-        )
-    except ValueError as exc:  # unknown figure name
-        parser.error(str(exc))
+    if args.serving:
+        try:
+            threads = (
+                [int(n) for n in _csv(args.serving_threads)]
+                if args.serving_threads
+                else list(SERVING_THREADS)
+            )
+        except ValueError:
+            parser.error(
+                f"--serving-threads must be integers: {args.serving_threads!r}"
+            )
+        report = run_serving_benchmark(seed=args.seed, threads=threads)
+    else:
+        figures = _csv(args.figures) if args.figures else None
+        try:
+            sizes = (
+                [int(n) for n in _csv(args.sizes)] if args.sizes else None
+            )
+        except ValueError:
+            parser.error(f"--sizes must be integers: {args.sizes!r}")
+        try:
+            report = run_benchmarks(
+                figures=figures,
+                seed=args.seed,
+                sizes=sizes,
+                n_queries=args.queries,
+            )
+        except ValueError as exc:  # unknown figure name
+            parser.error(str(exc))
 
-    out_path = Path(args.out)
+    out_path = Path(
+        args.out
+        if args.out is not None
+        else ("BENCH_serving.json" if args.serving else "BENCH_pcube.json")
+    )
     out_path.write_text(dumps_report(report))
     if not args.quiet:
         text = render_report(report)

@@ -94,6 +94,16 @@ class CountedSignature:
         self.remove_path(old_path)
         self.add_path(new_path)
 
+    def copy(self) -> "CountedSignature":
+        """An independent deep copy (copy-on-write under epoch snapshots:
+        a published snapshot keeps the original, maintenance mutates the
+        copy)."""
+        duplicate = CountedSignature(self.fanout)
+        duplicate._counts = {
+            sid: dict(node) for sid, node in self._counts.items()
+        }
+        return duplicate
+
     # ------------------------------------------------------------------ #
     # views
     # ------------------------------------------------------------------ #

@@ -1,0 +1,270 @@
+"""Epoch-based snapshot isolation for the P-Cube system.
+
+The concurrency model is single-writer / many-readers:
+
+* Maintenance (already serialised by the WAL's one-in-flight rule) runs
+  inside :meth:`EpochManager.write`.  While the block is open, every
+  mutation — relation appends/tombstones/overwrites, R-tree page rewrites,
+  signature-store rewrites — is stamped with the *building* epoch ``E+1``
+  via the clocks and hooks the manager installs on the three structures.
+* At WAL commit the driver calls :meth:`EpochManager.publish`: the manager
+  freezes the R-tree (copy-on-write, structurally shared with the previous
+  snapshot), snapshots the store directory (cheap outer-dict copy), takes
+  the counted-signature COW handshake, and atomically installs a new
+  immutable :class:`Snapshot`.  Readers that pinned epoch ``E`` keep seeing
+  exactly epoch ``E``; new readers see ``E+1``.
+* If the op dies before publishing (a fault, or an injected crash), the
+  building epoch is abandoned: its half-applied mutations are stamped
+  ``E+1`` and therefore *invisible* to every reader still pinned at ``E`` —
+  the in-memory analogue of an uncommitted WAL record.  Recovery re-runs
+  under a fresh ``write()`` and publishes when it completes.
+
+Reclamation: pages logically freed during the build of epoch ``W`` may
+still be traversed by readers pinned at epochs ``< W``, so their physical
+``disk.free`` is deferred with barrier ``W`` and executed only when neither
+the current snapshot nor any pinned reader sits below the barrier.  The
+same horizon drives :meth:`Relation.prune_versions`.  Double-free attempts
+(possible when recovery rebuilds structures wholesale) are tolerated.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.rtree.frozen import FrozenRTree, freeze
+from repro.storage.disk import PageFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.counted import CountedSignature
+    from repro.core.pcube import PCube, PCubeView
+    from repro.core.store import StoreView
+    from repro.cube.cuboid import Cell
+    from repro.cube.relation import Relation, RelationView
+    from repro.rtree.rtree import RTree
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published epoch: immutable projections of all three structures.
+
+    Everything a query needs hangs off this object; holding a snapshot
+    (pinned) is the only requirement for running against it from any
+    thread.
+    """
+
+    epoch: int
+    relation: "RelationView"
+    rtree: FrozenRTree
+    store: "StoreView"
+    pcube: "PCubeView"
+    counted: "dict[Cell, CountedSignature]" = field(repr=False, default=None)
+
+
+@dataclass
+class EpochStats:
+    """Aggregate epoch bookkeeping (surfaced by serving stats and audits)."""
+
+    published: int = 0
+    abandoned: int = 0
+    deferred_frees: int = 0
+    reclaimed_pages: int = 0
+    pruned_versions: int = 0
+
+
+class EpochManager:
+    """Publishes snapshots of a (relation, R-tree, P-Cube) triple.
+
+    Installing the manager rewires the structures' epoch clock and free
+    hooks; from then on the live objects remain fully usable for
+    paper-comparable single-threaded work, while pinned snapshots provide
+    the isolated read surface for concurrent serving.
+    """
+
+    def __init__(
+        self, relation: "Relation", rtree: "RTree", pcube: "PCube"
+    ) -> None:
+        self.relation = relation
+        self.rtree = rtree
+        self.pcube = pcube
+        self.stats = EpochStats()
+        self._lock = threading.Lock()
+        self._writer_lock = threading.Lock()
+        self._building: int | None = None
+        self._pins: dict[int, int] = {}
+        # (barrier_epoch, page_id): physically free once no reader — current
+        # snapshot included — can sit below the barrier.
+        self._deferred: list[tuple[int, int]] = []
+        relation.epoch_clock = self._clock
+        rtree.free_hook = self._defer_free
+        pcube.store.free_hook = self._defer_free
+        self._current: Snapshot = self._build_snapshot(epoch=1)
+        self.stats.published += 1
+
+    # ------------------------------------------------------------------ #
+    # clocks & hooks
+    # ------------------------------------------------------------------ #
+
+    def _clock(self) -> int:
+        """The epoch mutations are stamped with *right now*."""
+        building = self._building
+        if building is not None:
+            return building
+        return self._current.epoch
+
+    def _defer_free(self, page_id: int) -> None:
+        """Logically free a page; physical free waits for the barrier."""
+        with self._lock:
+            barrier = (
+                self._building
+                if self._building is not None
+                else self._current.epoch + 1
+            )
+            self._deferred.append((barrier, page_id))
+            self.stats.deferred_frees += 1
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current(self) -> Snapshot:
+        return self._current
+
+    @property
+    def current_epoch(self) -> int:
+        return self._current.epoch
+
+    def pin(self) -> Snapshot:
+        """Pin the current snapshot; pair with :meth:`unpin`."""
+        with self._lock:
+            snapshot = self._current
+            self._pins[snapshot.epoch] = self._pins.get(snapshot.epoch, 0) + 1
+            return snapshot
+
+    def unpin(self, snapshot: Snapshot) -> None:
+        """Release a pin; the last release may reclaim old epochs."""
+        with self._lock:
+            count = self._pins.get(snapshot.epoch, 0)
+            if count <= 0:
+                raise ValueError(f"epoch {snapshot.epoch} is not pinned")
+            if count == 1:
+                del self._pins[snapshot.epoch]
+            else:
+                self._pins[snapshot.epoch] = count - 1
+            self._reclaim_locked()
+
+    @contextmanager
+    def pinned(self) -> Iterator[Snapshot]:
+        snapshot = self.pin()
+        try:
+            yield snapshot
+        finally:
+            self.unpin(snapshot)
+
+    def pinned_epochs(self) -> dict[int, int]:
+        """Epoch → reader count (serving stats / tests)."""
+        with self._lock:
+            return dict(self._pins)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def write(self) -> Iterator[int]:
+        """Run one maintenance operation under the building epoch.
+
+        Yields the epoch the op's mutations are stamped with.  The caller
+        publishes explicitly (at WAL commit) via :meth:`publish`; leaving
+        the block without publishing abandons the building epoch, keeping
+        its mutations invisible to all current and future readers until a
+        later op (usually recovery) publishes past it.
+        """
+        with self._writer_lock:
+            with self._lock:
+                building = self._current.epoch + 1
+                self._building = building
+            published_before = self.stats.published
+            try:
+                yield building
+            finally:
+                with self._lock:
+                    self._building = None
+                    if self.stats.published == published_before:
+                        self.stats.abandoned += 1
+
+    def publish(self) -> Snapshot:
+        """Atomically install the building epoch as the current snapshot.
+
+        Must be called inside :meth:`write`, after the operation's WAL
+        commit — the snapshot then reflects exactly the committed state.
+        """
+        with self._lock:
+            if self._building is None:
+                raise RuntimeError("publish() outside an epoch write block")
+            epoch = self._building
+        snapshot = self._build_snapshot(epoch)
+        with self._lock:
+            self._current = snapshot
+            # Keep stamping any further mutations of this op past the
+            # published epoch, in case the driver does trailing cleanup.
+            self._building = epoch + 1
+            self.stats.published += 1
+            self._reclaim_locked()
+        return snapshot
+
+    def _build_snapshot(self, epoch: int) -> Snapshot:
+        previous = getattr(self, "_current", None)
+        frozen = freeze(
+            self.rtree, previous.rtree if previous is not None else None
+        )
+        relation_view = self.relation.view(epoch)
+        store_view = self.pcube.store.view(
+            self.pcube.store.directory_snapshot()
+        )
+        counted = self.pcube.share_counted()
+        pcube_view = self.pcube.view(relation_view, frozen, store_view)
+        return Snapshot(
+            epoch=epoch,
+            relation=relation_view,
+            rtree=frozen,
+            store=store_view,
+            pcube=pcube_view,
+            counted=counted,
+        )
+
+    # ------------------------------------------------------------------ #
+    # reclamation
+    # ------------------------------------------------------------------ #
+
+    def _reclaim_locked(self) -> None:
+        """Free deferred pages and prune versions behind the horizon.
+
+        The horizon is the lowest epoch any present or future reader can
+        observe: the minimum over pinned epochs and the current snapshot.
+        """
+        horizon = min(self._pins, default=self._current.epoch)
+        horizon = min(horizon, self._current.epoch)
+        if not self._deferred and not horizon:
+            return
+        keep: list[tuple[int, int]] = []
+        freed = 0
+        for barrier, page_id in self._deferred:
+            if barrier > horizon:
+                keep.append((barrier, page_id))
+                continue
+            try:
+                self.rtree.disk.free(page_id)
+            except PageFault:
+                pass  # recovery may have rebuilt (and freed) wholesale
+            freed += 1
+        self._deferred = keep
+        self.stats.reclaimed_pages += freed
+        self.stats.pruned_versions += self.relation.prune_versions(horizon)
+
+    def deferred_free_count(self) -> int:
+        with self._lock:
+            return len(self._deferred)

@@ -70,86 +70,19 @@ class SignatureAdapter:
         return self.signature.check_path(path)
 
 
-class PCube:
-    """Signature-based materialisation over the boolean dimensions.
+class ReaderFactory:
+    """The query-side face of a P-Cube: turning predicates into readers.
 
-    Args:
-        relation: The base table.
-        rtree: The shared partition template over the preference dimensions.
-        cuboids: Which cuboids to materialise; defaults to the atomic
-            (one-dimensional) cuboids, as in the paper's experiments.
-        codec: Bitmap codec for stored signatures.
-        tag: Page-tag prefix for space accounting.
-        maintainable: Keep counted signatures in memory so incremental
-            updates run in O(path length) per affected cell.
+    Mixin shared by the live :class:`PCube` and the per-epoch
+    :class:`PCubeView`.  It only touches the duck-typed attributes both
+    provide — ``store`` (live store or :class:`~repro.core.store.StoreView`),
+    ``rtree`` (live tree or :class:`~repro.rtree.frozen.FrozenRTree`),
+    ``relation`` (live relation or
+    :class:`~repro.cube.relation.RelationView`), ``cuboids`` and
+    ``fanout`` — so the same cover choice, lazy/eager assembly and
+    degraded-mode fallback serve both the single-query and the
+    snapshot-isolated concurrent paths.
     """
-
-    def __init__(
-        self,
-        relation: Relation,
-        rtree: RTree,
-        cuboids: Sequence[Cuboid] | None = None,
-        codec: str = "adaptive",
-        tag: str = "pcube",
-        maintainable: bool = True,
-    ) -> None:
-        self.relation = relation
-        self.rtree = rtree
-        self.fanout = rtree.max_entries
-        self.cuboids = (
-            list(cuboids)
-            if cuboids is not None
-            else atomic_cuboids(relation.schema.boolean_dims)
-        )
-        self.tag = tag
-        self.store = SignatureStore(
-            rtree.disk, fanout=self.fanout, tag=tag, codec=codec
-        )
-        self.maintainable = maintainable
-        self._counted: dict[Cell, CountedSignature] = {}
-        self._built = False
-
-    # ------------------------------------------------------------------ #
-    # construction
-    # ------------------------------------------------------------------ #
-
-    @classmethod
-    def build(
-        cls,
-        relation: Relation,
-        rtree: RTree,
-        cuboids: Sequence[Cuboid] | None = None,
-        codec: str = "adaptive",
-        tag: str = "pcube",
-        maintainable: bool = True,
-    ) -> "PCube":
-        """Generate, compress, decompose and store every cell signature."""
-        pcube = cls(relation, rtree, cuboids, codec, tag, maintainable)
-        paths = rtree.all_paths()
-        for cuboid in pcube.cuboids:
-            signatures = generate_cuboid_signatures(
-                relation, cuboid, paths, pcube.fanout
-            )
-            for cell, signature in signatures.items():
-                pcube.store.put_signature(cell, signature)
-        if maintainable:
-            pcube._rebuild_counts(paths)
-        pcube._built = True
-        return pcube
-
-    def _rebuild_counts(self, paths: dict[int, tuple[int, ...]]) -> None:
-        """(Re)derive every counted signature in one pass over the data."""
-        self._counted = {}
-        for cuboid in self.cuboids:
-            for cell, tids in cuboid.group(self.relation).items():
-                counted = CountedSignature(self.fanout)
-                for tid in tids:
-                    counted.add_path(paths[tid])
-                self._counted[cell] = counted
-
-    # ------------------------------------------------------------------ #
-    # query-side interface
-    # ------------------------------------------------------------------ #
 
     def materialised_cell(self, cell: Cell) -> bool:
         """Whether this exact cell's signature is stored."""
@@ -307,6 +240,142 @@ class PCube:
             return cell.matches(self.relation, entry.tid)
         return True
 
+
+class PCubeView(ReaderFactory):
+    """One epoch's P-Cube: frozen tree, snapshotted store, pinned relation.
+
+    Offers exactly the :class:`ReaderFactory` query surface over immutable
+    per-epoch projections — no maintenance methods exist on a view, by
+    construction.
+    """
+
+    def __init__(
+        self,
+        relation,
+        rtree,
+        store,
+        cuboids: Sequence[Cuboid],
+        fanout: int,
+    ) -> None:
+        self.relation = relation
+        self.rtree = rtree
+        self.store = store
+        self.cuboids = list(cuboids)
+        self.fanout = fanout
+
+
+class PCube(ReaderFactory):
+    """Signature-based materialisation over the boolean dimensions.
+
+    Args:
+        relation: The base table.
+        rtree: The shared partition template over the preference dimensions.
+        cuboids: Which cuboids to materialise; defaults to the atomic
+            (one-dimensional) cuboids, as in the paper's experiments.
+        codec: Bitmap codec for stored signatures.
+        tag: Page-tag prefix for space accounting.
+        maintainable: Keep counted signatures in memory so incremental
+            updates run in O(path length) per affected cell.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        rtree: RTree,
+        cuboids: Sequence[Cuboid] | None = None,
+        codec: str = "adaptive",
+        tag: str = "pcube",
+        maintainable: bool = True,
+    ) -> None:
+        self.relation = relation
+        self.rtree = rtree
+        self.fanout = rtree.max_entries
+        self.cuboids = (
+            list(cuboids)
+            if cuboids is not None
+            else atomic_cuboids(relation.schema.boolean_dims)
+        )
+        self.tag = tag
+        self.store = SignatureStore(
+            rtree.disk, fanout=self.fanout, tag=tag, codec=codec
+        )
+        self.maintainable = maintainable
+        self._counted: dict[Cell, CountedSignature] = {}
+        # Cells whose counted signature is shared with a published epoch
+        # snapshot and must be copied before the next in-place mutation.
+        self._shared_counted: set[Cell] = set()
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        rtree: RTree,
+        cuboids: Sequence[Cuboid] | None = None,
+        codec: str = "adaptive",
+        tag: str = "pcube",
+        maintainable: bool = True,
+    ) -> "PCube":
+        """Generate, compress, decompose and store every cell signature."""
+        pcube = cls(relation, rtree, cuboids, codec, tag, maintainable)
+        paths = rtree.all_paths()
+        for cuboid in pcube.cuboids:
+            signatures = generate_cuboid_signatures(
+                relation, cuboid, paths, pcube.fanout
+            )
+            for cell, signature in signatures.items():
+                pcube.store.put_signature(cell, signature)
+        if maintainable:
+            pcube._rebuild_counts(paths)
+        pcube._built = True
+        return pcube
+
+    def _rebuild_counts(self, paths: dict[int, tuple[int, ...]]) -> None:
+        """(Re)derive every counted signature in one pass over the data."""
+        self._counted = {}
+        for cuboid in self.cuboids:
+            for cell, tids in cuboid.group(self.relation).items():
+                counted = CountedSignature(self.fanout)
+                for tid in tids:
+                    counted.add_path(paths[tid])
+                self._counted[cell] = counted
+
+    # ------------------------------------------------------------------ #
+    # query-side interface: inherited from ReaderFactory
+    # ------------------------------------------------------------------ #
+
+    def view(self, relation, rtree, store) -> PCubeView:
+        """The query surface over per-epoch projections of the three
+        structures (the epoch manager supplies them at publish time)."""
+        return PCubeView(relation, rtree, store, self.cuboids, self.fanout)
+
+    def share_counted(self) -> dict[Cell, CountedSignature]:
+        """Publish-time handshake for counted-signature copy-on-write.
+
+        Returns a point-in-time copy of the counted map for the snapshot
+        and marks every entry shared; the next in-place mutation of a
+        shared entry (see :meth:`_writable_counted`) works on a private
+        copy, leaving the snapshot's object untouched.
+        """
+        self._shared_counted = set(self._counted)
+        return dict(self._counted)
+
+    def _writable_counted(self, cell: Cell) -> CountedSignature:
+        """The counted signature of ``cell``, safe to mutate in place."""
+        counted = self._counted.get(cell)
+        if counted is None:
+            counted = CountedSignature(self.fanout)
+            self._counted[cell] = counted
+        elif cell in self._shared_counted:
+            counted = counted.copy()
+            self._counted[cell] = counted
+            self._shared_counted.discard(cell)
+        return counted
+
     def rebuild_cell(self, cell: Cell) -> Signature:
         """Regenerate a (quarantined) cell's signature from base data.
 
@@ -400,10 +469,7 @@ class PCube:
                 continue
             for cuboid in self.cuboids:
                 cell = cuboid.cell_for(self.relation, change.tid)
-                counted = self._counted.get(cell)
-                if counted is None:
-                    counted = CountedSignature(self.fanout)
-                    self._counted[cell] = counted
+                counted = self._writable_counted(cell)
                 if change.old_path is not None:
                     counted.remove_path(change.old_path)
                 if change.new_path is not None:

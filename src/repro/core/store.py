@@ -108,6 +108,19 @@ class SignatureStore:
         # unreadable; cleared by rebuild_cell().
         self._quarantined: dict[str, tuple[Cell, str]] = {}
         self._journal: list[RewriteJournalEntry] = []
+        #: When set, signature-page frees are routed here instead of
+        #: ``disk.free`` — the epoch manager defers them until no pinned
+        #: snapshot directory can still reference the page.
+        self.free_hook: Callable[[int], None] | None = None
+
+    def _free_sig_page(self, page_id: int) -> None:
+        if self.free_hook is not None:
+            self.free_hook(page_id)
+            return
+        try:
+            self.disk.free(page_id)
+        except PageFault:
+            pass
 
     # ------------------------------------------------------------------ #
     # writing
@@ -155,12 +168,11 @@ class SignatureStore:
         for ref in sorted(refs):
             self._index.insert((cell_id, ref), refs[ref])
         # Phase 4: free the replaced pages (registered buffer pools are
-        # told to evict them, so no reader can see a stale partial).
+        # told to evict them, so no reader can see a stale partial).  Under
+        # an epoch manager the physical free is deferred instead, because a
+        # pinned snapshot directory may still reference the old pages.
         for page_id in existing.values():
-            try:
-                self.disk.free(page_id)
-            except PageFault:
-                pass
+            self._free_sig_page(page_id)
         self._journal.remove(journal)
 
     def recover(self) -> int:
@@ -183,10 +195,7 @@ class SignatureStore:
             for page_id in leftovers:
                 if page_id in current:
                     continue
-                try:
-                    self.disk.free(page_id)
-                except PageFault:
-                    pass
+                self._free_sig_page(page_id)
             self._journal.remove(journal)
             resolved += 1
         return resolved
@@ -309,6 +318,20 @@ class SignatureStore:
     def index_height(self) -> int:
         return self._index.height()
 
+    def directory_snapshot(self) -> dict[str, dict[int, int]]:
+        """A point-in-time copy of the (cell → refs) directory.
+
+        Cheap: only the outer map is copied.  ``replace_partials`` installs
+        a *new* inner refs map at its commit point rather than mutating the
+        old one, so the shared inner dicts are immutable from the
+        snapshot's perspective.
+        """
+        return dict(self._directory)
+
+    def view(self, directory: dict[str, dict[int, int]]) -> "StoreView":
+        """A read-only store bound to a snapshotted directory."""
+        return StoreView(self, directory)
+
     def refs_for(self, cell: Cell) -> dict[int, int]:
         """The directory's ``ref_sid -> page_id`` map for a cell (audits)."""
         return dict(self._directory.get(cell.cell_id, {}))
@@ -359,6 +382,97 @@ class SignatureStore:
         return entries
 
 
+class StoreView:
+    """The signature store as one epoch saw it — a read-only projection.
+
+    Serves :meth:`load_partial` / :meth:`load_full_signature` lookups from
+    a snapshotted directory, so a pinned reader resolves exactly the
+    partial pages that were current when its epoch was published, even
+    while maintenance rewrites cells underneath (old pages stay allocated
+    until the epoch drains — the manager defers their frees).  Quarantine
+    and fault accounting intentionally pass through to the live store:
+    discovering an unreadable page is news for the repair queue regardless
+    of which epoch noticed it.
+    """
+
+    def __init__(
+        self, base: SignatureStore, directory: dict[str, dict[int, int]]
+    ) -> None:
+        self._base = base
+        self._directory = directory
+        self.disk = base.disk
+        self.fanout = base.fanout
+        self.retry_policy = base.retry_policy
+        self.fault_stats = base.fault_stats
+
+    def quarantine(self, cell: Cell, reason: object) -> None:
+        self._base.quarantine(cell, reason)
+
+    def is_quarantined(self, cell: Cell) -> bool:
+        return self._base.is_quarantined(cell)
+
+    def has_cell(self, cell: Cell) -> bool:
+        return cell.cell_id in self._directory
+
+    def n_partials(self, cell: Cell) -> int:
+        return len(self._directory.get(cell.cell_id, {}))
+
+    def load_partial(
+        self,
+        cell: Cell,
+        ref_sid: int,
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+        on_retry: Callable[[int, Exception], None] | None = None,
+    ) -> PartialSignature | None:
+        refs = self._directory.get(cell.cell_id)
+        if refs is None or ref_sid not in refs:
+            return None
+        page_id = refs[ref_sid]
+
+        def read_once() -> PartialSignature:
+            if pool is not None:
+                return pool.get(page_id, SSIG, counters)
+            return self.disk.read(page_id, SSIG, counters)
+
+        def count_retry(attempt: int, exc: Exception) -> None:
+            self.fault_stats.retries += 1
+            if on_retry is not None:
+                on_retry(attempt, exc)
+
+        try:
+            return self.retry_policy.call(read_once, on_retry=count_retry)
+        except StorageFault:
+            self.fault_stats.transient_errors += 1
+            raise
+
+    def load_full_signature(
+        self,
+        cell: Cell,
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+    ) -> Signature:
+        signature = Signature(self.fanout)
+        refs = self._directory.get(cell.cell_id, {})
+        for ref_sid in sorted(refs):
+            partial = self.load_partial(cell, ref_sid, pool, counters)
+            if partial is None:
+                raise MissingPartialError(cell.cell_id, ref_sid)
+            for sid, bits in partial.decode().items():
+                signature.set_node(sid, bits)
+        return signature
+
+    def reader(
+        self,
+        cell: Cell,
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+        fallback: "BooleanFallback | None" = None,
+        tracer: Tracer | None = None,
+    ) -> "CellSignatureReader":
+        return CellSignatureReader(self, cell, pool, counters, fallback, tracer)
+
+
 #: Exact boolean resolver used in conservative mode: ``(cell, path,
 #: counters) -> does the entry at path contain data of the cell?``  Must be
 #: conservative (``True``) wherever it cannot answer exactly.
@@ -383,7 +497,7 @@ class CellSignatureReader:
 
     def __init__(
         self,
-        store: SignatureStore,
+        store: "SignatureStore | StoreView",
         cell: Cell,
         pool: BufferPool | None,
         counters: IOCounters | None,

@@ -6,11 +6,21 @@ Two access paths matter to the baselines:
   (the Boolean-first baseline may prefer this over an index scan);
 * :meth:`Relation.fetch` — a random access by tid, costing one page read
   (what minimal probing pays per boolean verification, category ``DBOOL``).
+
+Multi-versioning: every mutation (append, tombstone, preference overwrite)
+is stamped with the epoch reported by :attr:`Relation.epoch_clock`, and
+:meth:`Relation.view` materialises a read-only :class:`RelationView` that
+shows exactly the rows and values visible at a given epoch — a reader
+pinned to epoch *E* never sees a row inserted, deleted or updated by later
+maintenance.  The plain accessors (``live_tids``, ``pref_point``, …) keep
+their historical latest-state semantics; only views filter.  With no epoch
+system attached the clock reads 0 and the version maps stay empty, so
+stand-alone use costs nothing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.cube.schema import Schema
 from repro.storage.buffer import BufferPool
@@ -19,6 +29,11 @@ from repro.storage.disk import SimulatedDisk
 
 _ROW_HEADER_BYTES = 4
 _VALUE_BYTES = 8
+
+
+def _epoch_zero() -> int:
+    """Default epoch clock: no epoch system attached, everything is epoch 0."""
+    return 0
 
 
 class Relation:
@@ -63,6 +78,14 @@ class Relation:
         self.rows_per_page = max(1, self.disk.page_size // self._row_bytes)
         self._page_ids: list[int] = []
         self._tombstones: set[int] = set()
+        #: Reports the epoch a mutation should be stamped with.  The epoch
+        #: manager installs itself here; stand-alone relations stay at 0.
+        self.epoch_clock: Callable[[], int] = _epoch_zero
+        # Version maps.  Absent tid ⇒ created at epoch 0 / never tombstoned
+        # / preference row never rewritten — the common case stays O(0).
+        self._created_epoch: dict[int, int] = {}
+        self._tombstone_epoch: dict[int, int] = {}
+        self._pref_history: dict[int, list[tuple[int, tuple[float, ...]]]] = {}
         self._build_heap()
 
     def _build_heap(self) -> None:
@@ -86,6 +109,9 @@ class Relation:
         if len(pref_row) != self.schema.n_preference:
             raise ValueError("preference row width does not match schema")
         tid = len(self)
+        epoch = self.epoch_clock()
+        if epoch > 0:
+            self._created_epoch[tid] = epoch
         self._bool_rows.append(tuple(bool_row))
         self._pref_rows.append(tuple(float(v) for v in pref_row))
         self._append_to_page(tid)
@@ -123,9 +149,19 @@ class Relation:
         return len(self) - first_unpaged
 
     def overwrite_pref(self, tid: int, pref_row: tuple) -> None:
-        """Replace a row's preference values in place (update experiments)."""
+        """Replace a row's preference values in place (update experiments).
+
+        The overwritten value is kept in an undo chain stamped with the
+        writing epoch, so views pinned before the write still resolve the
+        old point.  Without an epoch system the chain is not kept.
+        """
         if len(pref_row) != self.schema.n_preference:
             raise ValueError("preference row width does not match schema")
+        epoch = self.epoch_clock()
+        if epoch > 0:
+            self._pref_history.setdefault(tid, []).append(
+                (epoch, self._pref_rows[tid])
+            )
         self._pref_rows[tid] = tuple(float(v) for v in pref_row)
 
     # ------------------------------------------------------------------ #
@@ -139,6 +175,10 @@ class Relation:
         Idempotent: tombstoning a tombstone is a no-op."""
         if not 0 <= tid < len(self):
             raise IndexError(f"tid {tid} out of range")
+        if tid not in self._tombstones:
+            epoch = self.epoch_clock()
+            if epoch > 0:
+                self._tombstone_epoch[tid] = epoch
         self._tombstones.add(tid)
 
     def is_live(self, tid: int) -> bool:
@@ -214,3 +254,171 @@ class Relation:
         else:
             self.disk.read(page_id, category, counters)
         return self._bool_rows[tid], self._pref_rows[tid]
+
+    # ------------------------------------------------------------------ #
+    # multi-versioning
+    # ------------------------------------------------------------------ #
+
+    def view(self, epoch: int) -> "RelationView":
+        """A read-only view of the relation as of ``epoch``."""
+        return RelationView(self, epoch)
+
+    def _len_at(self, epoch: int) -> int:
+        """Row count visible at ``epoch``.
+
+        Tids are append-ordered and creation epochs are monotone
+        non-decreasing, so the visible prefix length is found by bisection.
+        """
+        n = len(self._bool_rows)
+        if not self._created_epoch:
+            return n
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._created_epoch.get(mid, 0) <= epoch:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _is_live_at(self, tid: int, epoch: int) -> bool:
+        if not 0 <= tid < self._len_at(epoch):
+            return False
+        if tid not in self._tombstones:
+            return True
+        return self._tombstone_epoch.get(tid, 0) > epoch
+
+    def _pref_at(self, tid: int, epoch: int) -> tuple[float, ...]:
+        """The preference row visible at ``epoch``.
+
+        The undo chain is chronological, so the first entry written by a
+        later epoch holds the value the pinned reader saw.
+        """
+        history = self._pref_history.get(tid)
+        if history:
+            for write_epoch, old_row in history:
+                if write_epoch > epoch:
+                    return old_row
+        return self._pref_rows[tid]
+
+    def prune_versions(self, oldest_pinned: int) -> int:
+        """Discard version records no reader at or after ``oldest_pinned``
+        can resolve.  Returns how many records were dropped (for stats).
+
+        Safe because a record stamped with epoch ``W`` is only consulted by
+        readers pinned strictly before ``W``.
+        """
+        dropped = 0
+        for tid in [t for t, e in self._created_epoch.items() if e <= oldest_pinned]:
+            del self._created_epoch[tid]
+            dropped += 1
+        for tid in [t for t, e in self._tombstone_epoch.items() if e <= oldest_pinned]:
+            del self._tombstone_epoch[tid]
+            dropped += 1
+        for tid in list(self._pref_history):
+            chain = self._pref_history[tid]
+            keep = [entry for entry in chain if entry[0] > oldest_pinned]
+            dropped += len(chain) - len(keep)
+            if keep:
+                self._pref_history[tid] = keep
+            else:
+                del self._pref_history[tid]
+        return dropped
+
+
+class RelationView:
+    """The relation as it looked at one epoch — a read-only projection.
+
+    Duck-types the read side of :class:`Relation` (``schema``, ``fetch``,
+    ``bool_value``, ``live_tids``, ``scan``, …) so query code runs against
+    either interchangeably; every accessor filters by the pinned epoch.
+    Mutators are deliberately absent: maintenance goes through the base
+    relation under the single-writer epoch protocol.
+    """
+
+    def __init__(self, base: Relation, epoch: int) -> None:
+        self._base = base
+        self.epoch = epoch
+        self.schema = base.schema
+        self.disk = base.disk
+        self.rows_per_page = base.rows_per_page
+
+    def __len__(self) -> int:
+        return self._base._len_at(self.epoch)
+
+    def is_live(self, tid: int) -> bool:
+        return self._base._is_live_at(tid, self.epoch)
+
+    def live_tids(self) -> Iterator[int]:
+        base = self._base
+        return (
+            tid
+            for tid in range(len(self))
+            if base._is_live_at(tid, self.epoch)
+        )
+
+    def live_count(self) -> int:
+        return sum(1 for _ in self.live_tids())
+
+    def tids(self) -> range:
+        return range(len(self))
+
+    def bool_row(self, tid: int) -> tuple:
+        self._check(tid)
+        return self._base.bool_row(tid)
+
+    def bool_value(self, tid: int, dim: str) -> Any:
+        self._check(tid)
+        return self._base.bool_value(tid, dim)
+
+    def pref_point(self, tid: int) -> tuple[float, ...]:
+        self._check(tid)
+        return self._base._pref_at(tid, self.epoch)
+
+    def pref_points(self) -> Iterator[tuple[int, tuple[float, ...]]]:
+        base = self._base
+        return (
+            (tid, base._pref_at(tid, self.epoch))
+            for tid in range(len(self))
+            if base._is_live_at(tid, self.epoch)
+        )
+
+    def heap_page_count(self) -> int:
+        return self._base.heap_page_count()
+
+    def scan(
+        self,
+        counters: IOCounters | None = None,
+        category: str = BTABLE,
+    ) -> Iterator[int]:
+        """Full scan of the pages that existed at the pinned epoch."""
+        limit = len(self)
+        base = self._base
+        for page_id in base._page_ids:
+            tids = base.disk.read(page_id, category, counters)
+            if tids and tids[0] >= limit:
+                break
+            for tid in tids:
+                if tid < limit and base._is_live_at(tid, self.epoch):
+                    yield tid
+
+    def fetch(
+        self,
+        tid: int,
+        pool: BufferPool | None = None,
+        counters: IOCounters | None = None,
+        category: str = DBOOL,
+    ) -> tuple[tuple, tuple[float, ...]]:
+        """Random access by tid, resolving the epoch-correct pref row."""
+        self._check(tid)
+        base = self._base
+        page_id = base._page_ids[tid // base.rows_per_page]
+        if pool is not None:
+            pool.get(page_id, category, counters)
+        else:
+            base.disk.read(page_id, category, counters)
+        return base.bool_row(tid), base._pref_at(tid, self.epoch)
+
+    def _check(self, tid: int) -> None:
+        if not 0 <= tid < len(self):
+            raise IndexError(f"tid {tid} not visible at epoch {self.epoch}")

@@ -258,6 +258,7 @@ def run_algorithm1(
     state: SearchState | None = None,
     keep_lists: bool = True,
     tracer: Tracer | None = None,
+    ticker: Callable[[], None] | None = None,
 ) -> SearchState:
     """Run (or resume) Algorithm 1 until the heap empties or top-k finishes.
 
@@ -281,6 +282,10 @@ def run_algorithm1(
             ``bbs:search`` for the progressive loop) and every pruned
             entry, node expansion and reported result emits an event;
             when ``None`` the hooks cost one comparison each.
+        ticker: Called once per heap pop; the serving executor uses it for
+            deadline/cancellation checks (it raises to abort the query).
+            The partially filled ``state``/``stats`` stay consistent — the
+            caller just must not report them as a completed answer.
     """
     with (
         tracer.span("bbs:init", resumed=state is not None)
@@ -300,6 +305,8 @@ def run_algorithm1(
     )
     with search_span:
         while heap:
+            if ticker is not None:
+                ticker()
             entry = heapq.heappop(heap)
             if strategy.finished(entry.key):
                 heapq.heappush(heap, entry)  # keep it for incremental reuse

@@ -112,6 +112,7 @@ def dynamic_skyline_signature(
     query_point: Sequence[float],
     predicate: BooleanPredicate | None = None,
     pool: BufferPool | None = None,
+    ticker=None,
 ) -> tuple[list[int], QueryStats, SearchState]:
     """Dynamic skyline with boolean predicates via signatures.
 
@@ -139,6 +140,7 @@ def dynamic_skyline_signature(
         reader=reader,
         pool=pool,
         block_category=SBLOCK,
+        ticker=ticker,
     )
     stats.elapsed_seconds = time.perf_counter() - started
     if reader is not None:

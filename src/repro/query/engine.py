@@ -16,48 +16,28 @@ As the paper suggests, the engine pre-filters carried entries with the new
 predicate's signature before inserting them (failures go straight to the
 new ``b_list``).  Top-k searches terminate early and may leave pending heap
 entries; those are carried over too (they were neither pruned nor reported).
+
+The execution machinery lives in :class:`~repro.query.session.QuerySession`;
+this engine is the paper-comparable facade over it — bound to the *live*
+structures, one fresh cold buffer pool per query, so per-query disk-access
+counts stay a pure function of the query, like the paper's figures assume.
+Concurrent serving binds sessions to pinned snapshots instead (see
+``repro.serve``).
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import nullcontext
-from dataclasses import dataclass
 from typing import Any
 
 from repro.core.pcube import PCube
 from repro.obs.trace import Tracer
 from repro.cube.relation import Relation
-from repro.query.algorithm1 import (
-    SearchState,
-    SkylineStrategy,
-    TopKStrategy,
-    run_algorithm1,
-)
 from repro.query.predicates import BooleanPredicate
 from repro.query.ranking import RankingFunction
-from repro.query.stats import QueryStats
+from repro.query.session import QueryResult, QuerySession
 from repro.rtree.rtree import RTree
-from repro.storage.buffer import BufferPool
-from repro.storage.counters import SBLOCK
 
-
-@dataclass
-class QueryResult:
-    """A completed query plus the state follow-up queries resume from."""
-
-    kind: str  # "skyline" | "topk" | "dynamic_skyline" | "lower_hull"
-    predicate: BooleanPredicate
-    tids: list[int]
-    scores: list[float] | None
-    stats: QueryStats
-    state: SearchState
-    fn: RankingFunction | None = None
-    k: int | None = None
-    preference_by: tuple[str, ...] | None = None
-
-    def __len__(self) -> int:
-        return len(self.tids)
+__all__ = ["PreferenceEngine", "QueryResult"]
 
 
 class PreferenceEngine:
@@ -85,21 +65,18 @@ class PreferenceEngine:
         self.pcube = pcube
         self.pool_capacity = pool_capacity
         self.eager_assembly = eager_assembly
+        self._session = QuerySession(
+            relation,
+            rtree,
+            pcube,
+            pool=None,  # cold pool per query: the paper-comparable mode
+            pool_capacity=pool_capacity,
+            eager_assembly=eager_assembly,
+        )
 
     # ------------------------------------------------------------------ #
     # standard queries
     # ------------------------------------------------------------------ #
-
-    def _reader(self, predicate: BooleanPredicate, pool, stats, tracer=None):
-        if predicate.is_empty():
-            return None
-        return self.pcube.reader_for_predicate(
-            predicate.conjuncts,
-            pool,
-            stats.counters,
-            eager=self.eager_assembly,
-            tracer=tracer,
-        )
 
     def skyline(
         self,
@@ -114,13 +91,8 @@ class PreferenceEngine:
         Pass a :class:`~repro.obs.trace.Tracer` to capture the span tree
         and prune/load events of the execution.
         """
-        predicate = predicate or BooleanPredicate()
-        return self._run(
-            "skyline",
-            predicate,
-            state=None,
-            preference_by=preference_by,
-            tracer=tracer,
+        return self._session.skyline(
+            predicate, preference_by=preference_by, tracer=tracer
         )
 
     def topk(
@@ -131,10 +103,7 @@ class PreferenceEngine:
         tracer: Tracer | None = None,
     ) -> QueryResult:
         """A standard top-k query."""
-        predicate = predicate or BooleanPredicate()
-        return self._run(
-            "topk", predicate, state=None, fn=fn, k=k, tracer=tracer
-        )
+        return self._session.topk(fn, k, predicate, tracer=tracer)
 
     def dynamic_skyline(
         self,
@@ -143,60 +112,17 @@ class PreferenceEngine:
     ) -> QueryResult:
         """A dynamic skyline query (Section VII extension): the skyline in
         the ``|x − query_point|`` space."""
-        from repro.query.dynamic import dynamic_skyline_signature
-
-        predicate = predicate or BooleanPredicate()
-        tids, stats, state = dynamic_skyline_signature(
-            self.relation,
-            self.rtree,
-            self.pcube,
-            query_point,
-            predicate,
-            pool=BufferPool(self.rtree.disk, capacity=self.pool_capacity),
-        )
-        return QueryResult(
-            kind="dynamic_skyline",
-            predicate=predicate,
-            tids=tids,
-            scores=None,
-            stats=stats,
-            state=state,
-        )
+        return self._session.dynamic_skyline(query_point, predicate)
 
     def lower_hull(
         self, predicate: BooleanPredicate | None = None
     ) -> QueryResult:
         """A 2-D lower-left convex hull query (Section VII extension)."""
-        from repro.query.hull import lower_hull_signature
-
-        predicate = predicate or BooleanPredicate()
-        tids, stats = lower_hull_signature(
-            self.relation,
-            self.rtree,
-            self.pcube,
-            predicate,
-            pool=BufferPool(self.rtree.disk, capacity=self.pool_capacity),
-        )
-        return QueryResult(
-            kind="lower_hull",
-            predicate=predicate,
-            tids=tids,
-            scores=None,
-            stats=stats,
-            state=SearchState(),
-        )
+        return self._session.lower_hull(predicate)
 
     # ------------------------------------------------------------------ #
     # incremental queries (Lemma 2)
     # ------------------------------------------------------------------ #
-
-    @staticmethod
-    def _check_incremental(previous: QueryResult) -> None:
-        if previous.kind not in ("skyline", "topk"):
-            raise ValueError(
-                f"drill-down/roll-up resume {previous.kind!r} queries is not "
-                "supported; only skyline and topk keep Lemma 2 state"
-            )
 
     def drill_down(
         self,
@@ -206,166 +132,10 @@ class PreferenceEngine:
         tracer: Tracer | None = None,
     ) -> QueryResult:
         """Strengthen the previous query's predicate by one conjunct."""
-        self._check_incremental(previous)
-        predicate = previous.predicate.drill_down(dim, value)
-        carried = (
-            previous.state.results
-            + previous.state.d_list
-            + previous.state.heap
-        )
-        dominated = {id(entry) for entry in previous.state.d_list}
-        return self._run(
-            previous.kind,
-            predicate,
-            state=("drill", carried, list(previous.state.b_list), dominated),
-            fn=previous.fn,
-            k=previous.k,
-            preference_by=previous.preference_by,
-            tracer=tracer,
-        )
+        return self._session.drill_down(previous, dim, value, tracer=tracer)
 
     def roll_up(
         self, previous: QueryResult, dim: str, tracer: Tracer | None = None
     ) -> QueryResult:
         """Relax the previous query's predicate by removing one conjunct."""
-        self._check_incremental(previous)
-        predicate = previous.predicate.roll_up(dim)
-        carried = (
-            previous.state.results
-            + previous.state.b_list
-            + previous.state.heap
-        )
-        return self._run(
-            previous.kind,
-            predicate,
-            state=("roll", carried, list(previous.state.d_list), frozenset()),
-            fn=previous.fn,
-            k=previous.k,
-            preference_by=previous.preference_by,
-            tracer=tracer,
-        )
-
-    # ------------------------------------------------------------------ #
-    # shared runner
-    # ------------------------------------------------------------------ #
-
-    def _run(
-        self,
-        kind: str,
-        predicate: BooleanPredicate,
-        state,
-        fn: RankingFunction | None = None,
-        k: int | None = None,
-        preference_by: tuple[str, ...] | None = None,
-        tracer: Tracer | None = None,
-    ) -> QueryResult:
-        stats = QueryStats()
-        pool = BufferPool(self.rtree.disk, capacity=self.pool_capacity)
-        if tracer is not None and tracer.counters is None:
-            tracer.counters = stats.counters
-        query_span = (
-            tracer.span(
-                f"query:{kind}",
-                predicate=repr(predicate),
-                incremental=state is not None,
-            )
-            if tracer is not None
-            else nullcontext()
-        )
-        with query_span:
-            started = time.perf_counter()
-            with (
-                tracer.span("reader:setup")
-                if tracer is not None
-                else nullcontext()
-            ):
-                reader = self._reader(predicate, pool, stats, tracer)
-            if kind == "skyline":
-                subspace = None
-                if preference_by is not None:
-                    subspace = tuple(
-                        self.relation.schema.preference_position(name)
-                        for name in preference_by
-                    )
-                strategy: SkylineStrategy | TopKStrategy = SkylineStrategy(
-                    self.rtree.dims, subspace=subspace
-                )
-            else:
-                assert fn is not None and k is not None
-                strategy = TopKStrategy(fn, k)
-
-            resume_state: SearchState | None = None
-            if state is not None:
-                mode, carried, kept_list, dominated = state
-                resume_state = SearchState()
-                if mode == "drill":
-                    # still fail the stronger BP
-                    resume_state.b_list = kept_list
-                else:
-                    resume_state.d_list = kept_list  # still dominated
-                resume_state.seq = max(
-                    (entry.seq for entry in carried), default=0
-                )
-                with (
-                    tracer.span("resume:prefilter", mode=mode)
-                    if tracer is not None
-                    else nullcontext()
-                ):
-                    for entry in carried:
-                        # Pre-filter with the new predicate's signature, as
-                        # the paper suggests, to keep the rebuilt heap small.
-                        if reader is not None and not reader.check_path(
-                            entry.path
-                        ):
-                            resume_state.b_list.append(entry)
-                            stats.boolean_pruned += 1
-                            if tracer is not None:
-                                # A carried entry the old query already
-                                # preference-pruned that the new signature
-                                # rejects too fails both arms.
-                                arm = (
-                                    "both"
-                                    if id(entry) in dominated
-                                    else "bool"
-                                )
-                                tracer.prune(
-                                    arm, path=entry.path, key=entry.key
-                                )
-                        else:
-                            resume_state.heap.append(entry)
-
-            final_state = run_algorithm1(
-                self.rtree,
-                strategy,
-                stats,
-                reader=reader,
-                pool=pool,
-                block_category=SBLOCK,
-                state=resume_state,
-                tracer=tracer,
-            )
-            stats.elapsed_seconds = time.perf_counter() - started
-        if reader is not None:
-            stats.sig_load_seconds = reader.load_seconds
-            stats.fault_retries = getattr(reader, "retries", 0)
-            stats.failed_loads = getattr(reader, "failed_loads", 0)
-            stats.degraded_checks = getattr(reader, "degraded_checks", 0)
-            stats.degraded = bool(getattr(reader, "degraded", False))
-
-        tids = [e.tid for e in final_state.results if e.tid is not None]
-        scores = (
-            [e.key for e in final_state.results if e.tid is not None]
-            if kind == "topk"
-            else None
-        )
-        return QueryResult(
-            kind=kind,
-            predicate=predicate,
-            tids=tids,
-            scores=scores,
-            stats=stats,
-            state=final_state,
-            fn=fn,
-            k=k,
-            preference_by=preference_by,
-        )
+        return self._session.roll_up(previous, dim, tracer=tracer)

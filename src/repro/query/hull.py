@@ -42,6 +42,7 @@ def lower_hull_signature(
     pcube: PCube,
     predicate: BooleanPredicate | None = None,
     pool: BufferPool | None = None,
+    ticker=None,
 ) -> tuple[list[int], QueryStats]:
     """The lower-left convex hull of the predicate's subset (2-D only).
 
@@ -72,6 +73,7 @@ def lower_hull_signature(
             pool=pool,
             block_category=SBLOCK,
             keep_lists=False,
+            ticker=ticker,
         )
         if not state.results:
             return None

@@ -70,6 +70,17 @@ class QueryStats:
             base-relation fallback because a partial was unreadable.
         degraded: Whether this query ran with any signature degraded — the
             per-query "degraded query" flag robustness benchmarks count.
+        epoch: The snapshot epoch the query ran against (``None`` for
+            live-structure queries, i.e. everything paper-comparable).
+        queue_wait_seconds: Time the query sat in the serving executor's
+            admission queue before a worker picked it up.
+        pool_hits / pool_misses: This query's buffer-pool delta — meaningful
+            in shared-pool serving mode where ``counters`` alone would hide
+            how much another query's footprint helped.
+
+    The serving-side attributes (``epoch``, ``queue_wait_seconds``,
+    ``pool_hits``, ``pool_misses``) are deliberately *not* part of
+    :meth:`summary`, which feeds paper-comparable benchmark baselines.
     """
 
     counters: IOCounters = field(default_factory=IOCounters)
@@ -86,6 +97,10 @@ class QueryStats:
     failed_loads: int = 0
     degraded_checks: int = 0
     degraded: bool = False
+    epoch: int | None = None
+    queue_wait_seconds: float = 0.0
+    pool_hits: int = 0
+    pool_misses: int = 0
 
     def note_heap(self, size: int) -> None:
         if size > self.peak_heap:

@@ -1,0 +1,201 @@
+"""Immutable R-tree snapshots with structural sharing across epochs.
+
+A pinned reader must be able to traverse the partition tree while the
+single maintenance writer splits and condenses nodes in place.  Rather than
+locking the live tree, each published epoch carries a *frozen* copy:
+plain-data nodes (:class:`FrozenRNode` / :class:`FrozenEntry`) that
+duck-type exactly the read surface Algorithm 1 and the boolean fallback
+use — ``root``, ``disk``, ``live_entries()``, ``live_count()``, ``mbr()``,
+``entry_at()`` — and nothing mutable.
+
+Freezing is cheap because it is copy-on-write at node granularity: the live
+tree records which node pages were rewritten since the last freeze
+(:attr:`RTree._touched_nodes`), and :func:`freeze` reuses any previous
+frozen subtree whose node is untouched *and* whose frozen children were
+themselves reused (a descendant can change without its ancestors being
+rewritten — MBR-preserving leaf updates stop the upward adjustment early —
+so reuse is decided bottom-up by child identity, not by the touched set
+alone).  After ``reset`` or bulk adoption node ids are re-minted, so the
+tree's ``generation`` is bumped and sharing across the boundary is refused.
+
+Frozen nodes keep the live tree's page ids.  Pages are never reused by the
+simulated disk and the epoch manager defers frees until no older reader
+remains, so the access-counting reads issued during traversal stay valid
+for the snapshot's whole lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.rtree.geometry import Rect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtree.rtree import RTree
+
+
+class FrozenEntry:
+    """An immutable slot payload: a child subtree or a tuple id."""
+
+    __slots__ = ("mbr", "child", "tid")
+
+    def __init__(
+        self,
+        mbr: Rect,
+        child: "FrozenRNode | None" = None,
+        tid: int | None = None,
+    ) -> None:
+        self.mbr = mbr
+        self.child = child
+        self.tid = tid
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.tid is not None
+
+
+class FrozenRNode:
+    """An immutable R-tree node sharing its page id with the live node."""
+
+    __slots__ = ("node_id", "page_id", "level", "_slots", "_mbr")
+
+    def __init__(
+        self,
+        node_id: int,
+        page_id: int,
+        level: int,
+        slots: list[tuple[int, FrozenEntry]],
+    ) -> None:
+        self.node_id = node_id
+        self.page_id = page_id
+        self.level = level
+        self._slots = slots
+        self._mbr = (
+            Rect.union_all([entry.mbr for _, entry in slots]) if slots else None
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def live_entries(self) -> Iterator[tuple[int, FrozenEntry]]:
+        return iter(self._slots)
+
+    def live_count(self) -> int:
+        return len(self._slots)
+
+    def mbr(self) -> Rect:
+        if self._mbr is None:
+            raise ValueError("empty node has no MBR")
+        return self._mbr
+
+
+class FrozenRTree:
+    """The read surface of an R-tree at one epoch.
+
+    Satisfies the duck-type contract of :class:`~repro.rtree.rtree.RTree`
+    that query execution relies on; mutators simply do not exist.
+    """
+
+    def __init__(
+        self,
+        root: FrozenRNode,
+        dims: int,
+        disk,
+        generation: int,
+        size: int,
+    ) -> None:
+        self.root = root
+        self.dims = dims
+        self.disk = disk
+        self.generation = generation
+        self._size = size
+        self._by_node_id: dict[int, FrozenRNode] = {}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            self._by_node_id[node.node_id] = node
+            for _, entry in node.live_entries():
+                if entry.child is not None:
+                    stack.append(entry.child)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def height(self) -> int:
+        return self.root.level + 1
+
+    def node_count(self) -> int:
+        return len(self._by_node_id)
+
+    def entry_at(self, path: Sequence[int]) -> FrozenEntry | None:
+        """Resolve a root-based path of 1-based slots (see
+        :meth:`RTree.entry_at`); ``None`` when the path cannot be resolved
+        in this snapshot."""
+        node: FrozenRNode | None = self.root
+        entry: FrozenEntry | None = None
+        for position in path:
+            if node is None:
+                return None
+            slot = position - 1
+            entry = next(
+                (e for s, e in node.live_entries() if s == slot), None
+            )
+            if entry is None:
+                return None
+            node = entry.child
+        return entry
+
+
+def freeze(tree: "RTree", previous: FrozenRTree | None = None) -> FrozenRTree:
+    """Produce an immutable snapshot of ``tree``, sharing unchanged
+    subtrees with ``previous`` when both come from the same generation.
+
+    Consumes the tree's touched-node set: after freezing, the tree starts
+    accumulating touches for the *next* snapshot.
+    """
+    reuse: dict[int, FrozenRNode] = {}
+    if previous is not None and previous.generation == tree.generation:
+        reuse = previous._by_node_id
+    touched = tree._touched_nodes
+
+    def _freeze(node) -> FrozenRNode:
+        if node.is_leaf:
+            prior = reuse.get(node.node_id)
+            if prior is not None and node.node_id not in touched:
+                return prior
+            slots = [
+                (slot, FrozenEntry(entry.mbr, tid=entry.tid))
+                for slot, entry in node.live_entries()
+            ]
+            return FrozenRNode(node.node_id, node.page_id, node.level, slots)
+        frozen_children = [
+            (slot, entry, _freeze(entry.child))
+            for slot, entry in node.live_entries()
+        ]
+        prior = reuse.get(node.node_id)
+        if prior is not None and node.node_id not in touched:
+            prior_children = {
+                entry.child.node_id: entry.child
+                for _, entry in prior.live_entries()
+            }
+            if len(prior_children) == len(frozen_children) and all(
+                child is prior_children.get(child.node_id)
+                for _, _, child in frozen_children
+            ):
+                return prior
+        slots = [
+            (slot, FrozenEntry(entry.mbr, child=child))
+            for slot, entry, child in frozen_children
+        ]
+        return FrozenRNode(node.node_id, node.page_id, node.level, slots)
+
+    root = _freeze(tree.root)
+    tree._touched_nodes = set()
+    return FrozenRTree(
+        root=root,
+        dims=tree.dims,
+        disk=tree.disk,
+        generation=tree.generation,
+        size=len(tree),
+    )

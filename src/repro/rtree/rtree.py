@@ -16,7 +16,7 @@ things the P-Cube life cycle needs:
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, NamedTuple, Sequence
+from typing import Callable, Iterable, Iterator, NamedTuple, Sequence
 
 from repro.rtree.geometry import Point, Rect
 from repro.rtree.node import Entry, RTreeNode, subtree_nodes, subtree_tids, tuple_path
@@ -107,6 +107,19 @@ class RTree:
         self._points: dict[int, Point] = {}
         self._tid_leaf: dict[int, RTreeNode] = {}
         self._paths: dict[int, tuple[int, ...]] = {}
+        #: When set, node-page frees are routed here instead of
+        #: ``disk.free`` — the epoch manager defers them until no pinned
+        #: snapshot can still be traversing the node.
+        self.free_hook: Callable[[int], None] | None = None
+        #: Node ids whose pages were (re)written since the last freeze.
+        #: :func:`repro.rtree.frozen.freeze` consumes and clears this to
+        #: decide which frozen subtrees of the previous snapshot it may
+        #: share structurally.
+        self._touched_nodes: set[int] = set()
+        #: Bumped whenever node ids are re-minted wholesale (``reset``,
+        #: bulk adoption) — frozen snapshots from another generation must
+        #: not be shared, since ids no longer correspond.
+        self.generation = 0
         self.root = self._new_node(level=0)
         # Per-insert scratch state.
         self._dirty_tids: set[int] = set()
@@ -121,17 +134,25 @@ class RTree:
         self._next_node_id += 1
         node.page_id = self.disk.allocate(self.tag, size=_NODE_HEADER_BYTES)
         self.disk.write(node.page_id, node, size=_NODE_HEADER_BYTES)
+        self._touched_nodes.add(node.node_id)
         return node
 
     def _sync_page(self, node: RTreeNode) -> None:
         size = _NODE_HEADER_BYTES + node.live_count() * entry_bytes(self.dims)
         assert node.page_id is not None
         self.disk.write(node.page_id, node, size=size)
+        self._touched_nodes.add(node.node_id)
 
     def _free_node(self, node: RTreeNode) -> None:
         assert node.page_id is not None
-        self.disk.free(node.page_id)
+        self._free_page(node.page_id)
         node.page_id = None
+
+    def _free_page(self, page_id: int) -> None:
+        if self.free_hook is not None:
+            self.free_hook(page_id)
+        else:
+            self.disk.free(page_id)
 
     # ------------------------------------------------------------------ #
     # public views
@@ -598,13 +619,15 @@ class RTree:
         itself interrupted converges when re-run.
         """
         for page in list(self.disk.pages(self.tag)):
-            self.disk.free(page.page_id)
+            self._free_page(page.page_id)
         self._points = {}
         self._tid_leaf = {}
         self._paths = {}
         self._dirty_tids = set()
         self._reinserted_levels = set()
         self._next_node_id = 0
+        self.generation += 1
+        self._touched_nodes = set()
         self.root = self._new_node(level=0)
         for tid, point in sorted(points):
             self.insert(tid, point)
@@ -621,6 +644,7 @@ class RTree:
     ) -> None:
         """Install a pre-built tree (used by :func:`repro.rtree.bulk.bulk_load`)."""
         self._free_node(self.root)
+        self.generation += 1
         self.root = root
         self._points = points
         self._tid_leaf = tid_leaf

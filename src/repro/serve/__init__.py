@@ -1,0 +1,36 @@
+"""Snapshot-isolated concurrent query serving (see DESIGN.md §9).
+
+``repro.serve`` turns a built :class:`~repro.system.PCubeSystem` into a
+multi-threaded query server: a :class:`QueryExecutor` drains a bounded
+admission queue with a fixed worker pool, every query runs against a
+pinned epoch snapshot (so concurrent maintenance never changes an answer
+mid-flight), and a shared buffer pool keeps hot pages warm across queries.
+
+Quick start::
+
+    from repro.serve import QueryExecutor
+
+    with QueryExecutor(system, threads=4) as executor:
+        ticket = executor.skyline(predicate)
+        result = ticket.result(timeout=5.0)
+
+``python -m repro.serve --smoke`` runs a self-checking smoke workload.
+"""
+
+from repro.serve.executor import (
+    AdmissionFull,
+    QueryCancelled,
+    QueryExecutor,
+    QueryTimeout,
+    Ticket,
+)
+from repro.serve.stats import ServingStats
+
+__all__ = [
+    "AdmissionFull",
+    "QueryCancelled",
+    "QueryExecutor",
+    "QueryTimeout",
+    "ServingStats",
+    "Ticket",
+]

@@ -1,0 +1,173 @@
+"""Self-checking serving smoke test: ``python -m repro.serve --smoke``.
+
+Builds the small seeded system, serves a mixed seeded workload (skyline,
+top-k, dynamic skyline, lower hull) through a multi-threaded
+:class:`~repro.serve.executor.QueryExecutor`, and verifies:
+
+* every concurrent answer is identical to the serial engine's answer for
+  the same query (same epoch, so bit-equality is required, not hoped for);
+* a snapshot pinned *before* a maintenance batch still answers with the
+  old data afterwards, while the executor serves the new epoch;
+* the run is clean — no failed queries, no consistency-audit findings.
+
+Exit status 0 on success, 1 on any mismatch; a JSON summary goes to
+stdout either way.  CI runs this as the serving gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.data.fixtures import small_config
+from repro.data.synthetic import generate_relation
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.session import QuerySession
+from repro.serve.executor import QueryExecutor
+from repro.system import build_system
+
+
+def _build_workload(system, rng: random.Random, n_queries: int):
+    """(kind, submit-args) pairs, seeded and engine-replayable."""
+    relation = system.relation
+    dims = relation.schema.n_preference
+    workload = []
+    for index in range(n_queries):
+        predicate = sample_predicate(relation, 1 + index % 2, rng)
+        kind = ("skyline", "topk", "dynamic_skyline", "lower_hull")[index % 4]
+        if kind == "skyline":
+            workload.append(("skyline", {"predicate": predicate}))
+        elif kind == "topk":
+            workload.append(
+                (
+                    "topk",
+                    {
+                        "fn": sample_linear_function(dims, rng),
+                        "k": 10,
+                        "predicate": predicate,
+                    },
+                )
+            )
+        elif kind == "dynamic_skyline":
+            workload.append(
+                (
+                    "dynamic_skyline",
+                    {
+                        "query_point": [rng.random() for _ in range(dims)],
+                        "predicate": predicate,
+                    },
+                )
+            )
+        else:
+            workload.append(("lower_hull", {"predicate": predicate}))
+    return workload
+
+
+def _run_serial(system, workload):
+    """The reference answers, via the paper-comparable engine."""
+    return [
+        getattr(system.engine, kind)(**kwargs) for kind, kwargs in workload
+    ]
+
+
+def _answers_match(serial, concurrent) -> bool:
+    return (
+        serial.tids == concurrent.tids and serial.scores == concurrent.scores
+    )
+
+
+def run_smoke(threads: int, n_queries: int, seed: int) -> int:
+    problems: list[str] = []
+    system = build_system(generate_relation(small_config()))
+    rng = random.Random(seed)
+    workload = _build_workload(system, rng, n_queries)
+    serial = _run_serial(system, workload)
+
+    with QueryExecutor(system, threads=threads, queue_depth=2 * n_queries) as executor:
+        # Phase 1: the whole workload concurrently, answers must be
+        # identical to the serial run (same published epoch).
+        tickets = [
+            getattr(executor, kind)(**kwargs) for kind, kwargs in workload
+        ]
+        for index, ticket in enumerate(tickets):
+            result = ticket.result(timeout=60.0)
+            if not _answers_match(serial[index], result):
+                problems.append(
+                    f"query {index} ({workload[index][0]}): concurrent answer "
+                    f"diverges from the serial engine"
+                )
+
+        # Phase 2: pin the current epoch, mutate, and check isolation.
+        pinned = system.pin_snapshot()
+        before = QuerySession.for_snapshot(pinned).skyline()
+        schema = system.relation.schema
+        bool_row = tuple(0 for _ in range(schema.n_boolean))
+        system.insert(bool_row, tuple(0.0 for _ in range(schema.n_preference)))
+        after_pinned = QuerySession.for_snapshot(pinned).skyline()
+        if before.tids != after_pinned.tids:
+            problems.append("pinned snapshot changed across maintenance")
+        fresh = executor.skyline().result(timeout=60.0)
+        if 0.0 not in [
+            system.relation.pref_point(tid)[0] for tid in fresh.tids
+        ]:
+            problems.append(
+                "post-maintenance epoch does not see the inserted origin "
+                "tuple in its skyline"
+            )
+        if fresh.stats.epoch != pinned.epoch + 1:
+            problems.append(
+                f"expected the executor to serve epoch {pinned.epoch + 1}, "
+                f"got {fresh.stats.epoch}"
+            )
+        system.unpin_snapshot(pinned)
+
+    audit = system.verify_consistency()
+    problems.extend(audit.problems)
+    summary = executor.stats.snapshot()
+    if summary["failed"]:
+        problems.append(f"{summary['failed']} serving failures")
+
+    print(
+        json.dumps(
+            {
+                "ok": not problems,
+                "threads": threads,
+                "queries": summary["submitted"],
+                "problems": problems,
+                "serving": summary,
+                "epochs": {
+                    "published": system.epochs.stats.published,
+                    "current": system.epochs.current_epoch,
+                },
+            },
+            indent=2,
+        )
+    )
+    return 0 if not problems else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Concurrent serving smoke test for the P-Cube system.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="build the small seeded system and self-check a concurrent "
+        "workload against the serial engine",
+    )
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.print_help()
+        return 2
+    return run_smoke(args.threads, args.queries, args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,376 @@
+"""A multi-threaded query executor over pinned snapshots.
+
+The serving pipeline, front to back:
+
+* :meth:`QueryExecutor.submit` (or the per-kind conveniences) places a
+  :class:`Ticket` on a **bounded admission queue**; a full queue rejects
+  the submission immediately (:class:`AdmissionFull`) instead of building
+  unbounded backlog — the caller sheds load or retries.
+* A fixed pool of worker threads drains the queue.  Each worker **pins the
+  current epoch snapshot**, binds a
+  :class:`~repro.query.session.QuerySession` to it (sharing the executor's
+  :class:`~repro.storage.buffer.BufferPool`), runs the query, and unpins —
+  so maintenance can publish new epochs concurrently and old epochs are
+  reclaimed exactly when their last in-flight query drains.
+* A per-query **deadline** (measured from submission) and cooperative
+  **cancellation** are enforced through the session's ticker, which the
+  search loop polls on every heap pop; an expired or cancelled query
+  aborts with :class:`QueryTimeout` / :class:`QueryCancelled` without
+  poisoning the worker.
+
+Results carry their epoch and queue wait in ``stats`` (and on the query
+span when a tracer is attached), and the executor aggregates fleet-level
+tallies in :class:`~repro.serve.stats.ServingStats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.obs.trace import Tracer
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import RankingFunction
+from repro.query.session import QueryResult, QuerySession
+from repro.serve.stats import ServingStats
+from repro.storage.buffer import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import PCubeSystem
+
+
+class QueryTimeout(Exception):
+    """The query exceeded its deadline (queue wait included)."""
+
+
+class QueryCancelled(Exception):
+    """The query was cancelled before it produced an answer."""
+
+
+class AdmissionFull(RuntimeError):
+    """The bounded admission queue is at capacity; shed or retry."""
+
+
+class Ticket:
+    """A submitted query: a future for its :class:`QueryResult`.
+
+    Returned by :meth:`QueryExecutor.submit`; thread-safe.  ``result()``
+    blocks until a worker finishes the query, then returns the
+    :class:`~repro.query.session.QueryResult` or raises whatever the query
+    raised (:class:`QueryTimeout` / :class:`QueryCancelled` included).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        run: Callable[[QuerySession], QueryResult],
+        deadline_at: float | None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.kind = kind
+        self._run = run
+        self.deadline_at = deadline_at
+        self.tracer = tracer
+        self.submitted_at = time.perf_counter()
+        self.queue_wait_seconds = 0.0
+        self.epoch: int | None = None
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False if already finished.
+
+        Cooperative: a running query aborts at its next ticker poll, a
+        queued one aborts when a worker picks it up.
+        """
+        if self._done.is_set():
+            return False
+        self._cancel.set()
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"{self.kind} ticket still pending")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"{self.kind} ticket still pending")
+        return self._error
+
+    def _finish(
+        self,
+        result: QueryResult | None,
+        error: BaseException | None,
+    ) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def _ticker(self) -> None:
+        """The cooperative abort probe (polled on every heap pop)."""
+        if self._cancel.is_set():
+            raise QueryCancelled(f"{self.kind} query cancelled")
+        if (
+            self.deadline_at is not None
+            and time.perf_counter() > self.deadline_at
+        ):
+            raise QueryTimeout(f"{self.kind} query exceeded its deadline")
+
+
+#: Queue sentinel that tells a worker to exit.
+_STOP = object()
+
+
+class QueryExecutor:
+    """A thread pool serving snapshot-isolated preference queries.
+
+    Args:
+        system: The built system; epochs are enabled on it if they are not
+            already (maintenance keeps working concurrently through the
+            system's WAL-protected methods).
+        threads: Worker count.
+        queue_depth: Bounded admission-queue capacity; 0 disables the
+            bound (unbounded backlog, not recommended for serving).
+        pool: The shared buffer pool; by default one warm
+            :class:`BufferPool` of ``pool_capacity`` pages over the
+            system's disk, shared by all workers.
+        default_deadline: Seconds from submission after which queries time
+            out unless a per-submit deadline overrides it (``None`` — no
+            deadline).
+        eager_assembly: Forwarded to every query session.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(
+        self,
+        system: "PCubeSystem",
+        threads: int = 4,
+        queue_depth: int = 64,
+        pool: BufferPool | None = None,
+        pool_capacity: int = 4096,
+        default_deadline: float | None = None,
+        eager_assembly: bool = False,
+    ) -> None:
+        if threads < 1:
+            raise ValueError("threads must be positive")
+        self.system = system
+        self.epochs = system.enable_epochs()
+        self.pool = (
+            pool
+            if pool is not None
+            else BufferPool(system.rtree.disk, capacity=pool_capacity)
+        )
+        self.default_deadline = default_deadline
+        self.eager_assembly = eager_assembly
+        self.stats = ServingStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(threads)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        kind: str,
+        run: Callable[[QuerySession], QueryResult],
+        deadline: float | None = None,
+        tracer: Tracer | None = None,
+    ) -> Ticket:
+        """Admit one query; raises :class:`AdmissionFull` when saturated.
+
+        ``run`` receives the snapshot-bound session and returns the query
+        result; the per-kind conveniences below build it for you.
+        """
+        if self._closed:
+            raise RuntimeError("executor is shut down")
+        if deadline is None:
+            deadline = self.default_deadline
+        ticket = Ticket(
+            kind,
+            run,
+            deadline_at=(
+                time.perf_counter() + deadline if deadline is not None else None
+            ),
+            tracer=tracer,
+        )
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            self.stats.note_rejected()
+            raise AdmissionFull(
+                f"admission queue full ({self._queue.maxsize} pending)"
+            ) from None
+        self.stats.note_submitted()
+        return ticket
+
+    def skyline(
+        self,
+        predicate: BooleanPredicate | None = None,
+        preference_by: tuple[str, ...] | None = None,
+        deadline: float | None = None,
+        tracer: Tracer | None = None,
+    ) -> Ticket:
+        return self.submit(
+            "skyline",
+            lambda session: session.skyline(
+                predicate, preference_by=preference_by, tracer=tracer
+            ),
+            deadline=deadline,
+            tracer=tracer,
+        )
+
+    def topk(
+        self,
+        fn: RankingFunction,
+        k: int,
+        predicate: BooleanPredicate | None = None,
+        deadline: float | None = None,
+        tracer: Tracer | None = None,
+    ) -> Ticket:
+        return self.submit(
+            "topk",
+            lambda session: session.topk(fn, k, predicate, tracer=tracer),
+            deadline=deadline,
+            tracer=tracer,
+        )
+
+    def dynamic_skyline(
+        self,
+        query_point: Sequence[float],
+        predicate: BooleanPredicate | None = None,
+        deadline: float | None = None,
+    ) -> Ticket:
+        return self.submit(
+            "dynamic_skyline",
+            lambda session: session.dynamic_skyline(query_point, predicate),
+            deadline=deadline,
+        )
+
+    def lower_hull(
+        self,
+        predicate: BooleanPredicate | None = None,
+        deadline: float | None = None,
+    ) -> Ticket:
+        return self.submit(
+            "lower_hull",
+            lambda session: session.lower_hull(predicate),
+            deadline=deadline,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the worker loop
+    # ------------------------------------------------------------------ #
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._serve(item)
+            finally:
+                self._queue.task_done()
+
+    def _serve(self, ticket: Ticket) -> None:
+        queue_wait = time.perf_counter() - ticket.submitted_at
+        ticket.queue_wait_seconds = queue_wait
+        started = time.perf_counter()
+        outcome = "completed"
+        result: QueryResult | None = None
+        error: BaseException | None = None
+        try:
+            # Abort queued-but-doomed tickets before paying for a pin.
+            ticket._ticker()
+            snapshot = self.epochs.pin()
+            try:
+                ticket.epoch = snapshot.epoch
+                session = QuerySession.for_snapshot(
+                    snapshot,
+                    pool=self.pool,
+                    eager_assembly=self.eager_assembly,
+                    ticker=ticket._ticker,
+                )
+                if ticket.tracer is not None:
+                    with ticket.tracer.span(
+                        "serve:query",
+                        kind=ticket.kind,
+                        epoch=snapshot.epoch,
+                        queue_wait_seconds=queue_wait,
+                    ):
+                        result = ticket._run(session)
+                else:
+                    result = ticket._run(session)
+                result.stats.queue_wait_seconds = queue_wait
+            finally:
+                self.epochs.unpin(snapshot)
+        except QueryTimeout as exc:
+            outcome, error = "timed_out", exc
+        except QueryCancelled as exc:
+            outcome, error = "cancelled", exc
+        except BaseException as exc:  # noqa: BLE001 - surfaced via Ticket
+            outcome, error = "failed", exc
+        self.stats.note_finished(
+            outcome,
+            queue_wait=queue_wait,
+            run_seconds=time.perf_counter() - started,
+            epoch=ticket.epoch,
+            stats=result.stats if result is not None else None,
+        )
+        ticket._finish(result, error)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def drain(self) -> None:
+        """Block until every admitted ticket has been served."""
+        self._queue.join()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting, then stop the workers.
+
+        With ``wait`` the already-admitted backlog is served first;
+        without it workers exit as soon as they see the stop sentinel
+        (pending tickets behind it are abandoned unfinished).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            self.drain()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=exc_info[0] is None)

@@ -1,0 +1,111 @@
+"""Aggregated serving statistics (thread-safe).
+
+Per-query numbers stay in each result's
+:class:`~repro.query.stats.QueryStats`; this module owns the *fleet* view a
+serving deployment watches: admission outcomes, queue-wait distribution
+summary, per-epoch query counts and the shared buffer pool's aggregate
+traffic.  Every mutation happens under one lock, and :meth:`snapshot`
+returns a plain dict so callers never read half-updated tallies.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.query.stats import QueryStats
+
+
+class ServingStats:
+    """What the :class:`~repro.serve.executor.QueryExecutor` aggregates.
+
+    Outcome tallies:
+
+    * ``submitted`` — tickets accepted into the admission queue;
+    * ``rejected`` — submissions refused because the queue was full;
+    * ``completed`` / ``failed`` — queries that returned / raised;
+    * ``timed_out`` / ``cancelled`` — aborted via the ticker (both also
+      count toward ``failed``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.cancelled = 0
+        self.queue_wait_seconds = 0.0
+        self.queue_wait_max = 0.0
+        self.run_seconds = 0.0
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.total_io = 0
+        self.epochs_served: dict[int, int] = {}
+
+    def note_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_finished(
+        self,
+        outcome: str,
+        queue_wait: float,
+        run_seconds: float,
+        epoch: int | None = None,
+        stats: QueryStats | None = None,
+    ) -> None:
+        """Record one drained ticket.
+
+        ``outcome`` is ``"completed"``, ``"failed"``, ``"timed_out"`` or
+        ``"cancelled"``; the latter two also increment ``failed`` because
+        no answer was produced.
+        """
+        with self._lock:
+            if outcome == "completed":
+                self.completed += 1
+            else:
+                self.failed += 1
+                if outcome == "timed_out":
+                    self.timed_out += 1
+                elif outcome == "cancelled":
+                    self.cancelled += 1
+            self.queue_wait_seconds += queue_wait
+            if queue_wait > self.queue_wait_max:
+                self.queue_wait_max = queue_wait
+            self.run_seconds += run_seconds
+            if epoch is not None:
+                self.epochs_served[epoch] = (
+                    self.epochs_served.get(epoch, 0) + 1
+                )
+            if stats is not None:
+                self.pool_hits += stats.pool_hits
+                self.pool_misses += stats.pool_misses
+                self.total_io += stats.total_io()
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy of every tally."""
+        with self._lock:
+            drained = self.completed + self.failed
+            return {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "timed_out": self.timed_out,
+                "cancelled": self.cancelled,
+                "queue_wait_seconds": self.queue_wait_seconds,
+                "queue_wait_max": self.queue_wait_max,
+                "queue_wait_mean": (
+                    self.queue_wait_seconds / drained if drained else 0.0
+                ),
+                "run_seconds": self.run_seconds,
+                "pool_hits": self.pool_hits,
+                "pool_misses": self.pool_misses,
+                "total_io": self.total_io,
+                "epochs_served": dict(self.epochs_served),
+            }

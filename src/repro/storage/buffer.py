@@ -1,19 +1,31 @@
-"""An LRU buffer pool over the simulated disk.
+"""Buffer management: a shareable LRU pool and per-query views of it.
 
 Query-time accounting in the paper counts *disk* accesses, so repeated hits
 on a hot page (the R-tree root, the first partial signature) must not be
 re-counted.  The buffer pool absorbs them: only misses reach
 :meth:`SimulatedDisk.read` and its counters.
 
+Two deployment modes matter:
+
+* **cold** (the paper-comparable mode): every query gets a private pool, so
+  its disk-access counts are a pure function of the query — exactly what
+  Figures 9 and 15 assume.  ``repro.bench`` keeps using this mode.
+* **shared** (the serving mode): one :class:`BufferPool` is shared by every
+  concurrent query.  The pool is thread-safe, supports page *pinning*
+  (pinned pages are never evicted), and per-query hit/miss deltas are
+  observed through a lightweight :class:`PoolView` so ``QueryStats`` never
+  aggregates another query's traffic.
+
 The pool registers itself with its disk, which calls :meth:`invalidate`
-whenever a page is freed — a maintenance rewrite or quarantine-rebuild can
-therefore never serve a stale cached partial.  An optional
-:class:`~repro.storage.faults.RetryPolicy` makes :meth:`get` retry
+whenever a page is freed or rewritten — a maintenance rewrite or
+quarantine-rebuild can therefore never serve a stale cached partial.  An
+optional :class:`~repro.storage.faults.RetryPolicy` makes :meth:`get` retry
 transient read faults with deterministic backoff.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
@@ -25,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class BufferPool:
-    """A fixed-capacity LRU page cache.
+    """A fixed-capacity, thread-safe LRU page cache.
 
     Args:
         disk: Backing store.
@@ -33,6 +45,14 @@ class BufferPool:
             caching (every access is a disk read).
         retry_policy: When given, transient read faults are retried with
             bounded backoff before propagating.
+
+    Concurrency notes: the cache map, the pin table and the hit/miss
+    tallies are guarded by one lock, which is *never held across a disk
+    read* — two threads missing on the same page may both read it (both
+    reads are counted, as a real device would), and the second insert wins
+    harmlessly.  Pinned pages are exempt from eviction; when every resident
+    page is pinned the pool temporarily exceeds its capacity rather than
+    evicting a page a query still relies on.
     """
 
     def __init__(
@@ -47,6 +67,8 @@ class BufferPool:
         self.capacity = capacity
         self.retry_policy = retry_policy
         self._cache: OrderedDict[int, Any] = OrderedDict()
+        self._pins: dict[int, int] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         register = getattr(disk, "register_pool", None)
@@ -62,13 +84,28 @@ class BufferPool:
         """Fetch a page payload through the cache.
 
         A hit costs nothing; a miss performs (and counts) one disk read and
-        may evict the least recently used page.
+        may evict the least recently used unpinned page.
         """
-        if page_id in self._cache:
-            self.hits += 1
-            self._cache.move_to_end(page_id)
-            return self._cache[page_id]
-        self.misses += 1
+        payload, _ = self.get_traced(page_id, category, counters)
+        return payload
+
+    def get_traced(
+        self,
+        page_id: int,
+        category: str,
+        counters: IOCounters | None = None,
+    ) -> tuple[Any, bool]:
+        """Like :meth:`get`, but also report whether the access was a hit.
+
+        Per-query accounting (:class:`PoolView`) needs the flag; the shared
+        pool's own ``hits``/``misses`` only aggregate across queries.
+        """
+        with self._lock:
+            if page_id in self._cache:
+                self.hits += 1
+                self._cache.move_to_end(page_id)
+                return self._cache[page_id], True
+            self.misses += 1
         if self.retry_policy is not None:
             payload = self.retry_policy.call(
                 lambda: self.disk.read(page_id, category, counters)
@@ -76,20 +113,124 @@ class BufferPool:
         else:
             payload = self.disk.read(page_id, category, counters)
         if self.capacity > 0:
-            self._cache[page_id] = payload
-            if len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
-        return payload
+            with self._lock:
+                self._cache[page_id] = payload
+                self._cache.move_to_end(page_id)
+                self._evict_overflow()
+        return payload, False
+
+    def _evict_overflow(self) -> None:
+        """Evict LRU unpinned pages down to capacity (lock held)."""
+        if len(self._cache) <= self.capacity:
+            return
+        for candidate in list(self._cache):
+            if len(self._cache) <= self.capacity:
+                break
+            if self._pins.get(candidate, 0) > 0:
+                continue
+            del self._cache[candidate]
+
+    # ------------------------------------------------------------------ #
+    # pinning
+    # ------------------------------------------------------------------ #
+
+    def pin(self, page_id: int) -> None:
+        """Exempt a page from eviction until every pin is released.
+
+        Pins are reference-counted, so concurrent queries can pin the same
+        hot page (the R-tree root) independently.  Pinning a page that is
+        not resident is allowed — the pin takes effect once it is cached.
+        """
+        with self._lock:
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; raises if the page is not pinned."""
+        with self._lock:
+            count = self._pins.get(page_id, 0)
+            if count <= 0:
+                raise ValueError(f"page {page_id} is not pinned")
+            if count == 1:
+                del self._pins[page_id]
+            else:
+                self._pins[page_id] = count - 1
+            self._evict_overflow()
+
+    def pin_count(self, page_id: int) -> int:
+        with self._lock:
+            return self._pins.get(page_id, 0)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
 
     def invalidate(self, page_id: int) -> None:
-        """Drop a page from the cache (after a write or free)."""
-        self._cache.pop(page_id, None)
+        """Drop a page from the cache (after a write or free).
+
+        Coherence beats pinning here: a pinned-but-rewritten page must not
+        be served stale, so invalidation removes it regardless (the pin
+        stays registered and keeps protecting the refreshed copy).
+        """
+        with self._lock:
+            self._cache.pop(page_id, None)
 
     def clear(self) -> None:
-        """Empty the cache and reset hit/miss statistics."""
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        """Empty the cache and reset hit/miss statistics (pins survive)."""
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
+
+
+class PoolView:
+    """A per-query window onto a shared :class:`BufferPool`.
+
+    Forwards every access to the underlying pool but keeps *this query's*
+    hit/miss tallies locally, so ``QueryStats`` can report a per-query
+    buffer delta without reading (racy) shared totals.  Pins taken through
+    the view are tracked and released in one call when the query ends.
+    """
+
+    def __init__(self, pool: BufferPool) -> None:
+        self.pool = pool
+        self.disk = pool.disk
+        self.capacity = pool.capacity
+        self.hits = 0
+        self.misses = 0
+        self._pinned: list[int] = []
+
+    def get(
+        self,
+        page_id: int,
+        category: str,
+        counters: IOCounters | None = None,
+    ) -> Any:
+        payload, hit = self.pool.get_traced(page_id, category, counters)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return payload
+
+    def pin(self, page_id: int) -> None:
+        self.pool.pin(page_id)
+        self._pinned.append(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        self.pool.unpin(page_id)
+        self._pinned.remove(page_id)
+
+    def release(self) -> None:
+        """Drop every pin this view still holds (end-of-query cleanup)."""
+        while self._pinned:
+            self.pool.unpin(self._pinned.pop())
+
+    def invalidate(self, page_id: int) -> None:
+        self.pool.invalidate(page_id)
+
+    def __len__(self) -> int:
+        return len(self.pool)

@@ -19,10 +19,20 @@ BTREE     generic B+-tree page reads
 
 Counters are plain per-category tallies; methods record into whichever
 category describes *why* the page was fetched.
+
+Ownership discipline (the concurrent-serving contract): a query's accesses
+are recorded into the :class:`IOCounters` owned by *that query's*
+``QueryStats`` — threaded from the session through the buffer pool down to
+the disk — never into shared module- or engine-level state, so two queries
+running on different threads can never corrupt each other's tallies.  The
+only shared counter sets are the disk-wide aggregates on
+:class:`~repro.storage.disk.SimulatedDisk`, and :class:`IOCounters` itself
+is lock-protected so even those stay exact under concurrency.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Iterator
 
@@ -54,39 +64,51 @@ class IOCounters:
 
     Arbitrary category names are accepted (component-specific tags are
     useful in tests); the module-level constants cover the paper's figures.
+
+    Thread-safe: tallies are guarded by a private lock, so a counter set
+    shared between threads (the disk-wide aggregates) stays exact, while
+    per-query counter sets pay one uncontended lock acquisition per record.
     """
 
     def __init__(self) -> None:
         self._counts: Counter[str] = Counter()
+        self._lock = threading.Lock()
 
     def record(self, category: str, n: int = 1) -> None:
         """Record ``n`` page accesses under ``category``."""
         if n < 0:
             raise ValueError("cannot record a negative number of accesses")
-        self._counts[category] += n
+        with self._lock:
+            self._counts[category] += n
 
     def get(self, category: str) -> int:
         """Number of accesses recorded under ``category``."""
-        return self._counts.get(category, 0)
+        with self._lock:
+            return self._counts.get(category, 0)
 
     def total(self) -> int:
         """Total accesses across all categories."""
-        return sum(self._counts.values())
+        with self._lock:
+            return sum(self._counts.values())
 
     def snapshot(self) -> dict[str, int]:
         """An immutable-by-copy view of the current tallies."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def reset(self) -> None:
         """Zero every category."""
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def merge(self, other: "IOCounters") -> None:
         """Add another counter set into this one."""
-        self._counts.update(other._counts)
+        incoming = other.snapshot()
+        with self._lock:
+            self._counts.update(incoming)
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
-        return iter(sorted(self._counts.items()))
+        return iter(sorted(self.snapshot().items()))
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self)

@@ -13,11 +13,24 @@ Robustness additions:
   (separate from the read-side :attr:`counters` the paper's figures use),
   so maintenance I/O is measurable;
 * buffer pools register themselves and are told to evict a page when it is
-  freed, so a rewrite can never serve a stale cached payload.
+  freed *or rewritten in place*, so no pool can serve a stale payload.
+
+Concurrency: the page table is guarded by a lock, so allocations, frees and
+reads from query threads running against a maintenance writer are atomic at
+page granularity.  Page ids are monotonic and never reused, which is what
+lets epoch snapshots hold references to pages whose physical free is merely
+deferred.
+
+``read_latency`` models the device: when positive, every read sleeps that
+many seconds *outside* the page-table lock.  ``time.sleep`` releases the
+GIL, so a thread pool genuinely overlaps simulated I/O waits — the effect
+the serving benchmark measures.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import weakref
 from typing import Any, Iterator
 
@@ -35,14 +48,25 @@ class SimulatedDisk:
     Args:
         page_size: Transfer unit in bytes; structures that must fit a page
             (partial signatures, index nodes) size themselves against this.
+        read_latency: Seconds slept per read (default 0 — counting only).
+            Used by the serving benchmark to model a device whose waits
+            concurrent queries can overlap.
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        read_latency: float = 0.0,
+    ) -> None:
         if page_size <= 0:
             raise ValueError("page_size must be positive")
+        if read_latency < 0:
+            raise ValueError("read_latency must be non-negative")
         self.page_size = page_size
+        self.read_latency = read_latency
         self._pages: dict[int, Page] = {}
         self._next_id = 0
+        self._lock = threading.Lock()
         #: Disk-wide counters; reads may also record into caller-supplied
         #: counters (per-query accounting).
         self.counters = IOCounters()
@@ -58,10 +82,10 @@ class SimulatedDisk:
     # ------------------------------------------------------------------ #
 
     def register_pool(self, pool: Any) -> None:
-        """Register a buffer pool for free-time invalidation callbacks."""
+        """Register a buffer pool for free/write invalidation callbacks."""
         self._pools.add(pool)
 
-    def _notify_freed(self, page_id: int) -> None:
+    def _notify_invalidated(self, page_id: int) -> None:
         for pool in list(self._pools):
             pool.invalidate(page_id)
 
@@ -76,31 +100,35 @@ class SimulatedDisk:
         the page size are allowed (a caller-visible signal that the payload
         should have been decomposed) but flagged by :meth:`oversized_pages`.
         """
-        page_id = self._next_id
-        self._next_id += 1
         page = Page(
-            page_id=page_id,
+            page_id=0,  # placeholder; the real id is assigned under lock
             tag=tag,
             size=self.page_size if size is None else size,
             payload=payload,
         )
-        page.seal()
-        self._pages[page_id] = page
+        with self._lock:
+            page_id = self._next_id
+            self._next_id += 1
+            page.page_id = page_id
+            page.seal()
+            self._pages[page_id] = page
         self.write_counters.record(ALLOC)
         return page_id
 
     def free(self, page_id: int) -> None:
         """Release a page (evicting it from every registered buffer pool)."""
-        try:
-            del self._pages[page_id]
-        except KeyError:
-            raise PageFault(page_id) from None
+        with self._lock:
+            try:
+                del self._pages[page_id]
+            except KeyError:
+                raise PageFault(page_id) from None
         self.write_counters.record(FREE)
-        self._notify_freed(page_id)
+        self._notify_invalidated(page_id)
 
     def exists(self, page_id: int) -> bool:
         """Whether a page id is currently allocated."""
-        return page_id in self._pages
+        with self._lock:
+            return page_id in self._pages
 
     # ------------------------------------------------------------------ #
     # access
@@ -120,34 +148,40 @@ class SimulatedDisk:
         :class:`~repro.storage.errors.CorruptPageError` (the transfer still
         counts — the bytes moved, they were just wrong).
         """
-        try:
-            page = self._pages[page_id]
-        except KeyError:
-            raise PageFault(page_id) from None
+        with self._lock:
+            try:
+                page = self._pages[page_id]
+            except KeyError:
+                raise PageFault(page_id) from None
         self.counters.record(category)
         if counters is not None:
             counters.record(category)
+        if self.read_latency > 0.0:
+            time.sleep(self.read_latency)
         page.verify()
         return page.payload
 
     def write(self, page_id: int, payload: Any, size: int | None = None) -> None:
         """Replace a page's payload (and optionally its logical size)."""
-        try:
-            page = self._pages[page_id]
-        except KeyError:
-            raise PageFault(page_id) from None
-        page.payload = payload
-        if size is not None:
-            page.size = size
-        page.seal()
+        with self._lock:
+            try:
+                page = self._pages[page_id]
+            except KeyError:
+                raise PageFault(page_id) from None
+            page.payload = payload
+            if size is not None:
+                page.size = size
+            page.seal()
         self.write_counters.record(WRITE)
+        self._notify_invalidated(page_id)
 
     def peek(self, page_id: int) -> Page:
         """Inspect a page without counting an access (for tests/tools)."""
-        try:
-            return self._pages[page_id]
-        except KeyError:
-            raise PageFault(page_id) from None
+        with self._lock:
+            try:
+                return self._pages[page_id]
+            except KeyError:
+                raise PageFault(page_id) from None
 
     # ------------------------------------------------------------------ #
     # accounting
@@ -155,9 +189,13 @@ class SimulatedDisk:
 
     def pages(self, tag_prefix: str = "") -> Iterator[Page]:
         """Iterate pages whose tag starts with ``tag_prefix``."""
-        for page in self._pages.values():
-            if page.tag.startswith(tag_prefix):
-                yield page
+        with self._lock:
+            matching = [
+                page
+                for page in self._pages.values()
+                if page.tag.startswith(tag_prefix)
+            ]
+        yield from matching
 
     def page_count(self, tag_prefix: str = "") -> int:
         """Number of live pages under a tag prefix."""
@@ -173,4 +211,5 @@ class SimulatedDisk:
 
     def oversized_pages(self) -> list[Page]:
         """Pages whose logical size exceeds the transfer unit."""
-        return [p for p in self._pages.values() if p.size > self.page_size]
+        with self._lock:
+            return [p for p in self._pages.values() if p.size > self.page_size]

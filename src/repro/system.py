@@ -15,6 +15,7 @@ from repro.baselines.boolean_first import build_boolean_indexes
 from repro.btree.btree import BPlusTree
 from repro.core import maintenance
 from repro.core.counted import CountedSignature
+from repro.core.epoch import EpochManager, Snapshot
 from repro.core.pcube import PCube
 from repro.core.signature import Signature
 from repro.core.wal import MaintenanceWAL, PendingOp
@@ -68,10 +69,51 @@ class PCubeSystem:
     maintenance_stats: MaintenanceStats = field(
         default_factory=MaintenanceStats
     )
+    epochs: EpochManager | None = None
 
     @property
     def disk(self) -> SimulatedDisk:
         return self.relation.disk
+
+    # ------------------------------------------------------------------ #
+    # epochs (snapshot-isolated concurrent serving)
+    # ------------------------------------------------------------------ #
+
+    def enable_epochs(self) -> EpochManager:
+        """Attach an :class:`EpochManager` (idempotent).
+
+        From this point maintenance publishes an immutable snapshot at
+        each WAL commit, and :meth:`pin_snapshot` hands out isolated read
+        surfaces for concurrent query sessions.  Single-threaded use is
+        unaffected: the live structures keep serving the paper-comparable
+        path, only page frees become deferred until readers drain.
+        """
+        if self.epochs is None:
+            self.epochs = EpochManager(self.relation, self.rtree, self.pcube)
+        return self.epochs
+
+    def pin_snapshot(self) -> Snapshot:
+        """Pin the current epoch (requires :meth:`enable_epochs`)."""
+        if self.epochs is None:
+            raise RuntimeError(
+                "epochs are not enabled; call enable_epochs() first"
+            )
+        return self.epochs.pin()
+
+    def unpin_snapshot(self, snapshot: Snapshot) -> None:
+        assert self.epochs is not None
+        self.epochs.unpin(snapshot)
+
+    def _maintain(self, op):
+        """Run one maintenance driver, publishing an epoch on success."""
+        if self.epochs is None:
+            return op()
+        with self.epochs.write():
+            result = op()
+            # The driver has WAL-committed by now; the snapshot therefore
+            # reflects exactly the committed state.
+            self.epochs.publish()
+            return result
 
     # ------------------------------------------------------------------ #
     # space accounting (Figure 6's series)
@@ -92,28 +134,36 @@ class PCubeSystem:
 
     def insert(self, bool_row: tuple, pref_row: tuple):
         """WAL-protected single-tuple insert; returns (tid, dirty cells)."""
-        return maintenance.insert_tuple(
-            self.relation, self.rtree, self.pcube, bool_row, pref_row,
-            wal=self.wal,
+        return self._maintain(
+            lambda: maintenance.insert_tuple(
+                self.relation, self.rtree, self.pcube, bool_row, pref_row,
+                wal=self.wal,
+            )
         )
 
     def insert_batch(self, rows):
         """WAL-protected batch insert; returns (tids, dirty cells)."""
-        return maintenance.insert_batch(
-            self.relation, self.rtree, self.pcube, rows, wal=self.wal
+        return self._maintain(
+            lambda: maintenance.insert_batch(
+                self.relation, self.rtree, self.pcube, rows, wal=self.wal
+            )
         )
 
     def delete(self, tid: int):
         """WAL-protected delete; returns the dirty cells."""
-        return maintenance.delete_tuple(
-            self.relation, self.rtree, self.pcube, tid, wal=self.wal
+        return self._maintain(
+            lambda: maintenance.delete_tuple(
+                self.relation, self.rtree, self.pcube, tid, wal=self.wal
+            )
         )
 
     def update(self, tid: int, new_pref_row: tuple):
         """WAL-protected preference update; returns the dirty cells."""
-        return maintenance.update_tuple(
-            self.relation, self.rtree, self.pcube, tid, new_pref_row,
-            wal=self.wal,
+        return self._maintain(
+            lambda: maintenance.update_tuple(
+                self.relation, self.rtree, self.pcube, tid, new_pref_row,
+                wal=self.wal,
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -149,6 +199,9 @@ class PCubeSystem:
         pending = self.wal.pending()
         if pending is None:
             return "clean"
+        return self._maintain(lambda: self._recover_pending(pending))
+
+    def _recover_pending(self, pending: PendingOp) -> str:
         self.maintenance_stats.recoveries += 1
         if pending.changes is None:
             outcome = self._recover_reindex(pending)

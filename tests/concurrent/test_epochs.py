@@ -1,0 +1,141 @@
+"""Epoch manager semantics: pinning, publishing, abandonment, reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.session import QuerySession
+
+pytestmark = pytest.mark.concurrent
+
+
+def _origin_rows(system):
+    schema = system.relation.schema
+    return (
+        tuple(0 for _ in range(schema.n_boolean)),
+        tuple(0.0 for _ in range(schema.n_preference)),
+    )
+
+
+def test_pinned_snapshot_survives_maintenance(fresh_system):
+    system = fresh_system()
+    system.enable_epochs()
+    snapshot = system.pin_snapshot()
+    before = QuerySession.for_snapshot(snapshot).skyline()
+
+    # The origin tuple dominates everything, so the live skyline changes...
+    bool_row, pref_row = _origin_rows(system)
+    system.insert(bool_row, pref_row)
+    live = system.engine.skyline()
+    assert live.tids != before.tids
+
+    # ...while the pinned epoch keeps answering with the old data, exactly.
+    after = QuerySession.for_snapshot(snapshot).skyline()
+    assert after.tids == before.tids
+    assert after.scores == before.scores
+    assert after.stats.epoch == snapshot.epoch
+    system.unpin_snapshot(snapshot)
+
+
+def test_each_maintenance_op_publishes_one_epoch(fresh_system):
+    system = fresh_system()
+    epochs = system.enable_epochs()
+    start = epochs.current_epoch
+    bool_row, pref_row = _origin_rows(system)
+    tid, _ = system.insert(bool_row, pref_row)
+    assert epochs.current_epoch == start + 1
+    system.update(tid, tuple(0.5 for _ in pref_row))
+    assert epochs.current_epoch == start + 2
+    system.delete(tid)
+    assert epochs.current_epoch == start + 3
+    assert epochs.stats.published == start + 3  # initial + three ops
+
+
+def test_enable_epochs_is_idempotent(fresh_system):
+    system = fresh_system()
+    assert system.enable_epochs() is system.enable_epochs()
+
+
+def test_pin_requires_enablement(fresh_system):
+    system = fresh_system()
+    with pytest.raises(RuntimeError, match="enable_epochs"):
+        system.pin_snapshot()
+
+
+def test_abandoned_write_is_invisible_to_snapshots(fresh_system):
+    system = fresh_system()
+    epochs = system.enable_epochs()
+    snapshot = epochs.pin()
+    before = QuerySession.for_snapshot(snapshot).skyline()
+    victim = before.tids[0]
+
+    class Boom(RuntimeError):
+        pass
+
+    with pytest.raises(Boom):
+        with epochs.write():
+            # Half-applied mutation, then a crash before publish.
+            system.relation.tombstone(victim)
+            raise Boom()
+
+    assert epochs.stats.abandoned == 1
+    assert epochs.current_epoch == snapshot.epoch
+    # The tombstone was stamped with the abandoned building epoch, so the
+    # pinned snapshot — and any *new* snapshot — still sees the tuple.
+    assert snapshot.relation.is_live(victim)
+    again = QuerySession.for_snapshot(snapshot).skyline()
+    assert again.tids == before.tids
+    epochs.unpin(snapshot)
+
+
+def test_deferred_frees_wait_for_pinned_readers(fresh_system):
+    system = fresh_system()
+    epochs = system.enable_epochs()
+    snapshot = system.pin_snapshot()
+    reference = QuerySession.for_snapshot(snapshot).skyline()
+
+    # Structural churn: rewrites free R-tree and signature pages.
+    bool_row, pref_row = _origin_rows(system)
+    for _ in range(4):
+        tid, _ = system.insert(bool_row, pref_row)
+        system.delete(tid)
+    assert epochs.deferred_free_count() > 0
+
+    # The pinned reader still traverses the old pages without a fault.
+    replay = QuerySession.for_snapshot(snapshot).skyline()
+    assert replay.tids == reference.tids
+
+    system.unpin_snapshot(snapshot)
+    assert epochs.deferred_free_count() == 0
+    assert epochs.stats.reclaimed_pages > 0
+
+
+def test_unpin_without_pin_raises(fresh_system):
+    system = fresh_system()
+    epochs = system.enable_epochs()
+    snapshot = epochs.pin()
+    epochs.unpin(snapshot)
+    with pytest.raises(ValueError, match="not pinned"):
+        epochs.unpin(snapshot)
+
+
+def test_pinned_epochs_bookkeeping(fresh_system):
+    system = fresh_system()
+    epochs = system.enable_epochs()
+    first = epochs.pin()
+    second = epochs.pin()
+    assert epochs.pinned_epochs() == {first.epoch: 2}
+    epochs.unpin(first)
+    assert epochs.pinned_epochs() == {second.epoch: 1}
+    epochs.unpin(second)
+    assert epochs.pinned_epochs() == {}
+
+
+def test_maintenance_unchanged_without_epochs(fresh_system):
+    """The default path stays paper-comparable: no epochs, no deferral."""
+    system = fresh_system()
+    assert system.epochs is None
+    bool_row, pref_row = _origin_rows(system)
+    tid, _ = system.insert(bool_row, pref_row)
+    system.delete(tid)
+    assert system.verify_consistency().ok

@@ -1,0 +1,154 @@
+"""QueryExecutor behaviour: admission, deadlines, cancellation, stats."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.executor import (
+    AdmissionFull,
+    QueryCancelled,
+    QueryExecutor,
+    QueryTimeout,
+)
+
+pytestmark = pytest.mark.concurrent
+
+
+@pytest.fixture
+def system(fresh_system):
+    return fresh_system(n_tuples=400)
+
+
+def _blocker(started: threading.Event, gate: threading.Event):
+    """A submit() callable that parks its worker until the gate opens."""
+
+    def run(session):
+        started.set()
+        assert gate.wait(timeout=30.0)
+        return session.skyline()
+
+    return run
+
+
+def test_result_matches_serial_engine(system):
+    serial = system.engine.skyline()
+    with QueryExecutor(system, threads=2) as executor:
+        result = executor.skyline().result(timeout=30.0)
+    assert result.tids == serial.tids
+    assert result.stats.epoch == system.epochs.current_epoch
+    assert result.stats.queue_wait_seconds >= 0.0
+
+
+def test_bounded_admission_rejects_when_full(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1, queue_depth=1) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)  # worker is parked
+        queued = executor.skyline()  # fills the depth-1 queue
+        with pytest.raises(AdmissionFull):
+            executor.skyline()
+        assert executor.stats.snapshot()["rejected"] == 1
+        gate.set()
+        assert blocked.result(timeout=30.0).tids == queued.result(
+            timeout=30.0
+        ).tids
+
+
+def test_cancel_queued_ticket(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1, queue_depth=4) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        doomed = executor.skyline()
+        assert doomed.cancel()
+        gate.set()
+        with pytest.raises(QueryCancelled):
+            doomed.result(timeout=30.0)
+        blocked.result(timeout=30.0)
+    stats = executor.stats.snapshot()
+    assert stats["cancelled"] == 1 and stats["completed"] == 1
+
+
+def test_cancel_after_completion_returns_false(system):
+    with QueryExecutor(system, threads=1) as executor:
+        ticket = executor.skyline()
+        ticket.result(timeout=30.0)
+        assert not ticket.cancel()
+
+
+def test_deadline_expires_in_queue(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1, queue_depth=4) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        doomed = executor.skyline(deadline=0.01)
+        time.sleep(0.05)  # let the deadline lapse while queued
+        gate.set()
+        with pytest.raises(QueryTimeout):
+            doomed.result(timeout=30.0)
+        blocked.result(timeout=30.0)
+    assert executor.stats.snapshot()["timed_out"] == 1
+
+
+def test_ticker_aborts_a_running_query(system):
+    """Cooperative cancellation reaches queries mid-run via the ticker."""
+    started = threading.Event()
+
+    def spin(session):
+        started.set()
+        deadline = time.perf_counter() + 30.0
+        while time.perf_counter() < deadline:
+            session.ticker()  # what run_algorithm1 polls per heap pop
+            time.sleep(0.001)
+        raise AssertionError("ticker never fired")
+
+    with QueryExecutor(system, threads=1) as executor:
+        ticket = executor.submit("spin", spin)
+        assert started.wait(timeout=30.0)
+        assert ticket.cancel()
+        with pytest.raises(QueryCancelled):
+            ticket.result(timeout=30.0)
+
+
+def test_submit_after_shutdown_raises(system):
+    executor = QueryExecutor(system, threads=1)
+    executor.shutdown()
+    with pytest.raises(RuntimeError, match="shut down"):
+        executor.skyline()
+    executor.shutdown()  # idempotent
+
+
+def test_result_timeout_on_pending_ticket(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1) as executor:
+        ticket = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+        assert not ticket.done()
+        gate.set()
+        ticket.result(timeout=30.0)
+        assert ticket.done()
+
+
+def test_mixed_kinds_complete_and_aggregate(system):
+    serial = {
+        "skyline": system.engine.skyline(),
+        "dynamic": system.engine.dynamic_skyline((0.5, 0.5)),
+        "hull": system.engine.lower_hull(),
+    }
+    with QueryExecutor(system, threads=4) as executor:
+        tickets = {
+            "skyline": executor.skyline(),
+            "dynamic": executor.dynamic_skyline((0.5, 0.5)),
+            "hull": executor.lower_hull(),
+        }
+        for name, ticket in tickets.items():
+            assert ticket.result(timeout=30.0).tids == serial[name].tids
+    stats = executor.stats.snapshot()
+    assert stats["submitted"] == stats["completed"] == 3
+    assert stats["failed"] == 0
+    assert stats["epochs_served"] == {system.epochs.current_epoch: 3}
