@@ -22,9 +22,13 @@ The concurrency model is single-writer / many-readers:
 Reclamation: pages logically freed during the build of epoch ``W`` may
 still be traversed by readers pinned at epochs ``< W``, so their physical
 ``disk.free`` is deferred with barrier ``W`` and executed only when neither
-the current snapshot nor any pinned reader sits below the barrier.  The
-same horizon drives :meth:`Relation.prune_versions`.  Double-free attempts
-(possible when recovery rebuilds structures wholesale) are tolerated.
+the current snapshot nor any pinned reader sits below the barrier.  Page
+frees run from whichever thread drops the last pin (the disk is
+thread-safe); :meth:`Relation.prune_versions` mutates the relation's
+version maps, which the maintenance writer updates without a lock, so it
+runs only on the writer path — at :meth:`publish`, under ``_writer_lock``
+— against the same horizon.  Double-free attempts (possible when recovery
+rebuilds structures wholesale) are tolerated.
 """
 
 from __future__ import annotations
@@ -97,6 +101,8 @@ class EpochManager:
         # (barrier_epoch, page_id): physically free once no reader — current
         # snapshot included — can sit below the barrier.
         self._deferred: list[tuple[int, int]] = []
+        # Horizon the version maps were last pruned to (writer path only).
+        self._pruned_horizon = 0
         relation.epoch_clock = self._clock
         rtree.free_hook = self._defer_free
         pcube.store.free_hook = self._defer_free
@@ -154,7 +160,7 @@ class EpochManager:
                 del self._pins[snapshot.epoch]
             else:
                 self._pins[snapshot.epoch] = count - 1
-            self._reclaim_locked()
+            self._reclaim_pages_locked()
 
     @contextmanager
     def pinned(self) -> Iterator[Snapshot]:
@@ -213,7 +219,18 @@ class EpochManager:
             # published epoch, in case the driver does trailing cleanup.
             self._building = epoch + 1
             self.stats.published += 1
-            self._reclaim_locked()
+            self._reclaim_pages_locked()
+            horizon = self._horizon_locked()
+        # Version-map pruning mutates dicts the writer's own mutators
+        # (append/tombstone/overwrite_pref) update without a lock, so it
+        # may only run here — on the writer thread, inside write()'s
+        # _writer_lock.  Pins can only attach to the current epoch, so a
+        # horizon computed moments ago can lag but never overshoot.
+        if horizon > self._pruned_horizon:
+            self.stats.pruned_versions += self.relation.prune_versions(
+                horizon
+            )
+            self._pruned_horizon = horizon
         return snapshot
 
     def _build_snapshot(self, epoch: int) -> Snapshot:
@@ -240,16 +257,22 @@ class EpochManager:
     # reclamation
     # ------------------------------------------------------------------ #
 
-    def _reclaim_locked(self) -> None:
-        """Free deferred pages and prune versions behind the horizon.
-
-        The horizon is the lowest epoch any present or future reader can
-        observe: the minimum over pinned epochs and the current snapshot.
-        """
+    def _horizon_locked(self) -> int:
+        """The lowest epoch any present or future reader can observe:
+        the minimum over pinned epochs and the current snapshot."""
         horizon = min(self._pins, default=self._current.epoch)
-        horizon = min(horizon, self._current.epoch)
-        if not self._deferred and not horizon:
+        return min(horizon, self._current.epoch)
+
+    def _reclaim_pages_locked(self) -> None:
+        """Free deferred pages behind the horizon (epoch lock held).
+
+        Safe from any thread: ``_deferred`` is only touched under the
+        epoch lock and ``disk.free`` is itself thread-safe.  Version-map
+        pruning deliberately does *not* happen here — see :meth:`publish`.
+        """
+        if not self._deferred:
             return
+        horizon = self._horizon_locked()
         keep: list[tuple[int, int]] = []
         freed = 0
         for barrier, page_id in self._deferred:
@@ -263,7 +286,6 @@ class EpochManager:
             freed += 1
         self._deferred = keep
         self.stats.reclaimed_pages += freed
-        self.stats.pruned_versions += self.relation.prune_versions(horizon)
 
     def deferred_free_count(self) -> int:
         with self._lock:

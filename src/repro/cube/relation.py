@@ -307,6 +307,10 @@ class Relation:
 
         Safe because a record stamped with epoch ``W`` is only consulted by
         readers pinned strictly before ``W``.
+
+        Must run on the maintenance writer's thread (the epoch manager
+        calls it from ``publish()``): it mutates the same version maps
+        ``append``/``tombstone``/``overwrite_pref`` update without a lock.
         """
         dropped = 0
         for tid in [t for t, e in self._created_epoch.items() if e <= oldest_pinned]:

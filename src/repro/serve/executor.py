@@ -181,6 +181,10 @@ class QueryExecutor:
         self.stats = ServingStats()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
+        # Serialises the closed-check + enqueue in submit() against
+        # shutdown(), so no ticket can slip in behind the stop sentinels
+        # and block its waiter forever.
+        self._admission_lock = threading.Lock()
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"serve-worker-{i}", daemon=True
@@ -206,8 +210,6 @@ class QueryExecutor:
         ``run`` receives the snapshot-bound session and returns the query
         result; the per-kind conveniences below build it for you.
         """
-        if self._closed:
-            raise RuntimeError("executor is shut down")
         if deadline is None:
             deadline = self.default_deadline
         ticket = Ticket(
@@ -218,13 +220,16 @@ class QueryExecutor:
             ),
             tracer=tracer,
         )
-        try:
-            self._queue.put_nowait(ticket)
-        except queue.Full:
-            self.stats.note_rejected()
-            raise AdmissionFull(
-                f"admission queue full ({self._queue.maxsize} pending)"
-            ) from None
+        with self._admission_lock:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            try:
+                self._queue.put_nowait(ticket)
+            except queue.Full:
+                self.stats.note_rejected()
+                raise AdmissionFull(
+                    f"admission queue full ({self._queue.maxsize} pending)"
+                ) from None
         self.stats.note_submitted()
         return ticket
 
@@ -355,14 +360,26 @@ class QueryExecutor:
         """Stop admitting, then stop the workers.
 
         With ``wait`` the already-admitted backlog is served first;
-        without it workers exit as soon as they see the stop sentinel
-        (pending tickets behind it are abandoned unfinished).
+        without it the still-queued backlog is failed immediately — every
+        abandoned ticket finishes with an "executor shut down" error so
+        ``result()`` waiters unblock instead of hanging forever.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
         if wait:
             self.drain()
+        else:
+            while True:
+                try:
+                    ticket = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._queue.task_done()
+                ticket._finish(
+                    None, RuntimeError("executor shut down before serving")
+                )
         for _ in self._workers:
             self._queue.put(_STOP)
         if wait:

@@ -50,9 +50,12 @@ class BufferPool:
     tallies are guarded by one lock, which is *never held across a disk
     read* — two threads missing on the same page may both read it (both
     reads are counted, as a real device would), and the second insert wins
-    harmlessly.  Pinned pages are exempt from eviction; when every resident
-    page is pinned the pool temporarily exceeds its capacity rather than
-    evicting a page a query still relies on.
+    harmlessly.  A miss whose page is invalidated while its read is in
+    flight discards the (now stale) payload instead of caching it, so
+    invalidation keeps its no-stale-payload guarantee even against
+    concurrent readers.  Pinned pages are exempt from eviction; when every
+    resident page is pinned the pool temporarily exceeds its capacity
+    rather than evicting a page a query still relies on.
     """
 
     def __init__(
@@ -68,6 +71,13 @@ class BufferPool:
         self.retry_policy = retry_policy
         self._cache: OrderedDict[int, Any] = OrderedDict()
         self._pins: dict[int, int] = {}
+        # Misses with a disk read in flight (page_id → reader count) and a
+        # per-page invalidation generation, bumped only while a read is in
+        # flight: a reader whose generation moved read a pre-invalidation
+        # payload and must not cache it.  Both entries die with the last
+        # in-flight reader, so neither map grows with the page space.
+        self._inflight: dict[int, int] = {}
+        self._inval_gen: dict[int, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -106,18 +116,36 @@ class BufferPool:
                 self._cache.move_to_end(page_id)
                 return self._cache[page_id], True
             self.misses += 1
-        if self.retry_policy is not None:
-            payload = self.retry_policy.call(
-                lambda: self.disk.read(page_id, category, counters)
-            )
-        else:
-            payload = self.disk.read(page_id, category, counters)
-        if self.capacity > 0:
+            self._inflight[page_id] = self._inflight.get(page_id, 0) + 1
+            generation = self._inval_gen.get(page_id, 0)
+        try:
+            if self.retry_policy is not None:
+                payload = self.retry_policy.call(
+                    lambda: self.disk.read(page_id, category, counters)
+                )
+            else:
+                payload = self.disk.read(page_id, category, counters)
+        except BaseException:
             with self._lock:
+                self._read_done_locked(page_id)
+            raise
+        with self._lock:
+            fresh = self._inval_gen.get(page_id, 0) == generation
+            self._read_done_locked(page_id)
+            if self.capacity > 0 and fresh:
                 self._cache[page_id] = payload
                 self._cache.move_to_end(page_id)
                 self._evict_overflow()
         return payload, False
+
+    def _read_done_locked(self, page_id: int) -> None:
+        """Retire one in-flight miss (lock held)."""
+        count = self._inflight.get(page_id, 0) - 1
+        if count > 0:
+            self._inflight[page_id] = count
+        else:
+            self._inflight.pop(page_id, None)
+            self._inval_gen.pop(page_id, None)
 
     def _evict_overflow(self) -> None:
         """Evict LRU unpinned pages down to capacity (lock held)."""
@@ -169,10 +197,16 @@ class BufferPool:
 
         Coherence beats pinning here: a pinned-but-rewritten page must not
         be served stale, so invalidation removes it regardless (the pin
-        stays registered and keeps protecting the refreshed copy).
+        stays registered and keeps protecting the refreshed copy).  A miss
+        reading the page right now is poisoned via the invalidation
+        generation so its pre-invalidation payload is never cached.
         """
         with self._lock:
             self._cache.pop(page_id, None)
+            if page_id in self._inflight:
+                self._inval_gen[page_id] = (
+                    self._inval_gen.get(page_id, 0) + 1
+                )
 
     def clear(self) -> None:
         """Empty the cache and reset hit/miss statistics (pins survive)."""

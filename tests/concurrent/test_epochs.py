@@ -110,6 +110,27 @@ def test_deferred_frees_wait_for_pinned_readers(fresh_system):
     assert epochs.stats.reclaimed_pages > 0
 
 
+def test_version_maps_prune_on_publish_not_on_unpin(fresh_system):
+    """Version-map pruning is writer-path only: unpin must never touch
+    the relation's version maps (they race with the maintenance writer),
+    so records drop at the next publish after the horizon advances."""
+    system = fresh_system()
+    epochs = system.enable_epochs()
+    snapshot = epochs.pin()
+
+    bool_row, pref_row = _origin_rows(system)
+    tid, _ = system.insert(bool_row, pref_row)  # created_epoch record
+    system.delete(tid)  # tombstone record
+    assert epochs.stats.pruned_versions == 0  # pinned reader blocks pruning
+
+    epochs.unpin(snapshot)
+    # Unpin records the horizon but does not prune (reader thread).
+    assert epochs.stats.pruned_versions == 0
+
+    system.insert(bool_row, pref_row)  # next publish prunes behind horizon
+    assert epochs.stats.pruned_versions > 0
+
+
 def test_unpin_without_pin_raises(fresh_system):
     system = fresh_system()
     epochs = system.enable_epochs()

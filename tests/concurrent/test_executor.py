@@ -121,6 +121,24 @@ def test_submit_after_shutdown_raises(system):
     executor.shutdown()  # idempotent
 
 
+def test_nonwaiting_shutdown_fails_queued_tickets(system):
+    """shutdown(wait=False) must unblock waiters on still-queued tickets
+    instead of abandoning them behind the stop sentinels forever."""
+    started, gate = threading.Event(), threading.Event()
+    executor = QueryExecutor(system, threads=1, queue_depth=4)
+    running = executor.submit("block", _blocker(started, gate))
+    assert started.wait(timeout=30.0)  # worker is parked on the gate
+    queued = executor.skyline()
+    executor.shutdown(wait=False)
+    with pytest.raises(RuntimeError, match="shut down"):
+        queued.result(timeout=30.0)
+    gate.set()
+    # The in-flight query still completes normally.
+    assert running.result(timeout=30.0).tids
+    stats = executor.stats.snapshot()
+    assert stats["completed"] == 1
+
+
 def test_result_timeout_on_pending_ticket(system):
     started, gate = threading.Event(), threading.Event()
     with QueryExecutor(system, threads=1) as executor:

@@ -135,6 +135,39 @@ def test_free_evicts_from_registered_pools(disk):
     assert len(pool_b) == 0
 
 
+def test_invalidation_during_in_flight_miss_is_not_cached(disk):
+    """A payload read *before* a concurrent invalidate must not be
+    inserted *after* it — that would leave a stale page resident."""
+    page_id = disk.allocate("t", payload="old")
+    pool = BufferPool(disk, capacity=4)
+    real_read = disk.read
+
+    def read_then_rewrite(pid, category, counters=None):
+        payload = real_read(pid, category, counters)
+        # The rewrite lands while the miss's read is "in flight": the
+        # pool has released its lock and not yet cached the payload.
+        disk.write(page_id, "new")
+        return payload
+
+    disk.read = read_then_rewrite
+    try:
+        assert pool.get(page_id, SBLOCK) == "old"  # the read it performed
+    finally:
+        disk.read = real_read
+    assert len(pool) == 0  # the stale payload was discarded, not cached
+    assert pool.get(page_id, SBLOCK) == "new"
+    assert len(pool) == 1
+    # The in-flight bookkeeping drained with the reads.
+    assert pool._inflight == {} and pool._inval_gen == {}
+
+
+def test_read_fault_during_miss_drains_inflight_bookkeeping(disk):
+    pool = BufferPool(disk, capacity=4)
+    with pytest.raises(KeyError):
+        pool.get(999, SBLOCK)  # never-allocated page faults
+    assert pool._inflight == {} and pool._inval_gen == {}
+
+
 def test_freed_then_reallocated_id_is_never_aliased(disk):
     pool = BufferPool(disk, capacity=4)
     old = disk.allocate("t", payload="old")
