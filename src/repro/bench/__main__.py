@@ -28,6 +28,7 @@ from repro.bench import (
     render_report,
     run_benchmarks,
 )
+from repro.bench.resilience import run_resilience_benchmark
 from repro.bench.serving import (
     DEFAULT_THREADS as SERVING_THREADS,
     run_serving_benchmark,
@@ -73,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the concurrent-serving throughput sweep instead of the "
         "figure scenarios (writes BENCH_serving.json by default)",
+    )
+    parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help="run the fault-free resilience-overhead micro-sweep (bare vs "
+        "default-on executor; writes BENCH_resilience.json by default)",
     )
     parser.add_argument(
         "--serving-threads",
@@ -129,7 +136,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.queries < 1:
         parser.error("--queries must be >= 1")
 
-    if args.serving:
+    if args.serving and args.resilience:
+        parser.error("--serving and --resilience are mutually exclusive")
+    if args.serving or args.resilience:
         try:
             threads = (
                 [int(n) for n in _csv(args.serving_threads)]
@@ -140,7 +149,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 f"--serving-threads must be integers: {args.serving_threads!r}"
             )
-        report = run_serving_benchmark(seed=args.seed, threads=threads)
+        if args.resilience:
+            report = run_resilience_benchmark(seed=args.seed, threads=threads)
+        else:
+            report = run_serving_benchmark(seed=args.seed, threads=threads)
     else:
         figures = _csv(args.figures) if args.figures else None
         try:
@@ -159,11 +171,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as exc:  # unknown figure name
             parser.error(str(exc))
 
-    out_path = Path(
-        args.out
-        if args.out is not None
-        else ("BENCH_serving.json" if args.serving else "BENCH_pcube.json")
-    )
+    if args.out is not None:
+        default_out = args.out
+    elif args.resilience:
+        default_out = "BENCH_resilience.json"
+    elif args.serving:
+        default_out = "BENCH_serving.json"
+    else:
+        default_out = "BENCH_pcube.json"
+    out_path = Path(default_out)
     out_path.write_text(dumps_report(report))
     if not args.quiet:
         text = render_report(report)

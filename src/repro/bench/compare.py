@@ -19,7 +19,7 @@ from typing import Any, Iterator
 #: move with machine load, while the sweep's io counts and result counts
 #: stay gateable.
 WALL_FIELDS = frozenset(
-    {"wall_ms", "qps", "speedup_vs_cold", "queue_wait_ms"}
+    {"wall_ms", "qps", "speedup_vs_cold", "queue_wait_ms", "overhead_pct"}
 )
 
 #: Float-representation tolerance.  Gated metrics are deterministic

@@ -8,7 +8,7 @@ incremental updates driven by R-tree path changes.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.counted import CountedSignature
 from repro.core.generation import generate_cuboid_signatures
@@ -27,6 +27,9 @@ from repro.storage.buffer import BufferPool
 from repro.storage.counters import IOCounters
 from repro.storage.errors import StorageFault
 
+if TYPE_CHECKING:
+    from repro.serve.resilience import BreakerBoard, RetryBudget
+
 
 class EmptyReader:
     """Reader for a predicate that provably selects no tuples."""
@@ -36,6 +39,7 @@ class EmptyReader:
     retries = 0
     failed_loads = 0
     degraded_checks = 0
+    breaker_skips = 0
     degraded = False
 
     def check_entry(self, parent_path, position) -> bool:
@@ -54,6 +58,7 @@ class SignatureAdapter:
     retries = 0
     failed_loads = 0
     degraded_checks = 0
+    breaker_skips = 0
     degraded = False
 
     def __init__(self, signature: Signature) -> None:
@@ -95,6 +100,9 @@ class ReaderFactory:
         counters: IOCounters | None = None,
         eager: bool = False,
         tracer: Tracer | None = None,
+        budget: "RetryBudget | None" = None,
+        breakers: "BreakerBoard | None" = None,
+        epoch: int | None = None,
     ):
         """A boolean-prune reader for the conjunction of ``cells``.
 
@@ -150,6 +158,9 @@ class ReaderFactory:
                 counters,
                 fallback=self.boolean_fallback,
                 tracer=tracer,
+                budget=budget,
+                breakers=breakers,
+                epoch=epoch,
             )
             for cell in resolved
         ]
@@ -207,6 +218,9 @@ class ReaderFactory:
         counters: IOCounters | None = None,
         eager: bool = False,
         tracer: Tracer | None = None,
+        budget: "RetryBudget | None" = None,
+        breakers: "BreakerBoard | None" = None,
+        epoch: int | None = None,
     ):
         """A boolean-prune reader for a conjunction, using the best
         materialised cover (see :meth:`cover_for_dims`)."""
@@ -217,7 +231,16 @@ class ReaderFactory:
             if tracer is not None:
                 tracer.event(COVER, conjuncts=sorted(conjuncts), empty=True)
             return EmptyReader()
-        return self.reader_for_cells(cover, pool, counters, eager, tracer)
+        return self.reader_for_cells(
+            cover,
+            pool,
+            counters,
+            eager,
+            tracer,
+            budget=budget,
+            breakers=breakers,
+            epoch=epoch,
+        )
 
     def boolean_fallback(
         self,

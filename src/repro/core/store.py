@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.bitmap.bitarray import BitArray
 from repro.btree.btree import BPlusTree
@@ -43,6 +43,9 @@ from repro.storage.counters import SSIG, IOCounters
 from repro.storage.disk import PageFault, SimulatedDisk
 from repro.storage.errors import StorageFault
 from repro.storage.faults import FaultStats, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.resilience import BreakerBoard, RetryBudget
 
 
 class MissingPartialError(LookupError):
@@ -112,6 +115,12 @@ class SignatureStore:
         #: ``disk.free`` — the epoch manager defers them until no pinned
         #: snapshot directory can still reference the page.
         self.free_hook: Callable[[int], None] | None = None
+        #: When set, called with a cell id whenever that cell's quarantine
+        #: is lifted (a rebuild made its pages readable again).  The
+        #: serving executor points this at its breaker board so live
+        #: sessions heal immediately; epoch-bound sessions heal through
+        #: epoch comparison regardless.
+        self.on_cell_rebuilt: Callable[[str], None] | None = None
 
     def _free_sig_page(self, page_id: int) -> None:
         if self.free_hook is not None:
@@ -220,7 +229,9 @@ class SignatureStore:
         ]
 
     def clear_quarantine(self, cell: Cell) -> None:
-        self._quarantined.pop(cell.cell_id, None)
+        was_quarantined = self._quarantined.pop(cell.cell_id, None)
+        if was_quarantined is not None and self.on_cell_rebuilt is not None:
+            self.on_cell_rebuilt(cell.cell_id)
 
     def rebuild_cell(self, cell: Cell, signature: Signature) -> int:
         """Store a freshly regenerated signature for a quarantined cell.
@@ -256,16 +267,19 @@ class SignatureStore:
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
         on_retry: Callable[[int, Exception], None] | None = None,
+        budget: "RetryBudget | None" = None,
     ) -> PartialSignature | None:
         """Load one partial by (cell, ref) — one counted ``SSIG`` page read.
 
         Returns ``None`` when the cell has no partial with that reference.
         Transient faults are retried under the store's
-        :attr:`retry_policy`; a read that keeps failing (or a detected
-        corruption) propagates as a typed storage fault for the caller's
-        degraded path.  The index descent itself is served from the
-        directory (equivalent to a pinned B+-tree root path); tests
-        exercise the counted B+-tree separately.
+        :attr:`retry_policy`; with a ``budget`` (the serving ticket's
+        remaining deadline) retries whose backoff would outspend it are
+        skipped.  A read that keeps failing (or a detected corruption)
+        propagates as a typed storage fault for the caller's degraded
+        path.  The index descent itself is served from the directory
+        (equivalent to a pinned B+-tree root path); tests exercise the
+        counted B+-tree separately.
         """
         refs = self._directory.get(cell.cell_id)
         if refs is None or ref_sid not in refs:
@@ -282,8 +296,15 @@ class SignatureStore:
             if on_retry is not None:
                 on_retry(attempt, exc)
 
+        deadline = (
+            budget.clock_deadline(self.retry_policy.clock)
+            if budget is not None
+            else None
+        )
         try:
-            return self.retry_policy.call(read_once, on_retry=count_retry)
+            return self.retry_policy.call(
+                read_once, on_retry=count_retry, deadline=deadline
+            )
         except StorageFault:
             self.fault_stats.transient_errors += 1
             raise
@@ -312,8 +333,21 @@ class SignatureStore:
         counters: IOCounters | None = None,
         fallback: "BooleanFallback | None" = None,
         tracer: Tracer | None = None,
+        budget: "RetryBudget | None" = None,
+        breakers: "BreakerBoard | None" = None,
+        epoch: int | None = None,
     ) -> "CellSignatureReader":
-        return CellSignatureReader(self, cell, pool, counters, fallback, tracer)
+        return CellSignatureReader(
+            self,
+            cell,
+            pool,
+            counters,
+            fallback,
+            tracer,
+            budget=budget,
+            breakers=breakers,
+            epoch=epoch,
+        )
 
     def index_height(self) -> int:
         return self._index.height()
@@ -424,6 +458,7 @@ class StoreView:
         pool: BufferPool | None = None,
         counters: IOCounters | None = None,
         on_retry: Callable[[int, Exception], None] | None = None,
+        budget: "RetryBudget | None" = None,
     ) -> PartialSignature | None:
         refs = self._directory.get(cell.cell_id)
         if refs is None or ref_sid not in refs:
@@ -440,8 +475,15 @@ class StoreView:
             if on_retry is not None:
                 on_retry(attempt, exc)
 
+        deadline = (
+            budget.clock_deadline(self.retry_policy.clock)
+            if budget is not None
+            else None
+        )
         try:
-            return self.retry_policy.call(read_once, on_retry=count_retry)
+            return self.retry_policy.call(
+                read_once, on_retry=count_retry, deadline=deadline
+            )
         except StorageFault:
             self.fault_stats.transient_errors += 1
             raise
@@ -469,8 +511,21 @@ class StoreView:
         counters: IOCounters | None = None,
         fallback: "BooleanFallback | None" = None,
         tracer: Tracer | None = None,
+        budget: "RetryBudget | None" = None,
+        breakers: "BreakerBoard | None" = None,
+        epoch: int | None = None,
     ) -> "CellSignatureReader":
-        return CellSignatureReader(self, cell, pool, counters, fallback, tracer)
+        return CellSignatureReader(
+            self,
+            cell,
+            pool,
+            counters,
+            fallback,
+            tracer,
+            budget=budget,
+            breakers=breakers,
+            epoch=epoch,
+        )
 
 
 #: Exact boolean resolver used in conservative mode: ``(cell, path,
@@ -503,6 +558,9 @@ class CellSignatureReader:
         counters: IOCounters | None,
         fallback: BooleanFallback | None = None,
         tracer: Tracer | None = None,
+        budget: "RetryBudget | None" = None,
+        breakers: "BreakerBoard | None" = None,
+        epoch: int | None = None,
     ) -> None:
         self.store = store
         self.cell = cell
@@ -510,6 +568,9 @@ class CellSignatureReader:
         self.counters = counters
         self.fallback = fallback
         self.tracer = tracer
+        self.budget = budget
+        self.breakers = breakers
+        self.epoch = epoch
         self.fanout = store.fanout
         self._nodes: dict[int, BitArray] = {}
         self._loaded_refs: set[int] = set()
@@ -520,6 +581,7 @@ class CellSignatureReader:
         self.retries = 0
         self.failed_loads = 0
         self.degraded_checks = 0
+        self.breaker_skips = 0
         # The first partial (root reference) is loaded up front, as the
         # paper prescribes ("To begin with, we load the first partial
         # signature referenced by the R-tree root").
@@ -552,6 +614,18 @@ class CellSignatureReader:
             return False
         if ref_sid in self._unreadable_refs:
             return None
+        if self.breakers is not None and not self.breakers.allow(
+            self.cell.cell_id, ref_sid, self.epoch
+        ):
+            # An open breaker: the pages behind this ref keep failing, so
+            # skip straight to the degraded path — zero I/O, no re-probe.
+            self._unreadable_refs.add(ref_sid)
+            self.breaker_skips += 1
+            if self.tracer is not None:
+                self.tracer.sig_load(
+                    self.cell.cell_id, ref_sid, "short-circuit", 0.0
+                )
+            return None
         started = time.perf_counter()
         try:
             partial = self.store.load_partial(
@@ -560,8 +634,13 @@ class CellSignatureReader:
                 self.pool,
                 self.counters,
                 on_retry=self._count_retry,
+                budget=self.budget,
             )
         except StorageFault as fault:
+            if self.breakers is not None:
+                self.breakers.record_failure(
+                    self.cell.cell_id, ref_sid, self.epoch
+                )
             self._unreadable_refs.add(ref_sid)
             self.failed_loads += 1
             self.store.fault_stats.degraded_loads += 1
@@ -582,6 +661,8 @@ class CellSignatureReader:
                     self.cell.cell_id, ref_sid, "missing", elapsed
                 )
             return False
+        if self.breakers is not None:
+            self.breakers.record_success(self.cell.cell_id, ref_sid)
         self._loaded_refs.add(ref_sid)
         self._nodes.update(partial.decode())
         self.loads += 1
@@ -705,6 +786,10 @@ class AssembledReader:
     @property
     def degraded_checks(self) -> int:
         return sum(reader.degraded_checks for reader in self.readers)
+
+    @property
+    def breaker_skips(self) -> int:
+        return sum(reader.breaker_skips for reader in self.readers)
 
     @property
     def degraded(self) -> bool:

@@ -50,6 +50,11 @@ class PreferenceEngine:
             like the paper's.
         eager_assembly: Use exact recursive intersection for
             multi-predicate signatures instead of the lazy AND.
+        degradation: Optional
+            :class:`~repro.serve.resilience.DegradationPolicy` enabling
+            the exact boolean-first scan fallback when storage faults
+            escape even the conservative readers.  ``None`` (the default,
+            paper-comparable) lets such faults propagate as typed errors.
     """
 
     def __init__(
@@ -59,6 +64,7 @@ class PreferenceEngine:
         pcube: PCube,
         pool_capacity: int = 4096,
         eager_assembly: bool = False,
+        degradation=None,
     ) -> None:
         self.relation = relation
         self.rtree = rtree
@@ -72,6 +78,7 @@ class PreferenceEngine:
             pool=None,  # cold pool per query: the paper-comparable mode
             pool_capacity=pool_capacity,
             eager_assembly=eager_assembly,
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------ #

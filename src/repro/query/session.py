@@ -26,6 +26,7 @@ from different threads.
 
 from __future__ import annotations
 
+import heapq
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -41,11 +42,14 @@ from repro.query.algorithm1 import (
 from repro.query.predicates import BooleanPredicate
 from repro.query.ranking import RankingFunction
 from repro.query.stats import QueryStats
+from repro.rtree.geometry import dominates
 from repro.storage.buffer import BufferPool, PoolView
-from repro.storage.counters import SBLOCK
+from repro.storage.counters import BTABLE, SBLOCK
+from repro.storage.errors import StorageFault
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.epoch import Snapshot
+    from repro.serve.resilience import BreakerBoard, DegradationPolicy
 
 
 @dataclass
@@ -84,6 +88,21 @@ class QuerySession:
             span (serving observability); ``None`` for live sessions.
         ticker: Invoked once per Algorithm 1 heap pop; raises to abort the
             query (deadline/cancellation in the serving executor).
+        deadline_at: ``time.perf_counter()`` instant this session's queries
+            must finish by.  Storage retries spend from what remains of it
+            (a backoff that would outspend the budget is skipped and the
+            fault surfaces immediately); the ticker still enforces the
+            deadline itself.
+        breakers: A :class:`~repro.serve.resilience.BreakerBoard` shared
+            across the serving deployment; partial loads consult it and an
+            open breaker short-circuits straight to the degraded path.
+        degradation: Enables the tier-3 boolean-first fallback: a
+            :class:`~repro.serve.resilience.DegradationPolicy` whose
+            ``allow_boolean_first`` is true makes skyline/top-k queries
+            answer via a signature-free relation scan when even the search
+            structures fault, instead of propagating the storage error.
+            ``None`` (the default, and the paper-comparable mode) keeps
+            tiers 1–2 only.
     """
 
     def __init__(
@@ -96,6 +115,9 @@ class QuerySession:
         eager_assembly: bool = False,
         epoch: int | None = None,
         ticker: Callable[[], None] | None = None,
+        deadline_at: float | None = None,
+        breakers: "BreakerBoard | None" = None,
+        degradation: "DegradationPolicy | None" = None,
     ) -> None:
         self.relation = relation
         self.rtree = rtree
@@ -105,6 +127,9 @@ class QuerySession:
         self.eager_assembly = eager_assembly
         self.epoch = epoch
         self.ticker = ticker
+        self.deadline_at = deadline_at
+        self.breakers = breakers
+        self.degradation = degradation
 
     @classmethod
     def for_snapshot(
@@ -114,6 +139,9 @@ class QuerySession:
         pool_capacity: int = 4096,
         eager_assembly: bool = False,
         ticker: Callable[[], None] | None = None,
+        deadline_at: float | None = None,
+        breakers: "BreakerBoard | None" = None,
+        degradation: "DegradationPolicy | None" = None,
     ) -> "QuerySession":
         """Bind a session to a pinned snapshot's frozen structures.
 
@@ -128,6 +156,9 @@ class QuerySession:
             pool_capacity=pool_capacity,
             eager_assembly=eager_assembly,
             epoch=snapshot.epoch,
+            deadline_at=deadline_at,
+            breakers=breakers,
+            degradation=degradation,
         ).with_ticker(ticker)
 
     def with_ticker(self, ticker: Callable[[], None] | None) -> "QuerySession":
@@ -156,7 +187,17 @@ class QuerySession:
     # standard queries
     # ------------------------------------------------------------------ #
 
-    def _reader(self, predicate: BooleanPredicate, pool, stats, tracer=None):
+    def _budget(self):
+        """The retry budget for one query starting now (or ``None``)."""
+        if self.deadline_at is None:
+            return None
+        from repro.serve.resilience import RetryBudget
+
+        return RetryBudget(self.deadline_at)
+
+    def _reader(
+        self, predicate: BooleanPredicate, pool, stats, tracer=None, budget=None
+    ):
         if predicate.is_empty():
             return None
         return self.pcube.reader_for_predicate(
@@ -165,6 +206,9 @@ class QuerySession:
             stats.counters,
             eager=self.eager_assembly,
             tracer=tracer,
+            budget=budget,
+            breakers=self.breakers,
+            epoch=self.epoch,
         )
 
     def skyline(
@@ -223,6 +267,7 @@ class QuerySession:
             ticker=self.ticker,
         )
         stats.epoch = self.epoch
+        self._stamp_tier(stats)
         self._finish_pool(pool, stats)
         return QueryResult(
             kind="dynamic_skyline",
@@ -250,6 +295,7 @@ class QuerySession:
             ticker=self.ticker,
         )
         stats.epoch = self.epoch
+        self._stamp_tier(stats)
         self._finish_pool(pool, stats)
         return QueryResult(
             kind="lower_hull",
@@ -270,6 +316,12 @@ class QuerySession:
             raise ValueError(
                 f"drill-down/roll-up resume {previous.kind!r} queries is not "
                 "supported; only skyline and topk keep Lemma 2 state"
+            )
+        if previous.stats.tier == "boolean-first":
+            raise ValueError(
+                "cannot drill-down/roll-up from a boolean-first degraded "
+                "result: the scan fallback keeps no Lemma 2 search state; "
+                "re-run the query from scratch"
             )
 
     def drill_down(
@@ -323,7 +375,55 @@ class QuerySession:
     # shared runner
     # ------------------------------------------------------------------ #
 
+    def _stamp_tier(self, stats: QueryStats) -> None:
+        """Record which degradation tier answered (tiers 1–2; the scan
+        fallback stamps tier 3 itself)."""
+        stats.tier = "conservative" if stats.degraded else "signature"
+
     def _run(
+        self,
+        kind: str,
+        predicate: BooleanPredicate,
+        state,
+        fn: RankingFunction | None = None,
+        k: int | None = None,
+        preference_by: tuple[str, ...] | None = None,
+        tracer: Tracer | None = None,
+    ) -> QueryResult:
+        try:
+            return self._run_signature(
+                kind,
+                predicate,
+                state,
+                fn=fn,
+                k=k,
+                preference_by=preference_by,
+                tracer=tracer,
+            )
+        except StorageFault as fault:
+            if (
+                self.degradation is None
+                or not self.degradation.allow_boolean_first
+                or kind not in ("skyline", "topk")
+            ):
+                raise
+            # Tier 3: even the search structures fault — answer exactly
+            # from a signature-free relation scan, chaining the storage
+            # error so callers can see what forced the fallback.
+            try:
+                return self._run_boolean_first(
+                    kind,
+                    predicate,
+                    fn=fn,
+                    k=k,
+                    preference_by=preference_by,
+                    tracer=tracer,
+                    cause=fault,
+                )
+            except StorageFault as exc:
+                raise exc from fault
+
+    def _run_signature(
         self,
         kind: str,
         predicate: BooleanPredicate,
@@ -335,7 +435,9 @@ class QuerySession:
     ) -> QueryResult:
         stats = QueryStats()
         stats.epoch = self.epoch
+        budget = self._budget()
         pool = self._query_pool()
+        reader = None
         if tracer is not None and tracer.counters is None:
             tracer.counters = stats.counters
         span_attrs = {
@@ -357,7 +459,9 @@ class QuerySession:
                     if tracer is not None
                     else nullcontext()
                 ):
-                    reader = self._reader(predicate, pool, stats, tracer)
+                    reader = self._reader(
+                        predicate, pool, stats, tracer, budget=budget
+                    )
                 if kind == "skyline":
                     subspace = None
                     if preference_by is not None:
@@ -427,12 +531,14 @@ class QuerySession:
                 stats.elapsed_seconds = time.perf_counter() - started
         finally:
             self._finish_pool(pool, stats)
-        if reader is not None:
-            stats.sig_load_seconds = reader.load_seconds
-            stats.fault_retries = getattr(reader, "retries", 0)
-            stats.failed_loads = getattr(reader, "failed_loads", 0)
-            stats.degraded_checks = getattr(reader, "degraded_checks", 0)
-            stats.degraded = bool(getattr(reader, "degraded", False))
+            if reader is not None:
+                stats.sig_load_seconds = reader.load_seconds
+                stats.fault_retries = getattr(reader, "retries", 0)
+                stats.failed_loads = getattr(reader, "failed_loads", 0)
+                stats.degraded_checks = getattr(reader, "degraded_checks", 0)
+                stats.breaker_skips = getattr(reader, "breaker_skips", 0)
+                stats.degraded = bool(getattr(reader, "degraded", False))
+        self._stamp_tier(stats)
 
         tids = [e.tid for e in final_state.results if e.tid is not None]
         scores = (
@@ -447,6 +553,107 @@ class QuerySession:
             scores=scores,
             stats=stats,
             state=final_state,
+            fn=fn,
+            k=k,
+            preference_by=preference_by,
+        )
+
+    # ------------------------------------------------------------------ #
+    # tier 3: signature-free boolean-first fallback
+    # ------------------------------------------------------------------ #
+
+    def _run_boolean_first(
+        self,
+        kind: str,
+        predicate: BooleanPredicate,
+        fn: RankingFunction | None = None,
+        k: int | None = None,
+        preference_by: tuple[str, ...] | None = None,
+        tracer: Tracer | None = None,
+        cause: Exception | None = None,
+    ) -> QueryResult:
+        """Answer a skyline/top-k exactly without touching any signature
+        or R-tree page: scan the (snapshot's) relation, filter by the
+        predicate, run the preference step in memory.
+
+        Results are reported in Algorithm 1's best-first order — skyline
+        candidates sorted by ``(Σ projected coords, projected point, tid)``
+        with BBS-style domination against already-reported points, top-k by
+        ascending ``(score, tid)`` — so a degraded answer is byte-identical
+        to the serial engine's.  The scan is counted (``BTABLE``) and the
+        ticker still fires per tuple, so deadlines and cancellation apply.
+        """
+        stats = QueryStats()
+        stats.epoch = self.epoch
+        stats.tier = "boolean-first"
+        stats.degraded = True
+        span_attrs: dict[str, Any] = {
+            "predicate": repr(predicate),
+            "tier": "boolean-first",
+        }
+        if cause is not None:
+            span_attrs["cause"] = type(cause).__name__
+        if self.epoch is not None:
+            span_attrs["epoch"] = self.epoch
+        fallback_span = (
+            tracer.span(f"query:{kind}:boolean-first", **span_attrs)
+            if tracer is not None
+            else nullcontext()
+        )
+        with fallback_span:
+            started = time.perf_counter()
+            empty = predicate.is_empty()
+            candidates: list[int] = []
+            for tid in self.relation.scan(stats.counters, BTABLE):
+                if self.ticker is not None:
+                    self.ticker()
+                if empty or predicate.matches(self.relation, tid):
+                    candidates.append(tid)
+            stats.note_heap(len(candidates))
+            scores: list[float] | None = None
+            if kind == "skyline":
+                subspace: tuple[int, ...] | None = None
+                if preference_by is not None:
+                    subspace = tuple(
+                        self.relation.schema.preference_position(name)
+                        for name in preference_by
+                    )
+
+                def project(point) -> tuple[float, ...]:
+                    if subspace is None:
+                        return tuple(point)
+                    return tuple(point[d] for d in subspace)
+
+                projected = sorted(
+                    ((tid, project(self.relation.pref_point(tid))) for tid in candidates),
+                    key=lambda item: (sum(item[1]), item[1], item[0]),
+                )
+                result_points: list[tuple[float, ...]] = []
+                tids: list[int] = []
+                for tid, point in projected:
+                    if any(dominates(s, point) for s in result_points):
+                        stats.dominance_pruned += 1
+                        continue
+                    result_points.append(point)
+                    tids.append(tid)
+            else:
+                assert fn is not None and k is not None
+                scored = (
+                    (fn.score(self.relation.pref_point(tid)), tid)
+                    for tid in candidates
+                )
+                best = heapq.nsmallest(k, scored)
+                tids = [tid for _, tid in best]
+                scores = [score for score, _ in best]
+            stats.results = len(tids)
+            stats.elapsed_seconds = time.perf_counter() - started
+        return QueryResult(
+            kind=kind,
+            predicate=predicate,
+            tids=tids,
+            scores=scores,
+            stats=stats,
+            state=SearchState(),
             fn=fn,
             k=k,
             preference_by=preference_by,

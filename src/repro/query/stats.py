@@ -68,8 +68,14 @@ class QueryStats:
             cell into conservative mode).
         degraded_checks: Bit tests answered conservatively or via the
             base-relation fallback because a partial was unreadable.
+        breaker_skips: Partial loads short-circuited by an open circuit
+            breaker (degraded with zero I/O on the bad pages).
         degraded: Whether this query ran with any signature degraded — the
             per-query "degraded query" flag robustness benchmarks count.
+        tier: Which rung of the degradation chain produced the answer —
+            ``"signature"`` (fault-free fast path), ``"conservative"``
+            (degraded readers) or ``"boolean-first"`` (signature-free scan
+            fallback); ``None`` until the query completes.
         epoch: The snapshot epoch the query ran against (``None`` for
             live-structure queries, i.e. everything paper-comparable).
         queue_wait_seconds: Time the query sat in the serving executor's
@@ -96,7 +102,9 @@ class QueryStats:
     fault_retries: int = 0
     failed_loads: int = 0
     degraded_checks: int = 0
+    breaker_skips: int = 0
     degraded: bool = False
+    tier: str | None = None
     epoch: int | None = None
     queue_wait_seconds: float = 0.0
     pool_hits: int = 0
@@ -161,4 +169,5 @@ class QueryStats:
             summary["fault_retries"] = self.fault_retries
             summary["failed_loads"] = self.failed_loads
             summary["degraded_checks"] = self.degraded_checks
+            summary["breaker_skips"] = self.breaker_skips
         return summary

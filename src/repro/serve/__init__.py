@@ -14,23 +14,38 @@ Quick start::
         ticket = executor.skyline(predicate)
         result = ticket.result(timeout=5.0)
 
-``python -m repro.serve --smoke`` runs a self-checking smoke workload.
+``python -m repro.serve --smoke`` runs a self-checking smoke workload and
+``python -m repro.serve --health`` a resilience/fault health report.
 """
 
 from repro.serve.executor import (
     AdmissionFull,
     QueryCancelled,
     QueryExecutor,
+    QueryShed,
     QueryTimeout,
     Ticket,
+)
+from repro.serve.resilience import (
+    BreakerBoard,
+    CircuitBreaker,
+    DegradationPolicy,
+    Resilience,
+    RetryBudget,
 )
 from repro.serve.stats import ServingStats
 
 __all__ = [
     "AdmissionFull",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DegradationPolicy",
     "QueryCancelled",
     "QueryExecutor",
+    "QueryShed",
     "QueryTimeout",
+    "Resilience",
+    "RetryBudget",
     "ServingStats",
     "Ticket",
 ]

@@ -1,8 +1,9 @@
-"""Self-checking serving smoke test: ``python -m repro.serve --smoke``.
+"""Self-checking serving entry points.
 
-Builds the small seeded system, serves a mixed seeded workload (skyline,
-top-k, dynamic skyline, lower hull) through a multi-threaded
-:class:`~repro.serve.executor.QueryExecutor`, and verifies:
+``python -m repro.serve --smoke`` builds the small seeded system, serves a
+mixed seeded workload (skyline, top-k, dynamic skyline, lower hull)
+through a multi-threaded :class:`~repro.serve.executor.QueryExecutor`, and
+verifies:
 
 * every concurrent answer is identical to the serial engine's answer for
   the same query (same epoch, so bit-equality is required, not hoped for);
@@ -10,8 +11,16 @@ top-k, dynamic skyline, lower hull) through a multi-threaded
   old data afterwards, while the executor serves the new epoch;
 * the run is clean — no failed queries, no consistency-audit findings.
 
+``python -m repro.serve --health`` builds the same system over a
+fault-injecting disk, serves a seeded skyline/top-k workload *through the
+faults* (so retries, breakers and degraded tiers actually fire), checks
+that every degraded answer is still byte-identical to the serial engine,
+and prints the executor's :meth:`~repro.serve.executor.QueryExecutor.health`
+report — the operator view of serving, fault, breaker and quarantine
+state.
+
 Exit status 0 on success, 1 on any mismatch; a JSON summary goes to
-stdout either way.  CI runs this as the serving gate.
+stdout either way.  CI runs both as serving gates.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from repro.data.synthetic import generate_relation
 from repro.data.workload import sample_linear_function, sample_predicate
 from repro.query.session import QuerySession
 from repro.serve.executor import QueryExecutor
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultPlan, FaultRule, FaultyDisk
 from repro.system import build_system
 
 
@@ -137,6 +148,7 @@ def run_smoke(threads: int, n_queries: int, seed: int) -> int:
                 "queries": summary["submitted"],
                 "problems": problems,
                 "serving": summary,
+                "faults": system.pcube.store.fault_stats.snapshot(),
                 "epochs": {
                     "published": system.epochs.stats.published,
                     "current": system.epochs.current_epoch,
@@ -145,6 +157,78 @@ def run_smoke(threads: int, n_queries: int, seed: int) -> int:
             indent=2,
         )
     )
+    return 0 if not problems else 1
+
+
+def run_health(threads: int, n_queries: int, seed: int) -> int:
+    """Serve a seeded workload through injected faults, report health.
+
+    The fault plan fires transient read errors and one permanent
+    corruption against the signature pages, so the report shows retries,
+    degraded loads, breaker activity and the quarantine backlog — while
+    the degradation chain must keep every skyline/top-k answer
+    byte-identical to the serial engine's.
+    """
+    problems: list[str] = []
+    disk = FaultyDisk(SimulatedDisk())
+    system = build_system(generate_relation(small_config(), disk=disk))
+    rng = random.Random(seed)
+    relation = system.relation
+    dims = relation.schema.n_preference
+    workload = []
+    for index in range(n_queries):
+        predicate = sample_predicate(relation, 1 + index % 2, rng)
+        if index % 2 == 0:
+            workload.append(("skyline", {"predicate": predicate}))
+        else:
+            workload.append(
+                (
+                    "topk",
+                    {
+                        "fn": sample_linear_function(dims, rng),
+                        "k": 10,
+                        "predicate": predicate,
+                    },
+                )
+            )
+    serial = [
+        getattr(system.engine, kind)(**kwargs) for kind, kwargs in workload
+    ]
+
+    # Arm the faults only after the clean serial reference run.
+    disk.plan = FaultPlan(
+        [
+            FaultRule(
+                kind="transient",
+                tag=f"{system.pcube.tag}:sig",
+                probability=0.3,
+                count=8,
+            ),
+            FaultRule(
+                kind="corrupt", tag=f"{system.pcube.tag}:sig", after=4
+            ),
+        ],
+        seed=seed,
+    )
+
+    with QueryExecutor(
+        system, threads=threads, queue_depth=2 * n_queries
+    ) as executor:
+        tickets = [
+            getattr(executor, kind)(**kwargs) for kind, kwargs in workload
+        ]
+        for index, ticket in enumerate(tickets):
+            result = ticket.result(timeout=60.0)
+            if not _answers_match(serial[index], result):
+                problems.append(
+                    f"query {index} ({workload[index][0]}): degraded answer "
+                    f"diverges from the serial engine"
+                )
+        health = executor.health()
+
+    health["ok"] = not problems
+    health["problems"] = problems
+    print(json.dumps(health, indent=2))
     return 0 if not problems else 1
 
 
@@ -159,10 +243,19 @@ def main(argv=None) -> int:
         help="build the small seeded system and self-check a concurrent "
         "workload against the serial engine",
     )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="serve a seeded workload through injected storage faults and "
+        "print the executor's health report (serving, fault, breaker and "
+        "quarantine state)",
+    )
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--queries", type=int, default=12)
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
+    if args.health:
+        return run_health(args.threads, args.queries, args.seed)
     if not args.smoke:
         parser.print_help()
         return 2

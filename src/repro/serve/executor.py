@@ -17,10 +17,18 @@ The serving pipeline, front to back:
   search loop polls on every heap pop; an expired or cancelled query
   aborts with :class:`QueryTimeout` / :class:`QueryCancelled` without
   poisoning the worker.
+* The executor is **resilient by default** (see
+  :mod:`repro.serve.resilience`): sessions run with deadline-budgeted
+  storage retries, partial loads consult a shared per-(cell, SID)
+  :class:`~repro.serve.resilience.BreakerBoard`, skyline/top-k queries may
+  fall back to the exact boolean-first tier when even the search
+  structures fault, and queued tickets whose deadline already lapsed are
+  **shed** (:class:`QueryShed`) instead of wasting a worker.
 
 Results carry their epoch and queue wait in ``stats`` (and on the query
 span when a tracer is attached), and the executor aggregates fleet-level
-tallies in :class:`~repro.serve.stats.ServingStats`.
+tallies in :class:`~repro.serve.stats.ServingStats`; :meth:`health`
+bundles those with fault, breaker and quarantine state for operators.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.obs.trace import Tracer
 from repro.query.predicates import BooleanPredicate
 from repro.query.ranking import RankingFunction
 from repro.query.session import QueryResult, QuerySession
+from repro.serve.resilience import Resilience
 from repro.serve.stats import ServingStats
 from repro.storage.buffer import BufferPool
 
@@ -45,12 +54,66 @@ class QueryTimeout(Exception):
     """The query exceeded its deadline (queue wait included)."""
 
 
+class QueryShed(QueryTimeout):
+    """The executor evicted a queued query that could not meet its deadline.
+
+    Raised *instead of running the query at all* — a :class:`QueryTimeout`
+    subclass (a shed is a deadline failure, just detected before any work
+    was wasted on it).  Carries what a client-side backoff needs:
+
+    Attributes:
+        queue_depth: Tickets still queued when this one was shed.
+        deadline_remaining: Seconds left on the deadline at shed time
+            (negative: the deadline had already passed).
+        retry_after: Suggested client wait before resubmitting, derived
+            from the executor's observed mean service time and backlog.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        queue_depth: int,
+        deadline_remaining: float,
+        retry_after: float,
+    ) -> None:
+        super().__init__(
+            f"{kind} query shed: deadline_remaining="
+            f"{deadline_remaining:.3f}s with {queue_depth} queued; "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.kind = kind
+        self.queue_depth = queue_depth
+        self.deadline_remaining = deadline_remaining
+        self.retry_after = retry_after
+
+
 class QueryCancelled(Exception):
     """The query was cancelled before it produced an answer."""
 
 
 class AdmissionFull(RuntimeError):
-    """The bounded admission queue is at capacity; shed or retry."""
+    """The bounded admission queue is at capacity; shed or retry.
+
+    Attributes:
+        queue_depth: The queue's capacity (tickets pending at rejection).
+        deadline_remaining: Seconds the rejected submission had left on its
+            deadline (``None`` when it carried no deadline).
+        retry_after: Suggested client wait before resubmitting.
+    """
+
+    def __init__(
+        self,
+        queue_depth: int,
+        deadline_remaining: float | None = None,
+        retry_after: float = 0.0,
+    ) -> None:
+        super().__init__(
+            f"admission queue full ({queue_depth} pending); "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.queue_depth = queue_depth
+        self.deadline_remaining = deadline_remaining
+        self.retry_after = retry_after
 
 
 class Ticket:
@@ -153,6 +216,11 @@ class QueryExecutor:
             out unless a per-submit deadline overrides it (``None`` — no
             deadline).
         eager_assembly: Forwarded to every query session.
+        resilience: The :class:`~repro.serve.resilience.Resilience` knobs
+            (breaker threshold, degradation chain, shedding).  ``None``
+            (the default) uses the default-on configuration; pass e.g.
+            ``Resilience(breaker_threshold=0, shed=False)`` to strip the
+            machinery back to PR-4 behaviour.
 
     Use as a context manager, or call :meth:`shutdown` explicitly.
     """
@@ -166,6 +234,7 @@ class QueryExecutor:
         pool_capacity: int = 4096,
         default_deadline: float | None = None,
         eager_assembly: bool = False,
+        resilience: Resilience | None = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be positive")
@@ -178,6 +247,13 @@ class QueryExecutor:
         )
         self.default_deadline = default_deadline
         self.eager_assembly = eager_assembly
+        self.resilience = resilience if resilience is not None else Resilience()
+        self.breakers = self.resilience.build_board()
+        if self.breakers is not None:
+            # Live-session healing: a rebuilt cell (quarantine lifted)
+            # closes its breakers immediately — snapshot sessions also heal
+            # via epoch comparison, but only once a newer epoch publishes.
+            system.pcube.store.on_cell_rebuilt = self.breakers.reset
         self.stats = ServingStats()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
@@ -208,7 +284,10 @@ class QueryExecutor:
         """Admit one query; raises :class:`AdmissionFull` when saturated.
 
         ``run`` receives the snapshot-bound session and returns the query
-        result; the per-kind conveniences below build it for you.
+        result; the per-kind conveniences below build it for you.  When
+        shedding is enabled, a full queue first evicts queued tickets whose
+        deadline already lapsed (failing them with :class:`QueryShed`)
+        before rejecting the new submission.
         """
         if deadline is None:
             deadline = self.default_deadline
@@ -226,12 +305,78 @@ class QueryExecutor:
             try:
                 self._queue.put_nowait(ticket)
             except queue.Full:
-                self.stats.note_rejected()
-                raise AdmissionFull(
-                    f"admission queue full ({self._queue.maxsize} pending)"
-                ) from None
+                if not (self.resilience.shed and self._evict_expired_locked()):
+                    self._reject(ticket)
+                try:
+                    self._queue.put_nowait(ticket)
+                except queue.Full:
+                    self._reject(ticket)
         self.stats.note_submitted()
         return ticket
+
+    def _retry_after(self) -> float:
+        """A backoff hint: the backlog's expected drain time per worker."""
+        snapshot = self.stats.snapshot()
+        drained = snapshot["completed"] + snapshot["failed"]
+        mean_run = snapshot["run_seconds"] / drained if drained else 0.01
+        backlog = self._queue.qsize() + 1
+        return mean_run * backlog / max(1, len(self._workers))
+
+    def _reject(self, ticket: Ticket) -> None:
+        self.stats.note_rejected()
+        remaining = (
+            ticket.deadline_at - time.perf_counter()
+            if ticket.deadline_at is not None
+            else None
+        )
+        raise AdmissionFull(
+            self._queue.maxsize, remaining, self._retry_after()
+        ) from None
+
+    def _evict_expired_locked(self) -> int:
+        """Shed queued tickets that can no longer meet their deadline.
+
+        Called with the admission lock held when the queue is full.  Each
+        evicted ticket resolves immediately with :class:`QueryShed`, so its
+        waiters unblock without a worker ever picking it up.  Returns the
+        number of tickets evicted.
+        """
+        now = time.perf_counter()
+        survivors: list = []
+        evicted: list[Ticket] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            # Balance the queue's unfinished-task count for this get —
+            # survivors are re-registered by the put below, so join()
+            # keeps waiting for exactly the tickets a worker will serve.
+            self._queue.task_done()
+            if (
+                item is not _STOP
+                and item.deadline_at is not None
+                and now > item.deadline_at
+            ):
+                evicted.append(item)
+            else:
+                survivors.append(item)
+        for item in survivors:
+            self._queue.put_nowait(item)
+        for ticket in evicted:
+            error = QueryShed(
+                ticket.kind,
+                self._queue.qsize(),
+                ticket.deadline_at - now,
+                self._retry_after(),
+            )
+            self.stats.note_finished(
+                "shed",
+                queue_wait=now - ticket.submitted_at,
+                run_seconds=0.0,
+            )
+            ticket._finish(None, error)
+        return len(evicted)
 
     def skyline(
         self,
@@ -301,6 +446,29 @@ class QueryExecutor:
             finally:
                 self._queue.task_done()
 
+    def _preflight(self, ticket: Ticket) -> None:
+        """Abort queued-but-doomed tickets before paying for a pin.
+
+        A lapsed deadline at pickup time is a *shed* when shedding is on
+        (the query never ran; the typed error carries backoff hints) and a
+        plain timeout otherwise; cancellation wins over both.
+        """
+        if ticket.cancelled:
+            raise QueryCancelled(f"{ticket.kind} query cancelled")
+        if ticket.deadline_at is None:
+            return
+        remaining = ticket.deadline_at - time.perf_counter()
+        if remaining > 0:
+            return
+        if self.resilience.shed:
+            raise QueryShed(
+                ticket.kind,
+                self._queue.qsize(),
+                remaining,
+                self._retry_after(),
+            )
+        raise QueryTimeout(f"{ticket.kind} query exceeded its deadline")
+
     def _serve(self, ticket: Ticket) -> None:
         queue_wait = time.perf_counter() - ticket.submitted_at
         ticket.queue_wait_seconds = queue_wait
@@ -309,44 +477,82 @@ class QueryExecutor:
         result: QueryResult | None = None
         error: BaseException | None = None
         try:
-            # Abort queued-but-doomed tickets before paying for a pin.
-            ticket._ticker()
-            snapshot = self.epochs.pin()
             try:
-                ticket.epoch = snapshot.epoch
-                session = QuerySession.for_snapshot(
-                    snapshot,
-                    pool=self.pool,
-                    eager_assembly=self.eager_assembly,
-                    ticker=ticket._ticker,
-                )
-                if ticket.tracer is not None:
-                    with ticket.tracer.span(
-                        "serve:query",
-                        kind=ticket.kind,
-                        epoch=snapshot.epoch,
-                        queue_wait_seconds=queue_wait,
-                    ):
+                self._preflight(ticket)
+                snapshot = self.epochs.pin()
+                try:
+                    ticket.epoch = snapshot.epoch
+                    session = QuerySession.for_snapshot(
+                        snapshot,
+                        pool=self.pool,
+                        eager_assembly=self.eager_assembly,
+                        ticker=ticket._ticker,
+                        deadline_at=ticket.deadline_at,
+                        breakers=self.breakers,
+                        degradation=self.resilience.degradation,
+                    )
+                    if ticket.tracer is not None:
+                        with ticket.tracer.span(
+                            "serve:query",
+                            kind=ticket.kind,
+                            epoch=snapshot.epoch,
+                            queue_wait_seconds=queue_wait,
+                        ):
+                            result = ticket._run(session)
+                    else:
                         result = ticket._run(session)
-                else:
-                    result = ticket._run(session)
-                result.stats.queue_wait_seconds = queue_wait
-            finally:
-                self.epochs.unpin(snapshot)
-        except QueryTimeout as exc:
-            outcome, error = "timed_out", exc
-        except QueryCancelled as exc:
-            outcome, error = "cancelled", exc
-        except BaseException as exc:  # noqa: BLE001 - surfaced via Ticket
-            outcome, error = "failed", exc
-        self.stats.note_finished(
-            outcome,
-            queue_wait=queue_wait,
-            run_seconds=time.perf_counter() - started,
-            epoch=ticket.epoch,
-            stats=result.stats if result is not None else None,
-        )
-        ticket._finish(result, error)
+                    result.stats.queue_wait_seconds = queue_wait
+                finally:
+                    self.epochs.unpin(snapshot)
+            except QueryShed as exc:
+                outcome, error = "shed", exc
+            except QueryTimeout as exc:
+                outcome, error = "timed_out", exc
+            except QueryCancelled as exc:
+                outcome, error = "cancelled", exc
+            except BaseException as exc:  # noqa: BLE001 - surfaced via Ticket
+                outcome, error = "failed", exc
+            try:
+                self.stats.note_finished(
+                    outcome,
+                    queue_wait=queue_wait,
+                    run_seconds=time.perf_counter() - started,
+                    epoch=ticket.epoch,
+                    stats=result.stats if result is not None else None,
+                )
+            except BaseException as exc:  # noqa: BLE001 - must not hang waiters
+                # Aggregation is bookkeeping: a bug here must fail the
+                # ticket, never leave its waiters blocked forever.
+                if error is None:
+                    result, error = None, exc
+        finally:
+            ticket._finish(result if error is None else None, error)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        """One operator-facing report of the deployment's resilience state.
+
+        Bundles the serving tallies, the store's fault/recovery counters,
+        the breaker board (``None`` when breakers are disabled) and the
+        current quarantine backlog — what ``python -m repro.serve
+        --health`` prints.
+        """
+        store = self.system.pcube.store
+        quarantined = store.quarantined_cells()
+        return {
+            "epoch": self.epochs.current_epoch,
+            "queue_depth": self._queue.qsize(),
+            "workers": len(self._workers),
+            "serving": self.stats.snapshot(),
+            "faults": store.fault_stats.snapshot(),
+            "breakers": (
+                self.breakers.snapshot() if self.breakers is not None else None
+            ),
+            "quarantined_cells": [cell.cell_id for cell in quarantined],
+        }
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -24,7 +24,16 @@ class ServingStats:
     * ``rejected`` — submissions refused because the queue was full;
     * ``completed`` / ``failed`` — queries that returned / raised;
     * ``timed_out`` / ``cancelled`` — aborted via the ticker (both also
-      count toward ``failed``).
+      count toward ``failed``);
+    * ``shed`` — queued tickets evicted before running because their
+      deadline had already passed (a deadline failure detected early, so
+      also counted in both ``failed`` and ``timed_out``).
+
+    Resilience tallies (aggregated from each query's
+    :class:`~repro.query.stats.QueryStats` and reported by ``--health``):
+    ``fault_retries``, ``failed_loads``, ``degraded_checks``,
+    ``breaker_skips``, ``degraded_queries`` and the per-tier counts in
+    ``tiers``.
     """
 
     def __init__(self) -> None:
@@ -35,6 +44,7 @@ class ServingStats:
         self.failed = 0
         self.timed_out = 0
         self.cancelled = 0
+        self.shed = 0
         self.queue_wait_seconds = 0.0
         self.queue_wait_max = 0.0
         self.run_seconds = 0.0
@@ -42,6 +52,12 @@ class ServingStats:
         self.pool_misses = 0
         self.total_io = 0
         self.epochs_served: dict[int, int] = {}
+        self.fault_retries = 0
+        self.failed_loads = 0
+        self.degraded_checks = 0
+        self.breaker_skips = 0
+        self.degraded_queries = 0
+        self.tiers: dict[str, int] = {}
 
     def note_submitted(self) -> None:
         with self._lock:
@@ -61,9 +77,9 @@ class ServingStats:
     ) -> None:
         """Record one drained ticket.
 
-        ``outcome`` is ``"completed"``, ``"failed"``, ``"timed_out"`` or
-        ``"cancelled"``; the latter two also increment ``failed`` because
-        no answer was produced.
+        ``outcome`` is ``"completed"``, ``"failed"``, ``"timed_out"``,
+        ``"cancelled"`` or ``"shed"``; everything but ``"completed"`` also
+        increments ``failed`` because no answer was produced.
         """
         with self._lock:
             if outcome == "completed":
@@ -74,6 +90,9 @@ class ServingStats:
                     self.timed_out += 1
                 elif outcome == "cancelled":
                     self.cancelled += 1
+                elif outcome == "shed":
+                    self.shed += 1
+                    self.timed_out += 1
             self.queue_wait_seconds += queue_wait
             if queue_wait > self.queue_wait_max:
                 self.queue_wait_max = queue_wait
@@ -86,6 +105,16 @@ class ServingStats:
                 self.pool_hits += stats.pool_hits
                 self.pool_misses += stats.pool_misses
                 self.total_io += stats.total_io()
+                self.fault_retries += stats.fault_retries
+                self.failed_loads += stats.failed_loads
+                self.degraded_checks += stats.degraded_checks
+                self.breaker_skips += stats.breaker_skips
+                if stats.degraded:
+                    self.degraded_queries += 1
+                if stats.tier is not None:
+                    self.tiers[stats.tier] = (
+                        self.tiers.get(stats.tier, 0) + 1
+                    )
 
     def snapshot(self) -> dict:
         """A consistent point-in-time copy of every tally."""
@@ -98,6 +127,7 @@ class ServingStats:
                 "failed": self.failed,
                 "timed_out": self.timed_out,
                 "cancelled": self.cancelled,
+                "shed": self.shed,
                 "queue_wait_seconds": self.queue_wait_seconds,
                 "queue_wait_max": self.queue_wait_max,
                 "queue_wait_mean": (
@@ -108,4 +138,10 @@ class ServingStats:
                 "pool_misses": self.pool_misses,
                 "total_io": self.total_io,
                 "epochs_served": dict(self.epochs_served),
+                "fault_retries": self.fault_retries,
+                "failed_loads": self.failed_loads,
+                "degraded_checks": self.degraded_checks,
+                "breaker_skips": self.breaker_skips,
+                "degraded_queries": self.degraded_queries,
+                "tiers": dict(self.tiers),
             }

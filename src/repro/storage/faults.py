@@ -34,6 +34,7 @@ later read detects as :class:`~repro.storage.errors.CorruptPageError`.
 from __future__ import annotations
 
 import random
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -48,7 +49,7 @@ from repro.storage.errors import (
 )
 from repro.storage.page import Page
 
-FAULT_KINDS = ("transient", "corrupt", "torn", "crash")
+FAULT_KINDS = ("transient", "corrupt", "torn", "crash", "slow")
 
 
 class SimulatedCrash(RuntimeError):
@@ -87,29 +88,57 @@ class RetryPolicy:
     ``max_attempts`` counts the initial try; ``max_attempts=1`` disables
     retrying.  Backoff is charged to the deterministic clock, so the total
     simulated wait is inspectable (``clock.now``) without real sleeps.
+
+    ``jitter`` spreads each backoff delay by up to that fraction of itself,
+    drawn from a seeded generator — deterministic for a fixed ``seed``, so
+    retry schedules in tests and benchmarks replay bit for bit while
+    concurrent retriers in a real deployment would still decorrelate.
+
+    A *deadline* (in the clock's own timeline) turns the policy into a
+    budgeted one: a retry whose backoff would sleep the clock past the
+    deadline is not taken — the transient fault propagates immediately so
+    the caller's degraded path runs while the query can still meet its
+    deadline.  The serving layer derives the deadline from each ticket's
+    remaining time (:class:`repro.serve.resilience.RetryBudget`).
     """
 
     max_attempts: int = 4
     base_delay: float = 0.01
     multiplier: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
     clock: DeterministicClock = field(default_factory=DeterministicClock)
     retries: int = 0  # lifetime retry count across calls
+    exhausted_budgets: int = 0  # retries skipped because the deadline forbade them
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if self.base_delay < 0 or self.multiplier < 1.0:
             raise ValueError("backoff must be non-negative and non-shrinking")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self._jitter_rng = random.Random(self.seed)
+
+    def _next_delay(self, delay: float) -> float:
+        """The jittered sleep for a nominal backoff ``delay``."""
+        if self.jitter == 0.0:
+            return delay
+        return delay * (1.0 + self.jitter * self._jitter_rng.random())
 
     def call(
         self,
         fn: Callable[[], Any],
         on_retry: Callable[[int, Exception], None] | None = None,
+        deadline: float | None = None,
     ) -> Any:
         """Run ``fn``, retrying on :class:`TransientIOError` with backoff.
 
         Permanent failures (:class:`CorruptPageError`, :class:`PageFault`)
-        propagate immediately — retrying cannot fix them.
+        propagate immediately — retrying cannot fix them.  With a
+        ``deadline`` (clock time), a backoff that would overshoot it is not
+        slept: the fault propagates at once instead, so the total time
+        charged to the clock never exceeds the deadline.
         """
         delay = self.base_delay
         for attempt in range(1, self.max_attempts + 1):
@@ -118,10 +147,14 @@ class RetryPolicy:
             except TransientIOError as exc:
                 if attempt == self.max_attempts:
                     raise
+                sleep = self._next_delay(delay)
+                if deadline is not None and self.clock.now + sleep > deadline:
+                    self.exhausted_budgets += 1
+                    raise
                 self.retries += 1
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                self.clock.sleep(delay)
+                self.clock.sleep(sleep)
                 delay *= self.multiplier
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -139,10 +172,13 @@ class FaultRule:
         kind: ``"transient"`` (read fails, retry may succeed),
             ``"corrupt"`` (page payload permanently damaged; every later
             read raises :class:`CorruptPageError`), ``"torn"`` (a write /
-            allocation raises :class:`TornWriteError` mid-rewrite) or
+            allocation raises :class:`TornWriteError` mid-rewrite),
             ``"crash"`` (the process dies: :class:`SimulatedCrash` is
             raised *before* the operation takes effect, so the page the
-            access would have produced never reaches the disk).
+            access would have produced never reaches the disk) or
+            ``"slow"`` (a latency spike: the operation succeeds but only
+            after a real ``delay``-second stall — the chaos harness uses it
+            to exercise deadlines and load shedding).
         op: Which operation the rule watches: ``"read"``, ``"write"`` or
             ``"allocate"``.  Defaults to ``"read"`` for transient/corrupt
             and is normally ``"allocate"`` or ``"write"`` for torn rules.
@@ -152,6 +188,8 @@ class FaultRule:
         count: Fire at most this many times (``None`` = unlimited).
         probability: Fire with this probability per eligible access, drawn
             from the plan's seeded generator (1.0 = always).
+        delay: For ``"slow"`` rules only: the real seconds the access
+            stalls before proceeding.
     """
 
     kind: str
@@ -161,6 +199,7 @@ class FaultRule:
     after: int = 0
     count: int | None = 1
     probability: float = 1.0
+    delay: float = 0.0
     seen: int = field(default=0, repr=False)
     fired: int = field(default=0, repr=False)
 
@@ -171,6 +210,8 @@ class FaultRule:
             raise ValueError(f"unknown fault op {self.op!r}")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
 
     def matches(self, op: str, tag: str, page_id: int | None) -> bool:
         if op != self.op:
@@ -284,7 +325,9 @@ class FaultyDisk:
       :class:`TornWriteError` before the operation, modelling a rewrite
       interrupted part-way; ``transient`` rules raise
       :class:`TransientIOError`.
-    * any op — ``crash`` rules raise :class:`SimulatedCrash` before the
+    * any op — ``slow`` rules stall the access for ``rule.delay`` real
+      seconds and then let it proceed (a latency spike, not a failure);
+      ``crash`` rules raise :class:`SimulatedCrash` before the
       operation: the process is dead and only already-durable pages
       survive.  A rule with ``probability=0.0`` and ``count=None`` never
       fires but still counts matching accesses in ``rule.seen`` — the
@@ -327,6 +370,8 @@ class FaultyDisk:
                 raise TornWriteError(f"torn allocation under tag {tag!r}")
             if rule.kind == "transient":
                 raise TransientIOError(f"transient allocation fault ({tag!r})")
+            if rule.kind == "slow":
+                time.sleep(rule.delay)
         return self.inner.allocate(tag, size, payload)
 
     def write(self, page_id: int, payload: Any, size: int | None = None) -> None:
@@ -339,6 +384,8 @@ class FaultyDisk:
                 raise TornWriteError(f"torn write on page {page_id}")
             if rule.kind == "transient":
                 raise TransientIOError(f"transient write fault on page {page_id}")
+            if rule.kind == "slow":
+                time.sleep(rule.delay)
         self.inner.write(page_id, payload, size)
 
     def read(
@@ -359,6 +406,8 @@ class FaultyDisk:
                 raise TransientIOError(f"transient read fault on page {page_id}")
             if rule.kind == "corrupt":
                 self._corrupt(page)
+            if rule.kind == "slow":
+                time.sleep(rule.delay)
         return self.inner.read(page_id, category, counters)
 
     # -- transparent delegation ---------------------------------------- #

@@ -1,0 +1,476 @@
+"""Serving resilience: breakers, retry budgets, shedding, degradation tiers."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.data.synthetic import generate_relation
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.session import QuerySession
+from repro.serve.executor import (
+    AdmissionFull,
+    QueryExecutor,
+    QueryShed,
+    QueryTimeout,
+)
+from repro.serve.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    DegradationPolicy,
+    Resilience,
+    RetryBudget,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.errors import CorruptPageError, TransientIOError
+from repro.storage.faults import DeterministicClock, FaultPlan, FaultRule, FaultyDisk
+from repro.system import build_system
+
+pytestmark = pytest.mark.concurrent
+
+
+@pytest.fixture
+def system(fresh_system):
+    return fresh_system(n_tuples=400)
+
+
+@pytest.fixture
+def faulty(small_config):
+    """A system on a fault-injecting disk, armed *after* the build."""
+    disk = FaultyDisk(SimulatedDisk())
+    return disk, build_system(generate_relation(small_config, disk=disk), fanout=8)
+
+
+def _blocker(started: threading.Event, gate: threading.Event):
+    def run(session):
+        started.set()
+        assert gate.wait(timeout=30.0)
+        return session.skyline()
+
+    return run
+
+
+# ---------------------------------------------------------------------- #
+# circuit-breaker state machine
+# ---------------------------------------------------------------------- #
+
+
+def test_breaker_opens_after_threshold_consecutive_failures():
+    board = BreakerBoard(threshold=2)
+    assert board.allow("c", 0, epoch=1)
+    board.record_failure("c", 0, epoch=1)
+    assert board.state_of("c", 0) == CLOSED  # one failure: still closed
+    board.record_failure("c", 0, epoch=1)
+    assert board.state_of("c", 0) == OPEN
+    assert not board.allow("c", 0, epoch=1)  # same epoch: short-circuit
+    assert board.snapshot()["short_circuits"] == 1
+    assert board.open_count() == 1
+
+
+def test_breaker_success_resets_the_failure_streak():
+    board = BreakerBoard(threshold=2)
+    board.record_failure("c", 0, epoch=1)
+    board.record_success("c", 0)
+    board.record_failure("c", 0, epoch=1)
+    assert board.state_of("c", 0) == CLOSED  # streak broken, not cumulative
+
+
+def test_breaker_half_open_probe_heals_on_success():
+    board = BreakerBoard(threshold=1)
+    board.record_failure("c", 3, epoch=1)
+    assert board.state_of("c", 3) == OPEN
+    # A newer epoch was published: exactly one probe is let through,
+    # concurrent queries of the same epoch keep short-circuiting.
+    assert board.allow("c", 3, epoch=2)
+    assert board.state_of("c", 3) == HALF_OPEN
+    assert not board.allow("c", 3, epoch=2)
+    board.record_success("c", 3)
+    assert board.state_of("c", 3) == CLOSED
+    assert board.allow("c", 3, epoch=2)
+    snapshot = board.snapshot()
+    assert snapshot["half_open_probes"] == 1
+    assert snapshot["healed"] == 1
+
+
+def test_breaker_half_open_probe_failure_reopens_for_that_epoch():
+    board = BreakerBoard(threshold=1)
+    board.record_failure("c", 0, epoch=1)
+    assert board.allow("c", 0, epoch=2)  # the probe
+    board.record_failure("c", 0, epoch=2)  # probe failed
+    assert board.state_of("c", 0) == OPEN
+    assert not board.allow("c", 0, epoch=2)  # epoch 2 is now stamped
+    assert board.allow("c", 0, epoch=3)  # only a newer epoch re-probes
+
+
+def test_breaker_live_sessions_do_not_half_open_without_epochs():
+    board = BreakerBoard(threshold=1)
+    board.record_failure("c", 0, epoch=None)
+    assert not board.allow("c", 0, epoch=None)
+    assert board.state_of("c", 0) == OPEN  # heals via reset() only
+
+
+def test_breaker_reset_closes_every_breaker_of_the_cell():
+    board = BreakerBoard(threshold=1)
+    board.record_failure("c", 0, epoch=1)
+    board.record_failure("c", 7, epoch=1)
+    board.record_failure("other", 0, epoch=1)
+    board.reset("c")
+    assert board.state_of("c", 0) == CLOSED
+    assert board.state_of("c", 7) == CLOSED
+    assert board.state_of("other", 0) == OPEN
+
+
+def test_breaker_board_rejects_nonpositive_threshold():
+    with pytest.raises(ValueError):
+        BreakerBoard(threshold=0)
+    assert Resilience(breaker_threshold=0).build_board() is None
+
+
+def test_resilience_defaults_enable_the_full_chain():
+    knobs = Resilience()
+    assert knobs.degradation is not None
+    assert knobs.degradation.allow_boolean_first
+    assert knobs.shed
+    assert knobs.build_board() is not None
+    bare = Resilience(
+        breaker_threshold=0,
+        degradation=DegradationPolicy(allow_boolean_first=False),
+        shed=False,
+    )
+    assert not bare.degradation.allow_boolean_first
+
+
+# ---------------------------------------------------------------------- #
+# retry budgets
+# ---------------------------------------------------------------------- #
+
+
+def test_retry_budget_translates_wall_deadline_to_clock_deadline():
+    clock = DeterministicClock()
+    clock.sleep(2.0)
+    assert RetryBudget(None).remaining() is None
+    assert RetryBudget(None).clock_deadline(clock) is None
+    ahead = RetryBudget(time.perf_counter() + 5.0)
+    deadline = ahead.clock_deadline(clock)
+    assert 2.0 + 4.0 < deadline <= 2.0 + 5.0
+    # A lapsed wall deadline leaves zero backoff budget, never negative.
+    lapsed = RetryBudget(time.perf_counter() - 1.0)
+    assert lapsed.clock_deadline(clock) == clock.now
+
+
+# ---------------------------------------------------------------------- #
+# load shedding and admission payloads
+# ---------------------------------------------------------------------- #
+
+
+def test_admission_full_carries_backoff_payload(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1, queue_depth=1) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        executor.skyline()  # fills the depth-1 queue (no deadline: survives)
+        with pytest.raises(AdmissionFull) as excinfo:
+            executor.skyline(deadline=5.0)
+        gate.set()
+        blocked.result(timeout=30.0)
+    assert excinfo.value.queue_depth == 1
+    assert excinfo.value.retry_after > 0.0
+    assert 0.0 < excinfo.value.deadline_remaining <= 5.0
+    assert "retry after" in str(excinfo.value)
+
+
+def test_full_queue_sheds_expired_tickets_instead_of_rejecting(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1, queue_depth=1) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        doomed = executor.skyline(deadline=0.01)
+        time.sleep(0.05)  # the queued ticket's deadline lapses
+        admitted = executor.skyline()  # eviction makes room: no AdmissionFull
+        gate.set()
+        with pytest.raises(QueryShed) as excinfo:
+            doomed.result(timeout=30.0)
+        assert admitted.result(timeout=30.0).tids
+        blocked.result(timeout=30.0)
+    shed = excinfo.value
+    assert isinstance(shed, QueryTimeout)  # a shed IS a deadline failure
+    assert shed.kind == "skyline"
+    assert shed.deadline_remaining < 0.0
+    assert shed.retry_after >= 0.0
+    assert shed.queue_depth >= 0
+    stats = executor.stats.snapshot()
+    assert stats["shed"] == 1
+    assert stats["timed_out"] == 1  # sheds count as timeouts too
+    assert stats["rejected"] == 0
+    assert stats["completed"] == 2
+
+
+def test_worker_sheds_doomed_ticket_at_pickup(system):
+    started, gate = threading.Event(), threading.Event()
+    with QueryExecutor(system, threads=1, queue_depth=4) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        doomed = executor.skyline(deadline=0.01)
+        time.sleep(0.05)
+        gate.set()
+        with pytest.raises(QueryShed):
+            doomed.result(timeout=30.0)
+        blocked.result(timeout=30.0)
+    assert executor.stats.snapshot()["shed"] == 1
+
+
+def test_shedding_disabled_falls_back_to_plain_timeouts(system):
+    started, gate = threading.Event(), threading.Event()
+    bare = Resilience(shed=False)
+    with QueryExecutor(
+        system, threads=1, queue_depth=4, resilience=bare
+    ) as executor:
+        blocked = executor.submit("block", _blocker(started, gate))
+        assert started.wait(timeout=30.0)
+        doomed = executor.skyline(deadline=0.01)
+        time.sleep(0.05)
+        gate.set()
+        with pytest.raises(QueryTimeout) as excinfo:
+            doomed.result(timeout=30.0)
+        blocked.result(timeout=30.0)
+    assert not isinstance(excinfo.value, QueryShed)
+    stats = executor.stats.snapshot()
+    assert stats["shed"] == 0 and stats["timed_out"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# the ticket must never hang
+# ---------------------------------------------------------------------- #
+
+
+def test_stats_aggregation_bug_fails_the_ticket_instead_of_hanging(system):
+    """An exception in the worker *outside* the query call (here: stats
+    bookkeeping) must resolve the ticket with that error — a waiter
+    blocked forever is the one unacceptable outcome."""
+    with QueryExecutor(system, threads=1) as executor:
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("stats bug")
+
+        executor.stats.note_finished = boom
+        ticket = executor.skyline()
+        with pytest.raises(RuntimeError, match="stats bug"):
+            ticket.result(timeout=30.0)
+        assert ticket.done()
+
+
+# ---------------------------------------------------------------------- #
+# the degradation chain end to end
+# ---------------------------------------------------------------------- #
+
+
+def test_boolean_first_fallback_is_byte_identical_to_serial(faulty, rng):
+    """Corrupting the R-tree root forces tier 3; answers must not change."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    fn = sample_linear_function(system.relation.schema.n_preference, rng)
+    serial_sky = system.engine.skyline(predicate)
+    serial_topk = system.engine.topk(fn, 10, predicate)
+
+    disk.plan = FaultPlan([FaultRule(kind="corrupt", tag="rtree", count=1)])
+    with QueryExecutor(system, threads=2) as executor:
+        sky = executor.skyline(predicate).result(timeout=30.0)
+        topk = executor.topk(fn, 10, predicate).result(timeout=30.0)
+
+    assert sky.tids == serial_sky.tids
+    assert topk.tids == serial_topk.tids
+    assert topk.scores == serial_topk.scores
+    for result in (sky, topk):
+        assert result.stats.tier == "boolean-first"
+        assert result.stats.degraded
+    stats = executor.stats.snapshot()
+    assert stats["tiers"] == {"boolean-first": 2}
+    assert stats["degraded_queries"] == 2
+
+
+def test_degraded_fallback_chains_the_original_storage_fault(faulty, rng):
+    """When even the boolean-first scan faults, the raised error must carry
+    the fault that forced the fallback as its ``__cause__``."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    session = QuerySession(
+        system.relation,
+        system.rtree,
+        system.pcube,
+        degradation=DegradationPolicy(),
+    )
+    disk.plan = FaultPlan(
+        [
+            FaultRule(kind="corrupt", tag="rtree", count=1),
+            FaultRule(kind="transient", tag="heap", count=50),
+        ]
+    )
+    with pytest.raises(TransientIOError) as excinfo:
+        session.skyline(predicate)
+    assert isinstance(excinfo.value.__cause__, CorruptPageError)
+
+
+def test_paper_mode_propagates_search_structure_faults(faulty, rng):
+    """The serial engine defaults to tiers 1-2 only: an R-tree fault is a
+    typed error, never a silent plan change."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    disk.plan = FaultPlan([FaultRule(kind="corrupt", tag="rtree", count=1)])
+    with pytest.raises(CorruptPageError):
+        system.engine.skyline(predicate)
+
+
+def test_boolean_first_results_refuse_incremental_resume(faulty, rng):
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    session = QuerySession(
+        system.relation,
+        system.rtree,
+        system.pcube,
+        degradation=DegradationPolicy(),
+    )
+    disk.plan = FaultPlan([FaultRule(kind="corrupt", tag="rtree", count=1)])
+    degraded = session.skyline(predicate)
+    assert degraded.stats.tier == "boolean-first"
+    dim = next(iter(system.relation.schema.boolean_dims))
+    with pytest.raises(ValueError, match="boolean-first"):
+        session.drill_down(degraded, dim, system.relation.bool_value(0, dim))
+
+
+# ---------------------------------------------------------------------- #
+# breakers wired into serving
+# ---------------------------------------------------------------------- #
+
+
+def test_open_breaker_short_circuits_without_reprobing(faulty, rng):
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    serial = system.engine.skyline(predicate)
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="pcube:sig", count=1)]
+    )
+    with QueryExecutor(
+        system, threads=1, resilience=Resilience(breaker_threshold=1)
+    ) as executor:
+        first = executor.skyline(predicate).result(timeout=30.0)
+        assert first.tids == serial.tids
+        assert first.stats.failed_loads >= 1
+        assert first.stats.tier == "conservative"
+        assert executor.breakers.open_count() == 1
+        probes_before = system.pcube.store.fault_stats.degraded_loads
+
+        second = executor.skyline(predicate).result(timeout=30.0)
+        assert second.tids == serial.tids
+        assert second.stats.breaker_skips >= 1
+        assert second.stats.failed_loads == 0  # zero I/O on the bad pages
+        assert second.stats.tier == "conservative"
+        assert (
+            system.pcube.store.fault_stats.degraded_loads == probes_before
+        )
+        board = executor.breakers.snapshot()
+    assert board["short_circuits"] >= 1
+    stats = executor.stats.snapshot()
+    assert stats["breaker_skips"] >= 1
+    assert stats["tiers"]["conservative"] == 2
+
+
+def test_cell_rebuild_hook_closes_breakers_live(faulty, rng):
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    serial = system.engine.skyline(predicate)
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="pcube:sig", count=1)]
+    )
+    with QueryExecutor(
+        system, threads=1, resilience=Resilience(breaker_threshold=1)
+    ) as executor:
+        executor.skyline(predicate).result(timeout=30.0)
+        assert executor.breakers.open_count() == 1
+        disk.plan = FaultPlan()
+        assert system.pcube.rebuild_quarantined()
+        # clear_quarantine fires on_cell_rebuilt -> BreakerBoard.reset.
+        assert executor.breakers.open_count() == 0
+        # A new epoch is not even needed: the next query probes and wins.
+        system.insert(
+            tuple(0 for _ in range(system.relation.schema.n_boolean)),
+            tuple(0.5 for _ in range(system.relation.schema.n_preference)),
+        )
+        healed = executor.skyline(predicate).result(timeout=30.0)
+    assert healed.stats.tier == "signature"
+    assert not healed.stats.degraded
+    assert healed.tids == system.engine.skyline(predicate).tids
+    assert serial.tids  # the workload was not vacuous
+
+
+def test_epoch_publish_half_opens_and_heals_snapshot_breakers(faulty, rng):
+    """Without the rebuild hook, an open breaker heals through the epoch
+    path: the first query of a newer published epoch probes the rebuilt
+    pages and closes the breaker."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="pcube:sig", count=1)]
+    )
+    with QueryExecutor(
+        system, threads=1, resilience=Resilience(breaker_threshold=1)
+    ) as executor:
+        executor.skyline(predicate).result(timeout=30.0)
+        assert executor.breakers.open_count() == 1
+
+        # Repair the pages but suppress the live-reset hook, so only the
+        # epoch comparison can heal the breaker.
+        disk.plan = FaultPlan()
+        system.pcube.store.on_cell_rebuilt = None
+        try:
+            assert system.pcube.rebuild_quarantined()
+        finally:
+            system.pcube.store.on_cell_rebuilt = executor.breakers.reset
+        assert executor.breakers.open_count() == 1  # hook was detached
+
+        # Same epoch: still short-circuiting.
+        stale = executor.skyline(predicate).result(timeout=30.0)
+        assert stale.stats.breaker_skips >= 1
+
+        # Publish a new epoch; its first query half-opens, probes, heals.
+        system.insert(
+            tuple(0 for _ in range(system.relation.schema.n_boolean)),
+            tuple(0.5 for _ in range(system.relation.schema.n_preference)),
+        )
+        healed = executor.skyline(predicate).result(timeout=30.0)
+        assert healed.stats.tier == "signature"
+        assert not healed.stats.degraded
+        assert executor.breakers.open_count() == 0
+        board = executor.breakers.snapshot()
+    assert board["half_open_probes"] >= 1
+    assert board["healed"] >= 1
+    assert healed.tids == system.engine.skyline(predicate).tids
+
+
+# ---------------------------------------------------------------------- #
+# the operator view
+# ---------------------------------------------------------------------- #
+
+
+def test_health_report_bundles_fault_breaker_and_quarantine_state(faulty, rng):
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, rng)
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="pcube:sig", count=1)]
+    )
+    with QueryExecutor(system, threads=1) as executor:
+        executor.skyline(predicate).result(timeout=30.0)
+        health = executor.health()
+    assert health["workers"] == 1
+    assert health["epoch"] == system.epochs.current_epoch
+    assert health["serving"]["completed"] == 1
+    assert health["faults"]["quarantines"] == 1
+    assert health["faults"]["degraded_loads"] >= 1
+    assert health["quarantined_cells"]  # the corrupt cell awaits rebuild
+    assert health["breakers"]["threshold"] == 3
+    degraded = Resilience(breaker_threshold=0)
+    with QueryExecutor(system, threads=1, resilience=degraded) as executor:
+        assert executor.health()["breakers"] is None
