@@ -3,23 +3,33 @@
 Builds a seeded synthetic system, drives a mixed WAL-protected maintenance
 workload (inserts, batches, deletes, updates), optionally injects a crash
 at a chosen point and recovers, then runs
-:meth:`~repro.system.PCubeSystem.verify_consistency` and reports.  Exit
-status 0 means every cross-structure invariant held; 1 means the audit
-found problems (each printed on its own line).
+:meth:`~repro.system.PCubeSystem.verify_consistency` and reports.
+
+Exit status (stable — CI and the serving supervisor branch on it):
+
+* ``0`` — every cross-structure invariant held;
+* ``1`` — the audit ran but found inconsistencies (each reported);
+* ``2`` — the audit could not complete: the structures were unreadable
+  (e.g. interior WAL corruption, unrecoverable pages).
+
+``--json`` emits the same findings as one machine-readable object on
+stdout instead of the text report.
 
 Examples::
 
     PYTHONPATH=src python -m repro.audit
     PYTHONPATH=src python -m repro.audit --tuples 200 --ops 40 --seed 3
     PYTHONPATH=src python -m repro.audit --crash-op write --crash-tag rtree
+    PYTHONPATH=src python -m repro.audit --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.data.synthetic import SyntheticConfig, generate_relation
 from repro.storage.disk import SimulatedDisk
@@ -102,6 +112,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=0,
         help="matching accesses to skip before the crash fires",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object instead of the text report",
+    )
     args = parser.parse_args(argv)
 
     rng = random.Random(args.seed)
@@ -125,24 +140,61 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             ]
         )
+    findings: dict[str, Any] = {
+        "tuples": args.tuples,
+        "ops": args.ops,
+        "seed": args.seed,
+    }
     try:
         completed = run_workload(system, rng, args.ops)
-        print(f"workload: {completed}/{args.ops} operations completed")
+        findings["workload"] = {"completed": completed, "requested": args.ops}
     except SimulatedCrash as crash:
-        print(f"crashed mid-operation: {crash}")
         disk.plan = FaultPlan()
-        outcome = system.recover()
-        print(f"recovery outcome: {outcome}")
+        findings["crash"] = str(crash)
+        findings["recovery_outcome"] = system.recover()
 
-    report = system.verify_consistency()
-    print(
-        f"consistency: {report.cells_checked} cells checked, "
-        f"{len(report.problems)} problems"
-    )
-    for problem in report.problems:
-        print(f"  PROBLEM: {problem}")
-    print(f"maintenance stats: {system.maintenance_stats.snapshot()}")
+    try:
+        report = system.verify_consistency()
+    except Exception as exc:
+        # The structures could not even be read — distinct from "read fine
+        # but inconsistent", so CI can tell data loss from drift.
+        findings["status"] = "unreadable"
+        findings["error"] = f"{type(exc).__name__}: {exc}"
+        findings["maintenance_stats"] = system.maintenance_stats.snapshot()
+        _emit(findings, args.json)
+        return 2
+
+    findings["status"] = "clean" if report.ok else "inconsistent"
+    findings["cells_checked"] = report.cells_checked
+    findings["problems"] = list(report.problems)
+    findings["maintenance_stats"] = system.maintenance_stats.snapshot()
+    _emit(findings, args.json)
     return 0 if report.ok else 1
+
+
+def _emit(findings: dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(findings, indent=2, sort_keys=True))
+        return
+    if "crash" in findings:
+        print(f"crashed mid-operation: {findings['crash']}")
+        print(f"recovery outcome: {findings['recovery_outcome']}")
+    elif "workload" in findings:
+        workload = findings["workload"]
+        print(
+            f"workload: {workload['completed']}/{workload['requested']} "
+            "operations completed"
+        )
+    if findings["status"] == "unreadable":
+        print(f"audit unreadable: {findings['error']}")
+    else:
+        print(
+            f"consistency: {findings['cells_checked']} cells checked, "
+            f"{len(findings['problems'])} problems"
+        )
+        for problem in findings["problems"]:
+            print(f"  PROBLEM: {problem}")
+    print(f"maintenance stats: {findings['maintenance_stats']}")
 
 
 if __name__ == "__main__":

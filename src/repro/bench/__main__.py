@@ -28,6 +28,10 @@ from repro.bench import (
     render_report,
     run_benchmarks,
 )
+from repro.bench.durability import (
+    DEFAULT_THREADS as DURABILITY_THREADS,
+    run_durability_benchmark,
+)
 from repro.bench.resilience import run_resilience_benchmark
 from repro.bench.serving import (
     DEFAULT_THREADS as SERVING_THREADS,
@@ -80,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the fault-free resilience-overhead micro-sweep (bare vs "
         "default-on executor; writes BENCH_resilience.json by default)",
+    )
+    parser.add_argument(
+        "--durability",
+        action="store_true",
+        help="run the durability sweeps (recovery time vs WAL length with "
+        "and without checkpoints; background-scrubber serving overhead; "
+        "writes BENCH_durability.json by default)",
     )
     parser.add_argument(
         "--serving-threads",
@@ -136,21 +147,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.queries < 1:
         parser.error("--queries must be >= 1")
 
-    if args.serving and args.resilience:
-        parser.error("--serving and --resilience are mutually exclusive")
-    if args.serving or args.resilience:
-        try:
-            threads = (
-                [int(n) for n in _csv(args.serving_threads)]
-                if args.serving_threads
-                else list(SERVING_THREADS)
-            )
-        except ValueError:
-            parser.error(
-                f"--serving-threads must be integers: {args.serving_threads!r}"
-            )
+    if sum((args.serving, args.resilience, args.durability)) > 1:
+        parser.error(
+            "--serving, --resilience and --durability are mutually exclusive"
+        )
+    if args.serving or args.resilience or args.durability:
+        if args.serving_threads:
+            try:
+                threads = [int(n) for n in _csv(args.serving_threads)]
+            except ValueError:
+                parser.error(
+                    f"--serving-threads must be integers: "
+                    f"{args.serving_threads!r}"
+                )
+        elif args.durability:
+            threads = list(DURABILITY_THREADS)
+        else:
+            threads = list(SERVING_THREADS)
         if args.resilience:
             report = run_resilience_benchmark(seed=args.seed, threads=threads)
+        elif args.durability:
+            report = run_durability_benchmark(seed=args.seed, threads=threads)
         else:
             report = run_serving_benchmark(seed=args.seed, threads=threads)
     else:
@@ -173,6 +190,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.out is not None:
         default_out = args.out
+    elif args.durability:
+        default_out = "BENCH_durability.json"
     elif args.resilience:
         default_out = "BENCH_resilience.json"
     elif args.serving:

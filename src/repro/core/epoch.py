@@ -202,6 +202,23 @@ class EpochManager:
                     if self.stats.published == published_before:
                         self.stats.abandoned += 1
 
+    @contextmanager
+    def exclusive(self) -> Iterator[Snapshot]:
+        """Hold the writer lock without opening a building epoch.
+
+        The checkpointer's entry point: while the block runs no maintenance
+        operation can start (writes queue on the same lock
+        :meth:`write` takes), yet no building epoch exists, so the live
+        structures are exactly the published state — a consistent cut the
+        checkpoint can copy without racing the single writer.  Readers are
+        untouched throughout; they keep serving the current snapshot.
+
+        Yields the current snapshot for convenience (its epoch is the
+        checkpoint's watermark epoch).
+        """
+        with self._writer_lock:
+            yield self._current
+
     def publish(self) -> Snapshot:
         """Atomically install the building epoch as the current snapshot.
 

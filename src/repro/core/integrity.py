@@ -1,0 +1,184 @@
+"""Cross-structure invariant checks, shared by the offline audit and the
+online scrubber.
+
+:meth:`repro.system.PCubeSystem.verify_consistency` and the serving-side
+scrubber (:mod:`repro.serve.scrub`) verify the same contract — the stored
+per-cell signatures, the counted signatures, the R-tree partition and the
+store's B+-tree index all describe the *same* base relation — but against
+different surfaces: the audit walks the live structures with the writer
+quiescent, the scrubber walks a pinned epoch snapshot while maintenance and
+queries keep running.  This module factors the invariants themselves out of
+both callers, duck-typed against whichever surface provides them:
+
+* a relation-like (``Relation`` or ``RelationView``): ``schema``,
+  ``tids()``, ``live_tids()``, ``bool_row()``;
+* an R-tree path map (``RTree.all_paths()`` or
+  ``FrozenRTree.all_paths()``): tid → root-based path;
+* a signature loader (``PCube.signature_of`` live, or
+  ``StoreView.load_full_signature`` under a snapshot);
+* a counted lookup (``PCube.counted_of`` live, or the snapshot's shared
+  counted dict).
+
+Checks are exposed per cell (:func:`iter_cell_checks`) precisely so the
+scrubber can spread a full pass over many throttled ticks instead of
+stalling a worker for one long audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.counted import CountedSignature
+from repro.core.signature import Signature
+from repro.cube.cuboid import Cell, Cuboid
+
+
+@dataclass
+class ConsistencyReport:
+    """What a consistency audit found.
+
+    ``problems`` is empty exactly when every invariant holds; each entry is
+    a human-readable description of one violation.
+    """
+
+    problems: list[str] = field(default_factory=list)
+    cells_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def rtree_partition_problems(
+    paths: dict[int, tuple[int, ...]], live: set[int]
+) -> list[str]:
+    """The R-tree must index exactly the live tids."""
+    if set(paths) == live:
+        return []
+    missing = sorted(live - set(paths))[:5]
+    extra = sorted(set(paths) - live)[:5]
+    return [
+        f"R-tree tids diverge from live tids "
+        f"(missing={missing}, extra={extra})"
+    ]
+
+
+def check_cell(
+    cell: Cell,
+    member_tids: Sequence[int],
+    paths: dict[int, tuple[int, ...]],
+    live: set[int],
+    fanout: int,
+    load_signature: Callable[[Cell], Signature],
+    load_counted: Callable[[Cell], CountedSignature | None] | None,
+) -> list[str]:
+    """One cell's invariants: stored signature (and, when a counted lookup
+    is supplied, the counted signature) must equal a fresh rebuild from the
+    live members' R-tree paths."""
+    problems: list[str] = []
+    member_paths = [
+        paths[tid] for tid in member_tids if tid in live and tid in paths
+    ]
+    expected = Signature.from_paths(member_paths, fanout)
+    try:
+        stored = load_signature(cell)
+    except Exception as exc:
+        problems.append(f"cell {cell}: unreadable ({exc!r})")
+        return problems
+    if stored != expected:
+        problems.append(
+            f"cell {cell}: stored signature diverges from the R-tree "
+            f"partition"
+        )
+    if load_counted is not None:
+        counted = load_counted(cell)
+        recounted = CountedSignature.from_paths(member_paths, fanout)
+        if counted is None:
+            if member_paths:
+                problems.append(f"cell {cell}: no counted signature")
+        elif counted != recounted:
+            problems.append(
+                f"cell {cell}: counted signature diverges from a fresh "
+                f"re-count"
+            )
+    return problems
+
+
+def iter_cell_checks(
+    relation: Any,
+    paths: dict[int, tuple[int, ...]],
+    cuboids: Iterable[Cuboid],
+    fanout: int,
+    load_signature: Callable[[Cell], Signature],
+    load_counted: Callable[[Cell], CountedSignature | None] | None,
+) -> Iterator[tuple[Cell, list[str]]]:
+    """Yield ``(cell, problems)`` for every cell of every cuboid, in
+    deterministic order — the scrubber's throttle-friendly audit surface.
+
+    Grouping includes tombstoned rows (``include_tombstoned=True``): the
+    audit must see cells whose last live member was deleted, because their
+    stored signature must have gone empty, not stale.
+    """
+    live = {tid for tid in relation.live_tids()}
+    for cuboid in cuboids:
+        groups = cuboid.group(relation, include_tombstoned=True)
+        for cell in sorted(groups, key=lambda c: c.cell_id):
+            yield cell, check_cell(
+                cell,
+                groups[cell],
+                paths,
+                live,
+                fanout,
+                load_signature,
+                load_counted,
+            )
+
+
+def expected_cell_ids(
+    relation: Any, cuboids: Iterable[Cuboid]
+) -> set[str]:
+    """Every cell id the cuboids' group-bys can produce (tombstones
+    included) — the universe the store may legitimately hold."""
+    ids: set[str] = set()
+    for cuboid in cuboids:
+        ids.update(
+            cell.cell_id
+            for cell in cuboid.group(relation, include_tombstoned=True)
+        )
+    return ids
+
+
+def store_directory_problems(
+    store_cells: Iterable[str],
+    expected_ids: set[str],
+    quarantined: Iterable[Cell],
+    directory: Sequence,
+    index: Iterable,
+) -> list[str]:
+    """Store-side invariants: no unknown cells, no quarantine residue, and
+    the B+-tree index mirrors the directory exactly."""
+    problems = [
+        f"store holds unknown cell {cell_id!r}"
+        for cell_id in store_cells
+        if cell_id not in expected_ids
+    ]
+    problems.extend(f"cell {cell} is quarantined" for cell in quarantined)
+    if sorted(directory) != sorted(index):
+        problems.append(
+            "the store's B+-tree index diverges from its directory"
+        )
+    return problems
+
+
+__all__ = [
+    "ConsistencyReport",
+    "check_cell",
+    "expected_cell_ids",
+    "iter_cell_checks",
+    "rtree_partition_problems",
+    "store_directory_problems",
+]

@@ -1,4 +1,4 @@
-"""The maintenance write-ahead log.
+"""The maintenance write-ahead log: checksummed, segmented, archived.
 
 Incremental maintenance (paper Section IV-B.3) mutates three structures —
 the base relation's heap, the R-tree and the per-cell signatures — and
@@ -6,9 +6,11 @@ PR 1's read-path contract (signatures are stale-but-rebuildable, never
 silently wrong) only holds if a crash between those mutations is
 recoverable.  This module journals every maintenance operation so that
 :meth:`repro.system.PCubeSystem.recover` can finish (or deterministically
-redo) whatever a crash interrupted.
+redo) whatever a crash interrupted, and retains the committed history as a
+segmented archive that checkpoint-based point-in-time restore
+(:mod:`repro.core.checkpoint`) replays.
 
-Record protocol — one disk page per record, tag ``wal:rec``:
+Record protocol — one disk page per record, tag ``wal:rec:s<segment>``:
 
 1. ``intent`` — written by :meth:`MaintenanceWAL.begin` *before any other
    page is touched*.  Carries the operation name and everything needed to
@@ -23,10 +25,34 @@ Record protocol — one disk page per record, tag ``wal:rec``:
    be incomplete.
 3. ``cell`` — one per dirty cell, written after that cell's atomic
    signature rewrite commits.  Replay skips cells already marked.
-4. Commit is *truncation*: every record page of the operation is freed.
-   ``free`` is not a faultable operation (a dead process cannot half-forget
-   a page it never needed again), so commit is atomic and an empty WAL
-   means the last operation fully completed.
+4. ``commit`` — the operation's happy ending.  A single record append is
+   atomic at page granularity, so the operation is observably either
+   committed or not; its records are *retained* (they are the archive
+   point-in-time restore consumes) instead of freed.
+
+Every record carries a CRC32 over its canonicalised content (``"crc"``).
+Page checksums fingerprint a dict payload by type only (structural payloads
+are legitimately mutated in place elsewhere), so without the per-record CRC
+a torn or bit-flipped record tail would be indistinguishable from a valid
+record.  Replay classifies damage by LSN position:
+
+* **tail** damage (every unreadable record sits above the highest valid
+  LSN) is the signature of a torn final write — :meth:`repair_tail`
+  truncates it and recovery proceeds as if the crash preceded the torn
+  records;
+* **interior** damage (an unreadable record below valid ones, or a gap in
+  the LSN sequence) cannot be explained by a crash and is fail-stop:
+  :class:`WalCorruptionError` with ``truncatable=False``.
+
+Segmentation: records append to the *active* segment; when a commit pushes
+the segment's logical size past :attr:`MaintenanceWAL.segment_bytes`, the
+segment is *sealed* — a small directory page (tag ``wal:seal``) records its
+``[first_lsn, last_lsn]`` range — and a fresh segment becomes active.
+Rotation happens only at commit boundaries, so one operation's records
+never span segments; restore can therefore skip a whole sealed segment
+(reading only its one seal page) when its range falls at or below a
+checkpoint watermark.  :meth:`prune_upto` drops sealed segments a
+checkpoint has made redundant.
 
 Exactly one operation may be in flight; :meth:`MaintenanceWAL.begin` raises
 while a pending operation exists, forcing recovery before new work — the
@@ -40,18 +66,86 @@ bookkeeping untrustworthy.
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.query.stats import MaintenanceStats
 from repro.rtree.rtree import PathChange
 from repro.storage.disk import SimulatedDisk
+from repro.storage.errors import CorruptPageError
 
 #: Nominal on-disk sizes (the simulator accounts space, not bytes-exact
 #: encodings): a fixed record header plus per-item costs.
 _RECORD_HEADER_BYTES = 24
 _PATH_COMPONENT_BYTES = 2
 _VALUE_BYTES = 8
+
+#: Default segment-rotation threshold: logical record bytes per segment.
+DEFAULT_SEGMENT_BYTES = 4096
+
+
+class WalCorruptionError(RuntimeError):
+    """The WAL holds records that fail their checksums.
+
+    Attributes:
+        truncatable: ``True`` when every damaged record sits strictly above
+            the highest valid LSN — the torn-tail case
+            :meth:`MaintenanceWAL.repair_tail` truncates.  ``False`` means
+            interior corruption: valid records exist above the damage, so
+            truncating would silently drop committed history — fail-stop.
+        pages: The damaged page ids.
+    """
+
+    def __init__(
+        self, message: str, pages: Sequence[int] = (), truncatable: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.pages = list(pages)
+        self.truncatable = truncatable
+
+
+def _canonical(value: Any) -> str:
+    """A stable text form of a record's content (dict order independent,
+    list/tuple agnostic — records round-trip as live Python objects)."""
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        return (
+            "{"
+            + ",".join(f"{k!r}:{_canonical(v)}" for k, v in items)
+            + "}"
+        )
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    return repr(value)
+
+
+def record_crc(record: dict[str, Any]) -> int:
+    """CRC32 over every field of a record except ``"crc"`` itself."""
+    content = {k: v for k, v in record.items() if k != "crc"}
+    return zlib.crc32(_canonical(content).encode())
+
+
+def _verified_payload(page) -> dict[str, Any] | None:
+    """The record dict a page holds, or ``None`` if it fails verification.
+
+    Checks both the page checksum (catches a payload replaced wholesale)
+    and the per-record CRC (catches content tampered in place, which the
+    type-based page fingerprint of a dict payload cannot see).
+    """
+    try:
+        page.verify()
+    except CorruptPageError:
+        return None
+    record = page.payload
+    if not isinstance(record, dict):
+        return None
+    if not isinstance(record.get("lsn"), int):
+        return None
+    if record.get("crc") != record_crc(record):
+        return None
+    return record
 
 
 def _encode_change(change: PathChange) -> tuple:
@@ -83,14 +177,40 @@ class PendingOp:
     stored_cells: list[str] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class CommittedOp:
+    """One committed operation from the archive, as restore replays it."""
+
+    op_id: int
+    op: str
+    payload: dict[str, Any]
+    commit_lsn: int
+
+
+@dataclass
+class SegmentInfo:
+    """Catalog entry for one WAL segment (live or sealed)."""
+
+    segment: int
+    records: int
+    first_lsn: int
+    last_lsn: int
+    bytes: int
+    sealed: bool
+
+
 class MaintenanceWAL:
     """Intent journal for the incremental-maintenance drivers.
 
     Args:
         disk: The system disk (records live beside the structures they
             protect, under their own tag).
-        tag: Page-tag prefix; records use ``f"{tag}:rec"``.
+        tag: Page-tag prefix; records use ``f"{tag}:rec:s<segment>"`` and
+            segment seals ``f"{tag}:seal"``.
         stats: Shared maintenance tallies (record/commit counts).
+        segment_bytes: Rotation threshold — once a commit pushes the
+            active segment's logical record bytes to or past this, the
+            segment is sealed and a new one opened.
     """
 
     def __init__(
@@ -98,18 +218,27 @@ class MaintenanceWAL:
         disk: SimulatedDisk,
         tag: str = "wal",
         stats: MaintenanceStats | None = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> None:
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
         self.disk = disk
         self.tag = tag
         self.stats = stats if stats is not None else MaintenanceStats()
+        self.segment_bytes = segment_bytes
         self._next_lsn = 0
         self._next_op_id = 0
-        # Rebuild the counters from surviving records ("reopen" semantics:
-        # a WAL constructed over a disk with live records must not reuse
-        # their ids).
-        for record in self._records():
-            self._next_lsn = max(self._next_lsn, record["lsn"] + 1)
-            self._next_op_id = max(self._next_op_id, record["op_id"] + 1)
+        self._active_segment = 0
+        self._active_bytes = 0
+        #: Wall-clock (monotonic) moment the in-flight op journalled its
+        #: intent; ``None`` when no op is open.  The serving supervisor
+        #: uses it to flag stalled maintenance.
+        self.pending_since: float | None = None
+        #: The op currently open (begin succeeded, commit not yet) — the
+        #: in-memory fast path behind :meth:`begin`'s one-in-flight rule.
+        self._open_op: int | None = None
+        self.last_commit_lsn: int | None = None
+        self._reopen()
 
     # ------------------------------------------------------------------ #
     # the record pages
@@ -117,29 +246,132 @@ class MaintenanceWAL:
 
     @property
     def record_tag(self) -> str:
+        """Prefix every record page's tag starts with."""
         return f"{self.tag}:rec"
 
-    def _records(self) -> list[dict[str, Any]]:
-        """Every surviving record, in LSN order, straight from the disk."""
-        return sorted(
-            (page.payload for page in self.disk.pages(self.record_tag)),
-            key=lambda record: record["lsn"],
+    @property
+    def seal_tag(self) -> str:
+        return f"{self.tag}:seal"
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next record will take (the checkpoint watermark)."""
+        return self._next_lsn
+
+    def _segment_tag(self, segment: int) -> str:
+        return f"{self.record_tag}:s{segment}"
+
+    @staticmethod
+    def _segment_of_tag(tag: str) -> int | None:
+        _, _, suffix = tag.rpartition(":s")
+        try:
+            return int(suffix)
+        except ValueError:
+            return None
+
+    def _scan(self) -> tuple[list[dict[str, Any]], list[int]]:
+        """(valid records in LSN order, damaged record page ids)."""
+        valid: list[dict[str, Any]] = []
+        damaged: list[int] = []
+        for page in self.disk.pages(self.record_tag):
+            record = _verified_payload(page)
+            if record is None:
+                damaged.append(page.page_id)
+            else:
+                valid.append(record)
+        valid.sort(key=lambda record: record["lsn"])
+        return valid, damaged
+
+    def _seal_pages(
+        self,
+    ) -> tuple[dict[int, dict[str, Any]], list[tuple[int, int | None]]]:
+        """(segment -> valid seal record, damaged ``(page_id, claimed)``).
+
+        A damaged seal's ``segment`` field is reported when still readable:
+        it cannot be *trusted* (restore never skips on it) but it is
+        evidence the segment was once sealed, which reopen uses to keep
+        appending past it rather than into it.
+        """
+        seals: dict[int, dict[str, Any]] = {}
+        damaged: list[tuple[int, int | None]] = []
+        for page in self.disk.pages(self.seal_tag):
+            record: dict[str, Any] | None
+            try:
+                page.verify()
+                record = page.payload
+            except CorruptPageError:
+                record = page.payload if isinstance(page.payload, dict) else None
+            if (
+                not isinstance(record, dict)
+                or record.get("crc") != record_crc(record)
+            ):
+                claimed = (
+                    record.get("segment") if isinstance(record, dict) else None
+                )
+                damaged.append(
+                    (page.page_id, claimed if isinstance(claimed, int) else None)
+                )
+                continue
+            seals[record["segment"]] = record
+        return seals, damaged
+
+    def _reopen(self) -> None:
+        """Rebuild counters and segment state from surviving pages.
+
+        "Reopen" semantics: a WAL constructed over a disk with live records
+        must not reuse their LSNs or op ids, must resume the correct active
+        segment, and must notice an uncommitted operation (which blocks new
+        maintenance until :meth:`repro.system.PCubeSystem.recover` runs).
+        Damaged records do not fail construction — they block :meth:`begin`
+        until :meth:`repair_tail` classifies and clears them.
+        """
+        records, damaged = self._scan()
+        seals, damaged_seals = self._seal_pages()
+        self._has_damage = bool(damaged or damaged_seals)
+        segments: set[int] = set(seals)
+        committed: set[int] = set()
+        intents: set[int] = set()
+        for record in records:
+            self._next_lsn = max(self._next_lsn, record["lsn"] + 1)
+            segments.add(record["segment"])
+            op_id = record.get("op_id")
+            if op_id is not None:
+                self._next_op_id = max(self._next_op_id, op_id + 1)
+            if record["kind"] == "commit":
+                committed.add(op_id)
+                self.last_commit_lsn = max(
+                    self.last_commit_lsn or -1, record["lsn"]
+                )
+            elif record["kind"] == "intent":
+                intents.add(op_id)
+        open_ops = intents - committed
+        if open_ops:
+            # begin() forbids more than one; tolerate what the disk says.
+            self._open_op = max(open_ops)
+            self.pending_since = time.monotonic()
+        sealed_top = max(
+            [*seals, *(claim for _, claim in damaged_seals if claim is not None)],
+            default=-1,
+        )
+        self._active_segment = max(max(segments, default=0), sealed_top + 1)
+        self._active_bytes = sum(
+            page.size - _RECORD_HEADER_BYTES
+            for page in self.disk.pages(self._segment_tag(self._active_segment))
         )
 
-    def _record_pages(self, op_id: int) -> list[int]:
-        return [
-            page.page_id
-            for page in self.disk.pages(self.record_tag)
-            if page.payload["op_id"] == op_id
-        ]
-
-    def _append(self, record: dict[str, Any], size: int) -> None:
+    def _append(self, record: dict[str, Any], size: int) -> int:
         record["lsn"] = self._next_lsn
+        record["segment"] = self._active_segment
+        record["crc"] = record_crc(record)
         self._next_lsn += 1
         self.disk.allocate(
-            self.record_tag, size=_RECORD_HEADER_BYTES + size, payload=record
+            self._segment_tag(record["segment"]),
+            size=_RECORD_HEADER_BYTES + size,
+            payload=record,
         )
+        self._active_bytes += size
         self.stats.wal_records += 1
+        return record["lsn"]
 
     # ------------------------------------------------------------------ #
     # the journalling protocol
@@ -149,10 +381,11 @@ class MaintenanceWAL:
         """Journal an operation's intent; returns its op id.
 
         Raises:
-            RuntimeError: while a previous operation's records survive —
-                recovery must run before new maintenance starts.
+            RuntimeError: while a previous operation's records survive, or
+                while damaged records await :meth:`repair_tail` — recovery
+                must run before new maintenance starts.
         """
-        if self.pending() is not None:
+        if self._open_op is not None or self._has_damage:
             raise RuntimeError(
                 "the WAL holds an interrupted maintenance operation; "
                 "run recover() before starting new maintenance"
@@ -166,6 +399,10 @@ class MaintenanceWAL:
             {"op_id": op_id, "kind": "intent", "op": op, "payload": payload},
             size=size,
         )
+        # Only after the intent is durable: a crash inside the append means
+        # the operation never happened and nothing is pending.
+        self._open_op = op_id
+        self.pending_since = time.monotonic()
         return op_id
 
     def log_changes(self, op_id: int, changes: Sequence[PathChange]) -> None:
@@ -189,27 +426,160 @@ class MaintenanceWAL:
         )
 
     def commit(self, op_id: int) -> None:
-        """Truncate the operation's records — the atomic happy ending.
+        """Append the commit record — the atomic happy ending.
 
-        Page frees cannot fault or crash (a dying process cannot half-lose
-        interest in a page), so after the first free returns the operation
-        is observably either fully present or fully gone per page, and the
-        loop completes unconditionally.
+        A single page allocation either lands or it does not; once it has,
+        the operation is durably committed and its records join the
+        archive.  If the commit pushed the active segment past
+        :attr:`segment_bytes`, the segment is sealed and rotated (a crash
+        between commit and seal merely defers the seal to the next commit).
         """
-        for page_id in self._record_pages(op_id):
-            self.disk.free(page_id)
+        self.last_commit_lsn = self._append(
+            {"op_id": op_id, "kind": "commit"}, size=0
+        )
         self.stats.wal_commits += 1
+        if self._open_op == op_id:
+            self._open_op = None
+            self.pending_since = None
+        if self._active_bytes >= self.segment_bytes:
+            self._seal_active()
+
+    def _seal_active(self) -> None:
+        """Seal the active segment and open the next one.
+
+        The seal page is the segment's directory entry: restore reads it
+        (one page) to learn the segment's LSN range and skip the whole
+        segment when it falls below a checkpoint watermark.
+        """
+        segment = self._active_segment
+        lsns = [
+            record["lsn"]
+            for record in (
+                _verified_payload(page)
+                for page in self.disk.pages(self._segment_tag(segment))
+            )
+            if record is not None
+        ]
+        if not lsns:  # pragma: no cover - commit just wrote a record
+            return
+        seal = {
+            "kind": "seal",
+            "segment": segment,
+            "first_lsn": min(lsns),
+            "last_lsn": max(lsns),
+            "records": len(lsns),
+        }
+        seal["crc"] = record_crc(seal)
+        self.disk.allocate(
+            self.seal_tag, size=_RECORD_HEADER_BYTES, payload=seal
+        )
+        self._active_segment = segment + 1
+        self._active_bytes = 0
+        self.stats.wal_segments_sealed += 1
 
     # ------------------------------------------------------------------ #
     # recovery-side view
     # ------------------------------------------------------------------ #
 
+    def repair_tail(self) -> int:
+        """Truncate torn/corrupt tail records; returns pages freed.
+
+        Damage is *tail* exactly when the surviving valid records form a
+        contiguous LSN run and every unreadable record page can only sit
+        above it — the footprint of a write torn by the crash.  Valid
+        records above an unreadable one (an LSN gap, or a damaged record
+        whose LSN is still readable below the maximum) mean interior
+        corruption, which truncation cannot explain away; that is
+        fail-stop.
+
+        A damaged *seal* page is rebuilt from its segment's surviving
+        records (the seal is derived metadata, never the only copy).
+        """
+        records, damaged = self._scan()
+        seals, damaged_seals = self._seal_pages()
+        lsns = [record["lsn"] for record in records]
+        if lsns and lsns[-1] - lsns[0] + 1 != len(lsns):
+            raise WalCorruptionError(
+                "WAL interior corruption: the surviving records leave gaps "
+                f"in the LSN sequence ({len(lsns)} records spanning "
+                f"[{lsns[0]}, {lsns[-1]}])",
+                pages=damaged,
+                truncatable=False,
+            )
+        max_valid = lsns[-1] if lsns else -1
+        for page_id in damaged:
+            payload = self.disk.peek(page_id).payload
+            claimed = (
+                payload.get("lsn") if isinstance(payload, dict) else None
+            )
+            if isinstance(claimed, int) and claimed < max_valid:
+                raise WalCorruptionError(
+                    f"WAL interior corruption: record page {page_id} "
+                    f"(lsn {claimed}) is damaged but valid records exist "
+                    f"above it",
+                    pages=[page_id],
+                    truncatable=False,
+                )
+        freed = 0
+        for page_id in damaged:
+            self.disk.free(page_id)
+            freed += 1
+        for page_id, _claim in damaged_seals:
+            self.disk.free(page_id)
+            freed += 1
+        if damaged_seals:
+            # Re-derive the lost seals for segments that still hold records
+            # below the active segment.
+            by_segment: dict[int, list[int]] = {}
+            for record in records:
+                by_segment.setdefault(record["segment"], []).append(
+                    record["lsn"]
+                )
+            for segment, seg_lsns in by_segment.items():
+                if segment >= self._active_segment or segment in seals:
+                    continue
+                seal = {
+                    "kind": "seal",
+                    "segment": segment,
+                    "first_lsn": min(seg_lsns),
+                    "last_lsn": max(seg_lsns),
+                    "records": len(seg_lsns),
+                }
+                seal["crc"] = record_crc(seal)
+                self.disk.allocate(
+                    self.seal_tag, size=_RECORD_HEADER_BYTES, payload=seal
+                )
+        self._has_damage = False
+        if freed:
+            self.stats.wal_tail_truncated += freed
+            # Truncation may have removed the only trace of the open op
+            # (or its later records); resync the in-memory view from disk.
+            self._next_lsn = 0
+            self._next_op_id = 0
+            self._open_op = None
+            self.pending_since = None
+            self.last_commit_lsn = None
+            self._active_segment = 0
+            self._active_bytes = 0
+            self._reopen()
+        return freed
+
     def pending(self) -> PendingOp | None:
-        """The interrupted operation the disk records describe, if any."""
-        records = self._records()
-        if not records:
-            return None
+        """The interrupted operation the disk records describe, if any.
+
+        Raises :class:`WalCorruptionError` while damaged records survive —
+        :meth:`repair_tail` must classify them first (recovery does).
+        """
+        records, damaged = self._scan()
+        if damaged:
+            raise WalCorruptionError(
+                f"{len(damaged)} WAL record page(s) fail their checksums; "
+                "run repair_tail() (recover() does) before reading the WAL",
+                pages=damaged,
+                truncatable=True,
+            )
         ops: dict[int, PendingOp] = {}
+        committed: set[int] = set()
         for record in records:
             op_id = record["op_id"]
             if record["kind"] == "intent":
@@ -218,20 +588,215 @@ class MaintenanceWAL:
                     op=record["op"],
                     payload=dict(record["payload"]),
                 )
+            elif record["kind"] == "commit":
+                committed.add(op_id)
             elif record["kind"] == "changes":
                 ops[op_id].changes = [
                     _decode_change(raw) for raw in record["changes"]
                 ]
             elif record["kind"] == "cell":
                 ops[op_id].stored_cells.append(record["cell_id"])
-        if len(ops) != 1:  # pragma: no cover - begin() forbids this
+        open_ops = [
+            pending for op_id, pending in ops.items() if op_id not in committed
+        ]
+        if not open_ops:
+            return None
+        if len(open_ops) != 1:  # pragma: no cover - begin() forbids this
             raise RuntimeError(
-                f"WAL holds records of {len(ops)} operations; expected 1"
+                f"WAL holds {len(open_ops)} uncommitted operations; expected 1"
             )
-        return next(iter(ops.values()))
+        return open_ops[0]
 
     def is_empty(self) -> bool:
-        return self.disk.page_count(self.record_tag) == 0
+        """No uncommitted operation (committed archive records may remain)."""
+        return self.pending() is None
+
+    # ------------------------------------------------------------------ #
+    # the archive
+    # ------------------------------------------------------------------ #
+
+    def segments(self) -> list[SegmentInfo]:
+        """Catalog of surviving segments, oldest first (tools/CLI view)."""
+        seals, _ = self._seal_pages()
+        by_segment: dict[int, list[dict[str, Any]]] = {}
+        sizes: dict[int, int] = {}
+        for page in self.disk.pages(self.record_tag):
+            record = _verified_payload(page)
+            if record is None:
+                continue
+            by_segment.setdefault(record["segment"], []).append(record)
+            sizes[record["segment"]] = sizes.get(record["segment"], 0) + page.size
+        catalog = []
+        for segment in sorted(set(by_segment) | set(seals)):
+            records = by_segment.get(segment, [])
+            lsns = [record["lsn"] for record in records]
+            catalog.append(
+                SegmentInfo(
+                    segment=segment,
+                    records=len(records),
+                    first_lsn=min(lsns, default=-1),
+                    last_lsn=max(lsns, default=-1),
+                    bytes=sizes.get(segment, 0),
+                    sealed=segment in seals,
+                )
+            )
+        return catalog
+
+    def prune_upto(self, lsn: int) -> int:
+        """Drop sealed segments whose entire range is ``<= lsn``.
+
+        Called after a checkpoint makes the history up to its watermark
+        redundant.  Only whole sealed segments go (the active segment and
+        any segment straddling ``lsn`` stay), preserving the contiguity of
+        the surviving LSN run that :meth:`repair_tail` relies on — pruning
+        always removes a prefix of the archive.
+        """
+        seals, _ = self._seal_pages()
+        freed = 0
+        # Oldest-first, stopping at the first segment that must stay: a
+        # later prunable segment behind a kept one would break contiguity.
+        for segment in sorted(seals):
+            if seals[segment]["last_lsn"] > lsn:
+                break
+            for page in list(self.disk.pages(self._segment_tag(segment))):
+                self.disk.free(page.page_id)
+                freed += 1
+            for page in list(self.disk.pages(self.seal_tag)):
+                if page.payload.get("segment") == segment:
+                    self.disk.free(page.page_id)
+            self.stats.wal_segments_pruned += 1
+        return freed
+
+    @classmethod
+    def read_committed(
+        cls,
+        disk: SimulatedDisk,
+        after_lsn: int = -1,
+        upto_lsn: int | None = None,
+        tag: str = "wal",
+        category: str = "wal",
+    ) -> tuple[list[CommittedOp], dict[str, int]]:
+        """Committed operations with ``after_lsn < commit_lsn <= upto_lsn``.
+
+        The restore-side read path: seal pages are read first (one page per
+        sealed segment) and any sealed segment whose ``last_lsn`` falls at
+        or below ``after_lsn`` is skipped *without reading its records* —
+        this is what keeps checkpointed recovery flat in total WAL length.
+        All reads are accounted under ``category`` so recovery I/O is
+        measurable.
+
+        Damaged records that belong to no committed operation are ignored
+        (a torn tail); a committed operation whose intent is unreadable is
+        interior corruption and raises :class:`WalCorruptionError`.
+        """
+        metrics = {
+            "seal_reads": 0,
+            "record_reads": 0,
+            "segments_skipped": 0,
+            "segments_scanned": 0,
+            "damaged_ignored": 0,
+        }
+        seal_ranges: dict[int, int] = {}
+        for page in list(disk.pages(f"{tag}:seal")):
+            try:
+                seal = disk.read(page.page_id, category)
+                metrics["seal_reads"] += 1
+            except CorruptPageError:
+                metrics["seal_reads"] += 1
+                continue
+            if isinstance(seal, dict) and seal.get("crc") == record_crc(seal):
+                seal_ranges[seal["segment"]] = seal["last_lsn"]
+        by_segment: dict[int, list[int]] = {}
+        for page in list(disk.pages(f"{tag}:rec")):
+            segment = cls._segment_of_tag(page.tag)
+            if segment is not None:
+                by_segment.setdefault(segment, []).append(page.page_id)
+        records: list[dict[str, Any]] = []
+        damaged = 0
+        for segment in sorted(by_segment):
+            last = seal_ranges.get(segment)
+            if last is not None and last <= after_lsn:
+                metrics["segments_skipped"] += 1
+                continue
+            metrics["segments_scanned"] += 1
+            for page_id in by_segment[segment]:
+                try:
+                    disk.read(page_id, category)
+                except CorruptPageError:
+                    pass  # classified below via the commit/intent pairing
+                metrics["record_reads"] += 1
+                record = _verified_payload(disk.peek(page_id))
+                if record is None:
+                    damaged += 1
+                else:
+                    records.append(record)
+        records.sort(key=lambda record: record["lsn"])
+        intents: dict[int, dict[str, Any]] = {}
+        commits: dict[int, int] = {}
+        for record in records:
+            if record["kind"] == "intent":
+                intents[record["op_id"]] = record
+            elif record["kind"] == "commit":
+                commits[record["op_id"]] = record["lsn"]
+        ops: list[CommittedOp] = []
+        for op_id, commit_lsn in sorted(commits.items(), key=lambda kv: kv[1]):
+            if commit_lsn <= after_lsn:
+                continue
+            if upto_lsn is not None and commit_lsn > upto_lsn:
+                continue
+            intent = intents.get(op_id)
+            if intent is None:
+                raise WalCorruptionError(
+                    f"WAL interior corruption: operation {op_id} committed "
+                    f"at lsn {commit_lsn} but its intent record is missing "
+                    f"or unreadable",
+                    truncatable=False,
+                )
+            ops.append(
+                CommittedOp(
+                    op_id=op_id,
+                    op=intent["op"],
+                    payload=dict(intent["payload"]),
+                    commit_lsn=commit_lsn,
+                )
+            )
+        metrics["damaged_ignored"] = damaged
+        return ops, metrics
 
 
-__all__ = ["MaintenanceWAL", "PendingOp"]
+def apply_committed_op(relation, op: CommittedOp) -> None:
+    """Re-apply one archived operation's relation-level effect (restore).
+
+    Mirrors the intent payloads :meth:`MaintenanceWAL.begin` journals; the
+    index structures are rebuilt deterministically afterwards, so only the
+    base-relation effect needs replaying.
+    """
+    payload = op.payload
+    if op.op in ("insert", "insert_batch"):
+        if payload["base"] != len(relation):
+            raise WalCorruptionError(
+                f"archive replay out of order: op {op.op_id} expects "
+                f"relation length {payload['base']}, found {len(relation)}",
+                truncatable=False,
+            )
+        for bool_row, pref_row in payload["rows"]:
+            relation.append(tuple(bool_row), tuple(pref_row))
+    elif op.op == "delete":
+        relation.tombstone(payload["tid"])
+    elif op.op == "update":
+        relation.overwrite_pref(payload["tid"], tuple(payload["pref_row"]))
+    else:  # pragma: no cover - begin() only journals the four ops
+        raise WalCorruptionError(
+            f"unknown archived op {op.op!r}", truncatable=False
+        )
+
+
+__all__ = [
+    "CommittedOp",
+    "MaintenanceWAL",
+    "PendingOp",
+    "SegmentInfo",
+    "WalCorruptionError",
+    "apply_committed_op",
+    "record_crc",
+]

@@ -27,6 +27,11 @@ class MaintenanceStats:
         reindexes: Recoveries that fell back to the full deterministic
             rebuild (R-tree reset + every cell regenerated).
         rows_repaired: Buffered heap rows recovery had to re-page.
+        wal_tail_truncated: Torn/corrupt tail record pages recovery
+            truncated (the default torn-write repair).
+        wal_segments_sealed: WAL segments rotated into the sealed archive.
+        wal_segments_pruned: Sealed segments dropped once a checkpoint
+            made their history redundant.
     """
 
     wal_records: int = 0
@@ -35,6 +40,9 @@ class MaintenanceStats:
     replayed_cells: int = 0
     reindexes: int = 0
     rows_repaired: int = 0
+    wal_tail_truncated: int = 0
+    wal_segments_sealed: int = 0
+    wal_segments_pruned: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -44,6 +52,9 @@ class MaintenanceStats:
             "replayed_cells": self.replayed_cells,
             "reindexes": self.reindexes,
             "rows_repaired": self.rows_repaired,
+            "wal_tail_truncated": self.wal_tail_truncated,
+            "wal_segments_sealed": self.wal_segments_sealed,
+            "wal_segments_pruned": self.wal_segments_pruned,
         }
 
 

@@ -128,6 +128,22 @@ class FrozenRTree:
     def node_count(self) -> int:
         return len(self._by_node_id)
 
+    def all_paths(self) -> dict[int, tuple[int, ...]]:
+        """Every tuple's root-based path of 1-based slots at this epoch
+        (the same convention as :meth:`RTree.all_paths` — what signature
+        audits compare stored bits against)."""
+        paths: dict[int, tuple[int, ...]] = {}
+        stack: list[tuple[FrozenRNode, tuple[int, ...]]] = [(self.root, ())]
+        while stack:
+            node, prefix = stack.pop()
+            for slot, entry in node.live_entries():
+                path = prefix + (slot + 1,)
+                if entry.is_leaf_entry:
+                    paths[entry.tid] = path
+                else:
+                    stack.append((entry.child, path))
+        return paths
+
     def entry_at(self, path: Sequence[int]) -> FrozenEntry | None:
         """Resolve a root-based path of 1-based slots (see
         :meth:`RTree.entry_at`); ``None`` when the path cannot be resolved

@@ -33,6 +33,7 @@ from repro.serve.resilience import (
     Resilience,
     RetryBudget,
 )
+from repro.serve.scrub import Finding, Scrubber, ScrubStats, Supervisor
 from repro.serve.stats import ServingStats
 
 __all__ = [
@@ -40,12 +41,16 @@ __all__ = [
     "BreakerBoard",
     "CircuitBreaker",
     "DegradationPolicy",
+    "Finding",
     "QueryCancelled",
     "QueryExecutor",
     "QueryShed",
     "QueryTimeout",
     "Resilience",
     "RetryBudget",
+    "ScrubStats",
+    "Scrubber",
     "ServingStats",
+    "Supervisor",
     "Ticket",
 ]

@@ -15,9 +15,11 @@ verifies:
 fault-injecting disk, serves a seeded skyline/top-k workload *through the
 faults* (so retries, breakers and degraded tiers actually fire), checks
 that every degraded answer is still byte-identical to the serial engine,
-and prints the executor's :meth:`~repro.serve.executor.QueryExecutor.health`
-report — the operator view of serving, fault, breaker and quarantine
-state.
+runs one scrubber pass (which must find and heal the permanently
+corrupted signature page the fault plan left behind), and prints the
+executor's :meth:`~repro.serve.executor.QueryExecutor.health` report —
+the operator view of serving, fault, breaker, quarantine, scrubber and
+supervisor state.
 
 Exit status 0 on success, 1 on any mismatch; a JSON summary goes to
 stdout either way.  CI runs both as serving gates.
@@ -214,6 +216,7 @@ def run_health(threads: int, n_queries: int, seed: int) -> int:
     with QueryExecutor(
         system, threads=threads, queue_depth=2 * n_queries
     ) as executor:
+        supervisor = executor.enable_scrubbing(start=False)
         tickets = [
             getattr(executor, kind)(**kwargs) for kind, kwargs in workload
         ]
@@ -224,7 +227,19 @@ def run_health(threads: int, n_queries: int, seed: int) -> int:
                     f"query {index} ({workload[index][0]}): degraded answer "
                     f"diverges from the serial engine"
                 )
+        # A full synchronous scrub pass with the fault plan disarmed: the
+        # permanent corruption rule damaged a signature page, so the pass
+        # must find it, heal the owning cell and leave the audit clean.
+        disk.plan = FaultPlan()
+        scrub_findings = executor.scrubber.run_pass()
+        if system.verify_consistency().problems:
+            problems.append("consistency audit dirty after the scrub pass")
         health = executor.health()
+        health["supervisor"] = supervisor.report()
+        health["scrub_findings"] = [
+            {"kind": f.kind, "subject": f.subject, "repaired": f.repaired}
+            for f in scrub_findings
+        ]
 
     health["ok"] = not problems
     health["problems"] = problems

@@ -257,6 +257,14 @@ class QueryExecutor:
         self.stats = ServingStats()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
+        # In-flight registry: ticket id -> (ticket, started_at).  The
+        # supervisor reads it to spot queries running past any reasonable
+        # horizon (hung) — deadlines alone cannot, since a query wedged
+        # below the ticker's poll points never observes its deadline.
+        self._inflight: dict[int, tuple[Ticket, float]] = {}
+        self._inflight_lock = threading.Lock()
+        self.scrubber = None
+        self.supervisor = None
         # Serialises the closed-check + enqueue in submit() against
         # shutdown(), so no ticket can slip in behind the stop sentinels
         # and block its waiter forever.
@@ -473,6 +481,8 @@ class QueryExecutor:
         queue_wait = time.perf_counter() - ticket.submitted_at
         ticket.queue_wait_seconds = queue_wait
         started = time.perf_counter()
+        with self._inflight_lock:
+            self._inflight[id(ticket)] = (ticket, started)
         outcome = "completed"
         result: QueryResult | None = None
         error: BaseException | None = None
@@ -526,11 +536,66 @@ class QueryExecutor:
                 if error is None:
                     result, error = None, exc
         finally:
+            with self._inflight_lock:
+                self._inflight.pop(id(ticket), None)
             ticket._finish(result if error is None else None, error)
 
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+
+    def inflight(self) -> list[dict]:
+        """Currently running queries (kind, seconds running, epoch)."""
+        now = time.perf_counter()
+        with self._inflight_lock:
+            entries = list(self._inflight.values())
+        return [
+            {
+                "kind": ticket.kind,
+                "running_seconds": now - started,
+                "epoch": ticket.epoch,
+            }
+            for ticket, started in entries
+        ]
+
+    def enable_scrubbing(
+        self,
+        pages_per_tick: int = 256,
+        cells_per_tick: int = 16,
+        interval: float = 0.005,
+        repair: bool = True,
+        hung_after: float = 5.0,
+        stalled_after: float = 5.0,
+        start: bool = True,
+    ):
+        """Attach a background scrubber and supervisor (idempotent).
+
+        The scrubber thread continuously re-verifies page checksums and
+        cross-structure invariants under pinned epochs, quarantining and
+        rebuilding damaged signature cells; the supervisor folds its
+        findings into :meth:`health` together with hung-query and
+        stalled-maintenance watches.  Returns the supervisor.
+        """
+        from repro.serve.scrub import Scrubber, Supervisor
+
+        if self.scrubber is None:
+            self.scrubber = Scrubber(
+                self.system,
+                pages_per_tick=pages_per_tick,
+                cells_per_tick=cells_per_tick,
+                interval=interval,
+                repair=repair,
+            )
+            self.supervisor = Supervisor(
+                system=self.system,
+                executor=self,
+                scrubber=self.scrubber,
+                hung_after=hung_after,
+                stalled_after=stalled_after,
+            )
+        if start:
+            self.scrubber.start()
+        return self.supervisor
 
     def health(self) -> dict:
         """One operator-facing report of the deployment's resilience state.
@@ -552,6 +617,15 @@ class QueryExecutor:
                 self.breakers.snapshot() if self.breakers is not None else None
             ),
             "quarantined_cells": [cell.cell_id for cell in quarantined],
+            "inflight": self.inflight(),
+            "scrubber": (
+                self.scrubber.report() if self.scrubber is not None else None
+            ),
+            "supervisor": (
+                self.supervisor.report()
+                if self.supervisor is not None
+                else None
+            ),
         }
 
     # ------------------------------------------------------------------ #
@@ -574,6 +648,8 @@ class QueryExecutor:
             if self._closed:
                 return
             self._closed = True
+        if self.scrubber is not None:
+            self.scrubber.stop()
         if wait:
             self.drain()
         else:

@@ -13,11 +13,10 @@ from dataclasses import dataclass, field
 
 from repro.baselines.boolean_first import build_boolean_indexes
 from repro.btree.btree import BPlusTree
-from repro.core import maintenance
-from repro.core.counted import CountedSignature
+from repro.core import integrity, maintenance
 from repro.core.epoch import EpochManager, Snapshot
+from repro.core.integrity import ConsistencyReport
 from repro.core.pcube import PCube
-from repro.core.signature import Signature
 from repro.core.wal import MaintenanceWAL, PendingOp
 from repro.cube.relation import Relation
 from repro.query.engine import PreferenceEngine
@@ -34,25 +33,6 @@ class BuildTimings:
     rtree_seconds: float = 0.0
     pcube_seconds: float = 0.0
     btree_seconds: float = 0.0
-
-
-@dataclass
-class ConsistencyReport:
-    """What :meth:`PCubeSystem.verify_consistency` found.
-
-    ``problems`` is empty exactly when every invariant holds; each entry is
-    a human-readable description of one violation.
-    """
-
-    problems: list[str] = field(default_factory=list)
-    cells_checked: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return not self.problems
-
-    def __bool__(self) -> bool:
-        return self.ok
 
 
 @dataclass
@@ -190,12 +170,22 @@ class PCubeSystem:
           journalled changes and every cell without a completion record is
           re-stored from its counted signature.
 
-        The WAL is truncated only after the work is done, so a crash
+        The operation is committed only after the work is done, so a crash
         *during* recovery leaves the records in place and a re-run
         converges (every step above is idempotent).
+
+        Before the state machine runs, damaged WAL records are classified:
+        a torn/corrupt *tail* (the footprint of a write interrupted by the
+        crash) is truncated by default — the records above the last valid
+        LSN never influenced any committed state, so dropping them is the
+        only sound reading.  Interior corruption (valid records above the
+        damage) raises :class:`~repro.core.wal.WalCorruptionError` instead:
+        committed history is gone, and the honest recovery is a restore
+        from checkpoints (:func:`repro.core.checkpoint.restore_system`).
         """
         if self.wal is None:
             raise RuntimeError("this system was built without a WAL")
+        self.wal.repair_tail()
         pending = self.wal.pending()
         if pending is None:
             return "clean"
@@ -256,6 +246,17 @@ class PCubeSystem:
             self.maintenance_stats.replayed_cells += 1
         return "replayed"
 
+    def repair_quarantined(self) -> list:
+        """Rebuild every quarantined cell under the single-writer protocol.
+
+        The scrubber (and any other online damage detector) quarantines
+        cells it finds corrupt; this routes the rebuild through
+        :meth:`_maintain` so an epoch is published when epochs are enabled
+        — concurrent readers flip to the repaired signatures atomically,
+        exactly as they would after a maintenance operation.
+        """
+        return self._maintain(lambda: self.pcube.rebuild_quarantined())
+
     # ------------------------------------------------------------------ #
     # the consistency audit
     # ------------------------------------------------------------------ #
@@ -263,7 +264,9 @@ class PCubeSystem:
     def verify_consistency(self) -> ConsistencyReport:
         """Check every cross-structure invariant; returns the findings.
 
-        Verified, against the base relation as ground truth:
+        Verified, against the base relation as ground truth (the invariants
+        themselves live in :mod:`repro.core.integrity`, shared with the
+        online scrubber):
 
         * the WAL holds no interrupted operation;
         * every buffered relation row reached a heap page;
@@ -284,61 +287,29 @@ class PCubeSystem:
             problems.append(f"{unpaged} relation rows never reached a heap page")
         paths = self.rtree.all_paths()
         live = set(self.relation.live_tids())
-        if set(paths) != live:
-            missing = sorted(live - set(paths))[:5]
-            extra = sorted(set(paths) - live)[:5]
-            problems.append(
-                f"R-tree tids diverge from live tids "
-                f"(missing={missing}, extra={extra})"
+        problems.extend(integrity.rtree_partition_problems(paths, live))
+        for _cell, cell_problems in integrity.iter_cell_checks(
+            self.relation,
+            paths,
+            self.pcube.cuboids,
+            self.pcube.fanout,
+            self.pcube.signature_of,
+            self.pcube.counted_of if self.pcube.maintainable else None,
+        ):
+            report.cells_checked += 1
+            problems.extend(cell_problems)
+        expected_ids = integrity.expected_cell_ids(
+            self.relation, self.pcube.cuboids
+        )
+        problems.extend(
+            integrity.store_directory_problems(
+                self.pcube.store.cells(),
+                expected_ids,
+                self.pcube.store.quarantined_cells(),
+                self.pcube.store.directory_entries(),
+                self.pcube.store.index_entries(),
             )
-        expected_ids: set[str] = set()
-        for cuboid in self.pcube.cuboids:
-            groups = cuboid.group(self.relation, include_tombstoned=True)
-            for cell in sorted(groups, key=lambda c: c.cell_id):
-                report.cells_checked += 1
-                expected_ids.add(cell.cell_id)
-                member_paths = [
-                    paths[tid]
-                    for tid in groups[cell]
-                    if tid in live and tid in paths
-                ]
-                expected = Signature.from_paths(member_paths, self.pcube.fanout)
-                try:
-                    stored = self.pcube.signature_of(cell)
-                except Exception as exc:
-                    problems.append(f"cell {cell}: unreadable ({exc!r})")
-                    continue
-                if stored != expected:
-                    problems.append(
-                        f"cell {cell}: stored signature diverges from the "
-                        f"R-tree partition"
-                    )
-                if self.pcube.maintainable:
-                    counted = self.pcube.counted_of(cell)
-                    recounted = CountedSignature.from_paths(
-                        member_paths, self.pcube.fanout
-                    )
-                    if counted is None:
-                        if member_paths:
-                            problems.append(
-                                f"cell {cell}: no counted signature"
-                            )
-                    elif counted != recounted:
-                        problems.append(
-                            f"cell {cell}: counted signature diverges from a "
-                            f"fresh re-count"
-                        )
-        for cell_id in self.pcube.store.cells():
-            if cell_id not in expected_ids:
-                problems.append(f"store holds unknown cell {cell_id!r}")
-        for cell in self.pcube.store.quarantined_cells():
-            problems.append(f"cell {cell} is quarantined")
-        directory = self.pcube.store.directory_entries()
-        index = sorted(self.pcube.store.index_entries())
-        if sorted(directory) != index:
-            problems.append(
-                "the store's B+-tree index diverges from its directory"
-            )
+        )
         return report
 
 
@@ -353,6 +324,7 @@ def build_system(
     pool_capacity: int = 4096,
     eager_assembly: bool = False,
     with_wal: bool = True,
+    wal_segment_bytes: int | None = None,
 ) -> PCubeSystem:
     """Build R-tree + P-Cube + baseline indexes over an existing relation.
 
@@ -372,6 +344,10 @@ def build_system(
         with_wal: Attach a :class:`MaintenanceWAL` so the system's
             ``insert`` / ``insert_batch`` / ``delete`` / ``update`` methods
             run crash-safe (costs nothing until an operation journals).
+        wal_segment_bytes: Override the WAL's segment-rotation threshold
+            (default :data:`repro.core.wal.DEFAULT_SEGMENT_BYTES`); small
+            values force frequent sealing, which durability tests and the
+            recovery benchmark use to exercise the archive.
     """
     disk = relation.disk
     dims = relation.schema.n_preference
@@ -418,8 +394,14 @@ def build_system(
         eager_assembly=eager_assembly,
     )
     maintenance_stats = MaintenanceStats()
+    wal_kwargs = (
+        {} if wal_segment_bytes is None
+        else {"segment_bytes": wal_segment_bytes}
+    )
     wal = (
-        MaintenanceWAL(disk, stats=maintenance_stats) if with_wal else None
+        MaintenanceWAL(disk, stats=maintenance_stats, **wal_kwargs)
+        if with_wal
+        else None
     )
     return PCubeSystem(
         relation=relation,

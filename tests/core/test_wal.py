@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.wal import MaintenanceWAL
+from repro.core.wal import (
+    CommittedOp,
+    MaintenanceWAL,
+    WalCorruptionError,
+    record_crc,
+)
 from repro.query.stats import MaintenanceStats
 from repro.rtree.rtree import PathChange
 from repro.storage.disk import SimulatedDisk
@@ -16,6 +21,19 @@ def disk():
 @pytest.fixture
 def wal(disk):
     return MaintenanceWAL(disk)
+
+
+def _run_op(wal, op_id=None, **payload):
+    """One complete journalled operation (begin → changes → commit)."""
+    payload = payload or {"base": 0, "rows": []}
+    op_id = wal.begin("insert", **payload)
+    wal.log_changes(op_id, [])
+    wal.commit(op_id)
+    return op_id
+
+
+def _record_pages(disk, wal):
+    return sorted(disk.pages(wal.record_tag), key=lambda p: p.page_id)
 
 
 def test_fresh_wal_is_empty(wal):
@@ -50,13 +68,19 @@ def test_full_lifecycle_reconstructs_from_disk(wal):
     assert pending.stored_cells == ["A=a1", "B=b2"]
 
 
-def test_commit_truncates_atomically(wal, disk):
+def test_commit_retains_the_archive(wal, disk):
+    """Commit appends a commit record instead of freeing the op's pages —
+    the committed history is the archive point-in-time restore replays."""
     op_id = wal.begin("update", tid=1, pref_row=(0.5, 0.5))
     wal.log_changes(op_id, [PathChange(1, (1, 1), (2, 1))])
     wal.commit(op_id)
     assert wal.is_empty()
     assert wal.pending() is None
-    assert disk.page_count("wal:rec") == 0
+    # intent + changes + commit, all retained.
+    assert disk.page_count("wal:rec") == 3
+    ops, _ = MaintenanceWAL.read_committed(disk)
+    assert [op.op for op in ops] == ["update"]
+    assert ops[0].payload == {"tid": 1, "pref_row": (0.5, 0.5)}
 
 
 def test_begin_refuses_while_an_op_is_pending(wal):
@@ -79,6 +103,14 @@ def test_reopen_resumes_lsn_and_op_counters(disk):
     assert second.begin("insert", base=0, rows=[]) > op_id
 
 
+def test_reopen_refuses_new_work_while_an_op_is_pending(disk):
+    first = MaintenanceWAL(disk)
+    first.begin("delete", tid=2)
+    second = MaintenanceWAL(disk)
+    with pytest.raises(RuntimeError, match="recover"):
+        second.begin("insert", base=0, rows=[])
+
+
 def test_stats_count_records_and_commits(disk):
     stats = MaintenanceStats()
     wal = MaintenanceWAL(disk, stats=stats)
@@ -86,7 +118,8 @@ def test_stats_count_records_and_commits(disk):
     wal.log_changes(op_id, [])
     wal.log_cell_stored(op_id, "A=a1")
     wal.commit(op_id)
-    assert stats.wal_records == 3
+    # intent + changes + cell + commit: the commit record counts too.
+    assert stats.wal_records == 4
     assert stats.wal_commits == 1
 
 
@@ -97,3 +130,179 @@ def test_paths_survive_the_round_trip_as_tuples(wal):
     assert change.old_path is None
     assert change.new_path == (1, 2, 3)
     assert isinstance(change.new_path, tuple)
+
+
+# --------------------------------------------------------------------- #
+# per-record CRCs
+# --------------------------------------------------------------------- #
+
+
+def test_record_crc_catches_in_place_tampering(wal, disk):
+    """Page checksums fingerprint dict payloads by type only, so content
+    tampered in place passes ``page.verify()``; the per-record CRC is what
+    actually protects the record."""
+    wal.begin("delete", tid=7)
+    page = _record_pages(disk, wal)[-1]
+    page.payload["payload"]["tid"] = 8  # flip a field in place
+    page.verify()  # the page checksum is blind to this
+    with pytest.raises(WalCorruptionError):
+        wal.pending()
+
+
+def test_torn_tail_is_truncated(disk):
+    """A corrupt record above the last valid LSN is a torn write: repair
+    truncates it and the WAL reopens clean."""
+    wal = MaintenanceWAL(disk)
+    _run_op(wal)
+    op_id = wal.begin("delete", tid=1)
+    tail = _record_pages(disk, wal)[-1]
+    tail.payload.clear()
+    tail.payload["garbage"] = True
+    with pytest.raises(WalCorruptionError) as excinfo:
+        wal.pending()
+    assert excinfo.value.truncatable
+    freed = wal.repair_tail()
+    assert freed == 1
+    assert not disk.exists(tail.page_id)
+    # The torn intent is gone entirely: nothing pending, and new work may
+    # start (with a fresh op id — LSNs/op ids never rewind past valid
+    # records).
+    assert wal.is_empty()
+    assert wal.begin("insert", base=0, rows=[]) >= op_id
+
+
+def test_interior_corruption_is_fail_stop(disk):
+    """Damage *below* valid records cannot be a torn tail — committed
+    history would be silently lost, so repair refuses."""
+    wal = MaintenanceWAL(disk)
+    _run_op(wal)
+    _run_op(wal)
+    first = _record_pages(disk, wal)[0]
+    first.payload["kind"] = "garbage"  # still claims its (low) lsn
+    with pytest.raises(WalCorruptionError) as excinfo:
+        wal.repair_tail()
+    assert not excinfo.value.truncatable
+    assert first.page_id in excinfo.value.pages
+
+
+def test_tail_truncation_is_counted(disk):
+    stats = MaintenanceStats()
+    wal = MaintenanceWAL(disk, stats=stats)
+    wal.begin("delete", tid=0)
+    _record_pages(disk, wal)[-1].payload["kind"] = "garbage"
+    wal.repair_tail()
+    assert stats.wal_tail_truncated == 1
+
+
+# --------------------------------------------------------------------- #
+# segmentation & the archive
+# --------------------------------------------------------------------- #
+
+
+def test_rotation_seals_segments_at_commit_boundaries(disk):
+    wal = MaintenanceWAL(disk, segment_bytes=1)  # every commit rotates
+    for tid in range(3):
+        op_id = wal.begin("delete", tid=tid)
+        wal.log_changes(op_id, [PathChange(tid, (1,), None)])
+        wal.commit(op_id)
+    catalog = wal.segments()
+    sealed = [info for info in catalog if info.sealed]
+    assert len(sealed) == 3
+    # Segments partition the LSN sequence contiguously, and no operation
+    # spans two segments (rotation only happens after a commit record).
+    assert [info.segment for info in sealed] == [0, 1, 2]
+    for earlier, later in zip(sealed, sealed[1:]):
+        assert later.first_lsn == earlier.last_lsn + 1
+    assert all(info.records == 3 for info in sealed)
+    assert wal.stats.wal_segments_sealed == 3
+
+
+def test_reopen_resumes_the_active_segment(disk):
+    first = MaintenanceWAL(disk, segment_bytes=1)
+    _run_op(first)
+    _run_op(first)
+    second = MaintenanceWAL(disk, segment_bytes=1)
+    _run_op(second)
+    segments = [info.segment for info in second.segments() if info.sealed]
+    assert segments == [0, 1, 2]
+
+
+def test_read_committed_skips_sealed_segments_below_the_watermark(disk):
+    wal = MaintenanceWAL(disk, segment_bytes=1)
+    for tid in range(4):
+        op_id = wal.begin("delete", tid=tid)
+        wal.commit(op_id)
+    watermark = wal.segments()[1].last_lsn  # first two segments are history
+    ops, metrics = MaintenanceWAL.read_committed(disk, after_lsn=watermark)
+    assert [op.payload["tid"] for op in ops] == [2, 3]
+    assert isinstance(ops[0], CommittedOp)
+    assert metrics["segments_skipped"] == 2
+    # Skipped segments cost one seal-page read each, zero record reads.
+    assert metrics["record_reads"] == 2 * 2  # intent + commit, 2 segments
+    assert metrics["seal_reads"] == 4
+
+
+def test_read_committed_respects_upto_lsn(disk):
+    wal = MaintenanceWAL(disk)
+    lsn_after_two = None
+    for tid in range(4):
+        op_id = wal.begin("delete", tid=tid)
+        wal.commit(op_id)
+        if tid == 1:
+            lsn_after_two = wal.last_commit_lsn
+    ops, _ = MaintenanceWAL.read_committed(disk, upto_lsn=lsn_after_two)
+    assert [op.payload["tid"] for op in ops] == [0, 1]
+
+
+def test_read_committed_ignores_an_uncommitted_tail(disk):
+    wal = MaintenanceWAL(disk)
+    _run_op(wal)
+    wal.begin("delete", tid=9)  # never commits
+    ops, metrics = MaintenanceWAL.read_committed(disk)
+    assert len(ops) == 1
+    assert metrics["damaged_ignored"] == 0
+
+
+def test_read_committed_fails_on_a_missing_intent(disk):
+    wal = MaintenanceWAL(disk)
+    op_id = wal.begin("delete", tid=3)
+    wal.commit(op_id)
+    intent = _record_pages(disk, wal)[0]
+    intent.payload["kind"] = "garbage"
+    with pytest.raises(WalCorruptionError):
+        MaintenanceWAL.read_committed(disk)
+
+
+def test_prune_drops_only_whole_sealed_prefixes(disk):
+    wal = MaintenanceWAL(disk, segment_bytes=1)
+    for tid in range(3):
+        op_id = wal.begin("delete", tid=tid)
+        wal.commit(op_id)
+    catalog = wal.segments()
+    freed = wal.prune_upto(catalog[0].last_lsn)
+    assert freed == catalog[0].records
+    remaining = [info.segment for info in wal.segments()]
+    assert remaining == [1, 2]
+    # Pruning below the oldest surviving segment is a no-op.
+    assert wal.prune_upto(catalog[0].last_lsn) == 0
+    # The pruned WAL still reopens and replays cleanly.
+    ops, _ = MaintenanceWAL.read_committed(disk)
+    assert [op.payload["tid"] for op in ops] == [1, 2]
+
+
+def test_seal_crc_guards_the_segment_directory(disk):
+    wal = MaintenanceWAL(disk, segment_bytes=1)
+    _run_op(wal)
+    seal = next(iter(disk.pages(wal.seal_tag)))
+    assert seal.payload["crc"] == record_crc(seal.payload)
+    seal.payload["last_lsn"] = 999  # tamper: crc now mismatches
+    # A bogus seal is ignored rather than trusted for skipping.
+    _, metrics = MaintenanceWAL.read_committed(disk, after_lsn=10**6)
+    assert metrics["segments_skipped"] == 0
+    # repair_tail rebuilds the damaged seal from the surviving records.
+    wal2 = MaintenanceWAL(disk, segment_bytes=1)
+    wal2.repair_tail()
+    seals = list(disk.pages(wal2.seal_tag))
+    assert len(seals) == 1
+    assert seals[0].payload["crc"] == record_crc(seals[0].payload)
+    assert seals[0].payload["last_lsn"] != 999
