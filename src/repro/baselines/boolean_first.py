@@ -67,10 +67,20 @@ def select_tuples(
     indexes: dict[str, BPlusTree],
     predicate: BooleanPredicate,
     stats: QueryStats,
+    ticker=None,
 ) -> list[int]:
-    """Boolean selection via the cheaper of index scan and table scan."""
+    """Boolean selection via the cheaper of index scan and table scan.
+
+    ``ticker`` (the serving executor's deadline/cancel probe) fires once
+    per tuple considered, so routed deadlines apply inside the scan.
+    """
     if predicate.is_empty():
-        return [tid for tid in relation.scan(stats.counters, BTABLE)]
+        selected_all: list[int] = []
+        for tid in relation.scan(stats.counters, BTABLE):
+            if ticker is not None:
+                ticker()
+            selected_all.append(tid)
+        return selected_all
 
     # --- cost the two plans with optimizer-style estimates -------------- #
     best_dim: str | None = None
@@ -101,6 +111,8 @@ def select_tuples(
         selected: list[int] = []
         seen_pages: set[int] = set()
         for tid in sorted(candidate_tids):
+            if ticker is not None:
+                ticker()
             page = tid // relation.rows_per_page
             if page not in seen_pages:
                 seen_pages.add(page)
@@ -115,25 +127,28 @@ def select_tuples(
                 selected.append(tid)
         return selected
     # Table scan.
-    return [
-        tid
-        for tid in relation.scan(stats.counters, BTABLE)
+    selected = []
+    for tid in relation.scan(stats.counters, BTABLE):
+        if ticker is not None:
+            ticker()
         if all(
             relation.bool_value(tid, dim) == val
             for dim, val in conjuncts.items()
-        )
-    ]
+        ):
+            selected.append(tid)
+    return selected
 
 
 def boolean_first_skyline(
     relation: Relation,
     indexes: dict[str, BPlusTree],
     predicate: BooleanPredicate,
+    ticker=None,
 ) -> tuple[list[int], QueryStats]:
     """Boolean-then-preference skyline."""
     stats = QueryStats()
     started = time.perf_counter()
-    candidates = select_tuples(relation, indexes, predicate, stats)
+    candidates = select_tuples(relation, indexes, predicate, stats, ticker)
     stats.note_heap(len(candidates))
     points = [(tid, relation.pref_point(tid)) for tid in candidates]
     tids = sfs_skyline(points)
@@ -148,11 +163,12 @@ def boolean_first_topk(
     fn: RankingFunction,
     k: int,
     predicate: BooleanPredicate,
+    ticker=None,
 ) -> tuple[list[tuple[int, float]], QueryStats]:
     """Boolean-then-preference top-k."""
     stats = QueryStats()
     started = time.perf_counter()
-    candidates = select_tuples(relation, indexes, predicate, stats)
+    candidates = select_tuples(relation, indexes, predicate, stats, ticker)
     stats.note_heap(len(candidates))
     scored = (
         (fn.score(relation.pref_point(tid)), tid) for tid in candidates

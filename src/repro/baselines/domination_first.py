@@ -91,6 +91,7 @@ def domination_first_skyline(
     rtree: RTree,
     predicate: BooleanPredicate,
     pool: BufferPool | None = None,
+    ticker=None,
 ) -> tuple[list[int], QueryStats, SearchState]:
     """BBS + minimal probing for skyline queries with boolean predicates.
 
@@ -116,6 +117,7 @@ def domination_first_skyline(
         pool=pool,
         block_category=DBLOCK,
         keep_lists=False,
+        ticker=ticker,
     )
     stats.elapsed_seconds = time.perf_counter() - started
     tids = [e.tid for e in state.results if e.tid is not None]
@@ -129,6 +131,7 @@ def ranking_topk(
     k: int,
     predicate: BooleanPredicate,
     pool: BufferPool | None = None,
+    ticker=None,
 ) -> tuple[list[tuple[int, float]], QueryStats, SearchState]:
     """BBS-style best-first top-k + minimal probing (the *Ranking* method)."""
     stats = QueryStats()
@@ -148,6 +151,7 @@ def ranking_topk(
         pool=pool,
         block_category=DBLOCK,
         keep_lists=False,
+        ticker=ticker,
     )
     stats.elapsed_seconds = time.perf_counter() - started
     ranked = [

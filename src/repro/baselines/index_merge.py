@@ -54,6 +54,7 @@ def index_merge_topk(
     k: int,
     predicate: BooleanPredicate,
     pool: BufferPool | None = None,
+    ticker=None,
 ) -> tuple[list[tuple[int, float]], QueryStats]:
     """Progressive + selective index-merge top-k."""
     stats = QueryStats()
@@ -122,6 +123,7 @@ def index_merge_topk(
         pool=pool,
         block_category=DBLOCK,
         keep_lists=False,
+        ticker=ticker,
     )
     stats.elapsed_seconds = time.perf_counter() - started
     ranked = [(e.tid, e.key) for e in state.results if e.tid is not None]

@@ -33,6 +33,7 @@ from repro.bench.durability import (
     run_durability_benchmark,
 )
 from repro.bench.resilience import run_resilience_benchmark
+from repro.bench.routing import run_routing_benchmark
 from repro.bench.serving import (
     DEFAULT_THREADS as SERVING_THREADS,
     run_serving_benchmark,
@@ -93,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         "writes BENCH_durability.json by default)",
     )
     parser.add_argument(
+        "--routing",
+        action="store_true",
+        help="run the adaptive-routing sweep (pinned engines vs routed "
+        "cold/warm vs the served path over a Zipfian workload; writes "
+        "BENCH_routing.json by default)",
+    )
+    parser.add_argument(
         "--serving-threads",
         default=None,
         metavar="N,N,...",
@@ -147,11 +155,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.queries < 1:
         parser.error("--queries must be >= 1")
 
-    if sum((args.serving, args.resilience, args.durability)) > 1:
+    if sum((args.serving, args.resilience, args.durability, args.routing)) > 1:
         parser.error(
-            "--serving, --resilience and --durability are mutually exclusive"
+            "--serving, --resilience, --durability and --routing are "
+            "mutually exclusive"
         )
-    if args.serving or args.resilience or args.durability:
+    if args.routing:
+        report = run_routing_benchmark(seed=args.seed)
+    elif args.serving or args.resilience or args.durability:
         if args.serving_threads:
             try:
                 threads = [int(n) for n in _csv(args.serving_threads)]
@@ -190,6 +201,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.out is not None:
         default_out = args.out
+    elif args.routing:
+        default_out = "BENCH_routing.json"
     elif args.durability:
         default_out = "BENCH_durability.json"
     elif args.resilience:

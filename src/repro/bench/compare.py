@@ -19,7 +19,19 @@ from typing import Any, Iterator
 #: move with machine load, while the sweep's io counts and result counts
 #: stay gateable.
 WALL_FIELDS = frozenset(
-    {"wall_ms", "qps", "speedup_vs_cold", "queue_wait_ms", "overhead_pct"}
+    {
+        "wall_ms",
+        "qps",
+        "speedup_vs_cold",
+        "queue_wait_ms",
+        "overhead_pct",
+        # Routing-sweep wall derivatives, plus hit_rate: the gate only
+        # flags *increases*, so a hit-rate drop would slip through it
+        # anyway — the routing bench asserts its floor itself and the
+        # gate watches cache_misses (where more is unambiguously worse).
+        "wall_ratio_vs_best_pinned",
+        "hit_rate",
+    }
 )
 
 #: Float-representation tolerance.  Gated metrics are deterministic

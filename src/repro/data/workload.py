@@ -54,3 +54,55 @@ def sample_target_function(
     target = [rng.random() for _ in range(n_dims)]
     weights = [rng.uniform(0.5, 2.0) for _ in range(n_dims)]
     return WeightedSquaredDistance(target, weights)
+
+
+def zipfian_workload(
+    relation: Relation,
+    rng: random.Random,
+    n_queries: int,
+    n_templates: int = 24,
+    s: float = 1.1,
+    topk_share: float = 0.5,
+    k: int = 10,
+) -> list[dict]:
+    """A skewed repeat-heavy query stream (the routing benchmark's shape).
+
+    Draws ``n_templates`` distinct query templates — a mix of skyline and
+    top-k over predicates of 0–2 conjuncts — then samples ``n_queries``
+    from them under a Zipf(``s``) popularity law: a few hot templates
+    dominate, a long tail appears once or twice.  That is the regime where
+    an epoch-keyed result cache pays (every repeat at a stable epoch is a
+    hit) while the tail still exercises the routing decision itself.
+
+    Each entry is ``{"kind", "predicate", "fn", "k", "template"}`` with
+    ``fn``/``k`` ``None`` for skylines; ``template`` indexes the template
+    drawn, so harnesses can reconcile repeats without re-hashing queries.
+    """
+    if n_templates < 1 or n_queries < 0:
+        raise ValueError("need at least one template and n_queries >= 0")
+    templates: list[dict] = []
+    for i in range(n_templates):
+        kind = "topk" if rng.random() < topk_share else "skyline"
+        predicate = sample_predicate(
+            relation, rng.choice([0, 1, 1, 2]), rng
+        )
+        templates.append(
+            {
+                "kind": kind,
+                "predicate": predicate,
+                "fn": (
+                    sample_linear_function(
+                        relation.schema.n_preference, rng
+                    )
+                    if kind == "topk"
+                    else None
+                ),
+                "k": k if kind == "topk" else None,
+                "template": i,
+            }
+        )
+    weights = [1.0 / (rank + 1) ** s for rank in range(n_templates)]
+    return [
+        dict(templates[rng.choices(range(n_templates), weights)[0]])
+        for _ in range(n_queries)
+    ]

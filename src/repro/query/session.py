@@ -54,7 +54,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class QueryResult:
-    """A completed query plus the state follow-up queries resume from."""
+    """A completed query plus the state follow-up queries resume from.
+
+    ``resumable`` marks whether ``state`` really carries Lemma 2 search
+    state: results produced by Algorithm 1 are resumable; answers served
+    by a routed baseline engine or replayed from the result cache are not
+    (their ``state`` is empty, and drilling down from them would silently
+    return nothing).
+    """
 
     kind: str  # "skyline" | "topk" | "dynamic_skyline" | "lower_hull"
     predicate: BooleanPredicate
@@ -65,6 +72,7 @@ class QueryResult:
     fn: RankingFunction | None = None
     k: int | None = None
     preference_by: tuple[str, ...] | None = None
+    resumable: bool = True
 
     def __len__(self) -> int:
         return len(self.tids)
@@ -130,6 +138,9 @@ class QuerySession:
         self.deadline_at = deadline_at
         self.breakers = breakers
         self.degradation = degradation
+        # Router-owned assembled-signature memo (a ResultCache); attached
+        # per query by QueryRouter.route, never set for unrouted sessions.
+        self.signature_memo = None
 
     @classmethod
     def for_snapshot(
@@ -200,7 +211,16 @@ class QuerySession:
     ):
         if predicate.is_empty():
             return None
-        return self.pcube.reader_for_predicate(
+        memo = self.signature_memo
+        memo_key: tuple[str, ...] | None = None
+        if memo is not None and self.eager_assembly and self.epoch is not None:
+            memo_key = tuple(
+                f"{dim}={value!r}" for dim, value in predicate
+            )
+            cached = memo.get_signature(memo_key, self.epoch)
+            if cached is not None:
+                return cached
+        reader = self.pcube.reader_for_predicate(
             predicate.conjuncts,
             pool,
             stats.counters,
@@ -209,6 +229,24 @@ class QuerySession:
             budget=budget,
             breakers=self.breakers,
             epoch=self.epoch,
+        )
+        if memo_key is not None and self._memoizable(reader):
+            memo.put_signature(memo_key, self.epoch, reader)
+        return reader
+
+    @staticmethod
+    def _memoizable(reader) -> bool:
+        """Only clean, stateless assembled readers may be shared across
+        queries: :class:`~repro.core.pcube.SignatureAdapter` (an immutable
+        assembled signature) and :class:`~repro.core.pcube.EmptyReader`.
+        Lazy readers count per-query I/O and degraded readers carry fault
+        state, so neither is safe to reuse."""
+        from repro.core.pcube import EmptyReader, SignatureAdapter
+
+        if not isinstance(reader, (SignatureAdapter, EmptyReader)):
+            return False
+        return not getattr(reader, "degraded", False) and not getattr(
+            reader, "failed_loads", 0
         )
 
     def skyline(
@@ -322,6 +360,12 @@ class QuerySession:
                 "cannot drill-down/roll-up from a boolean-first degraded "
                 "result: the scan fallback keeps no Lemma 2 search state; "
                 "re-run the query from scratch"
+            )
+        if not previous.resumable:
+            raise ValueError(
+                "cannot drill-down/roll-up from a routed or cached result: "
+                "it carries no Lemma 2 search state; re-run the query "
+                "through the session (or router) from scratch"
             )
 
     def drill_down(

@@ -94,9 +94,15 @@ class QueryStats:
         pool_hits / pool_misses: This query's buffer-pool delta — meaningful
             in shared-pool serving mode where ``counters`` alone would hide
             how much another query's footprint helped.
+        route: The engine the adaptive router served this answer with
+            (``None`` when the query ran unrouted).
+        fallbacks: How many engines failed before ``route`` answered.
+        cache_outcome: The router cache's verdict — ``"hit"``, ``"miss"``,
+            ``"bypass"`` (breaker-forced) or ``None`` (cache not consulted).
 
     The serving-side attributes (``epoch``, ``queue_wait_seconds``,
-    ``pool_hits``, ``pool_misses``) are deliberately *not* part of
+    ``pool_hits``, ``pool_misses``, and the routing trio ``route`` /
+    ``fallbacks`` / ``cache_outcome``) are deliberately *not* part of
     :meth:`summary`, which feeds paper-comparable benchmark baselines.
     """
 
@@ -120,6 +126,9 @@ class QueryStats:
     queue_wait_seconds: float = 0.0
     pool_hits: int = 0
     pool_misses: int = 0
+    route: str | None = None
+    fallbacks: int = 0
+    cache_outcome: str | None = None
 
     def note_heap(self, size: int) -> None:
         if size > self.peak_heap:

@@ -1,0 +1,63 @@
+"""Adaptive query routing: per-query engine choice, fallback, result cache.
+
+The package answers the ROADMAP item "no single access method wins
+everywhere": :class:`QueryRouter` picks among the five exact engines per
+query using selectivity statistics plus observed per-strategy costs, falls
+back down an ordered chain when an engine cannot serve, and memoizes
+canonicalised answers in an epoch-keyed :class:`ResultCache`.  See
+DESIGN.md §12.
+"""
+
+from repro.route.cache import APEX, CachedAnswer, ResultCache, result_key
+from repro.route.engines import (
+    BOOLEAN_FIRST,
+    DOMINATION_FIRST,
+    ENGINES,
+    INDEX_MERGE,
+    NAIVE,
+    SIGNATURE,
+    STRATEGY_ORDER,
+    EngineContext,
+    RouteRequest,
+    canonicalize,
+    supports,
+)
+from repro.route.fallback import (
+    FallbackExecutor,
+    StrategyTimeout,
+    StrategyUnsupported,
+)
+from repro.route.router import QueryRouter, RoutingPolicy
+from repro.route.stats import (
+    CostBook,
+    PredicateStats,
+    RouterStats,
+    candidate_bucket,
+)
+
+__all__ = [
+    "APEX",
+    "BOOLEAN_FIRST",
+    "CachedAnswer",
+    "CostBook",
+    "DOMINATION_FIRST",
+    "ENGINES",
+    "EngineContext",
+    "FallbackExecutor",
+    "INDEX_MERGE",
+    "NAIVE",
+    "PredicateStats",
+    "QueryRouter",
+    "ResultCache",
+    "RouteRequest",
+    "RouterStats",
+    "RoutingPolicy",
+    "SIGNATURE",
+    "STRATEGY_ORDER",
+    "StrategyTimeout",
+    "StrategyUnsupported",
+    "candidate_bucket",
+    "canonicalize",
+    "result_key",
+    "supports",
+]

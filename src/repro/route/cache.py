@@ -1,0 +1,190 @@
+"""The epoch-keyed result cache (and the assembled-signature memo).
+
+Soundness rests on one fact from the epoch design (DESIGN.md §8): a
+snapshot's contents are immutable and fully determined by its epoch, and
+every maintenance commit publishes a *new* epoch.  Keying every entry by
+``(epoch, kind, cell, pref-subspace, digest)`` therefore makes staleness
+structurally impossible — a query at epoch E can only ever see entries
+computed at epoch E, and an epoch publish (however small its touched cell
+set) simply shifts traffic to keys no writer has ever populated.  Explicit
+invalidation (:meth:`ResultCache.on_epoch`) is purely a memory-reclamation
+concern: dropping entries below the newest observed epoch bounds the cache
+to live traffic.
+
+Two further rules keep cached serving byte-identical to computed serving:
+
+* only *canonicalised* answers are stored (the router sorts every answer
+  into a strategy-independent order before caching), so a warm hit returns
+  the same bytes as the cold run that populated it;
+* lookups are bypassed — not merely missed — while the breaker board has
+  a breaker open on any cell of the predicate: an open breaker means the
+  cell's storage is suspect and the next answer should re-exercise (and
+  possibly heal) the real path rather than mask it.
+
+Live sessions (``epoch is None``) are never cached: without an epoch there
+is no invalidation token, and a mutable relation could serve stale bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.query.predicates import BooleanPredicate
+
+#: Key component for the empty predicate (the apex "cell").
+APEX = "φ"
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """One canonicalised answer: the tids/scores bytes plus provenance."""
+
+    tids: tuple[int, ...]
+    scores: tuple[float, ...] | None
+    strategy: str
+    tier: str | None
+
+
+def result_key(
+    kind: str,
+    predicate: BooleanPredicate,
+    preference_by: tuple[str, ...] | None,
+    fn,
+    k: int | None,
+    epoch: int,
+) -> tuple:
+    """The ``(epoch, kind, cell, pref-subspace, digest)`` cache key.
+
+    The digest folds in everything else that determines the answer bytes:
+    the full conjunction (the cell id alone collapses distinct multi-dim
+    predicates), the ranking function's parameters (via its ``repr``) and
+    ``k``.
+    """
+    cell = APEX if predicate.is_empty() else predicate.cell().cell_id
+    pref = ",".join(preference_by) if preference_by else "*"
+    digest = f"{predicate!r}|{fn!r}|k={k}"
+    return (epoch, kind, cell, pref, digest)
+
+
+class ResultCache:
+    """A thread-safe LRU of canonicalised skyline/top-k answers.
+
+    Also hosts the *signature memo*: assembled multi-cell signatures
+    (the eager-assembly intersection product) keyed ``(cells, epoch)``,
+    so repeated popular-cell traffic skips the intersection work.  The
+    memo is only populated from queries that already paid the assembly
+    I/O — consulting it never changes a cache-cold query's counters.
+    """
+
+    def __init__(
+        self, capacity: int = 512, signature_capacity: int = 64
+    ) -> None:
+        if capacity < 1 or signature_capacity < 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.signature_capacity = signature_capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CachedAnswer]" = OrderedDict()
+        self._signatures: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.bypassed = 0
+        self.invalidated = 0
+        self.evicted = 0
+        self.signature_hits = 0
+        self.signature_misses = 0
+
+    # -- results -------------------------------------------------------- #
+
+    def get(self, key: tuple) -> CachedAnswer | None:
+        with self._lock:
+            answer = self._entries.get(key)
+            if answer is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return answer
+
+    def put(self, key: tuple, answer: CachedAnswer) -> None:
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+
+    def note_bypass(self) -> None:
+        with self._lock:
+            self.bypassed += 1
+
+    # -- the signature memo --------------------------------------------- #
+
+    def get_signature(self, cells: tuple[str, ...], epoch: int):
+        if self.signature_capacity == 0:
+            return None
+        with self._lock:
+            key = (epoch, cells)
+            signature = self._signatures.get(key)
+            if signature is None:
+                self.signature_misses += 1
+                return None
+            self._signatures.move_to_end(key)
+            self.signature_hits += 1
+            return signature
+
+    def put_signature(
+        self, cells: tuple[str, ...], epoch: int, signature
+    ) -> None:
+        if self.signature_capacity == 0:
+            return
+        with self._lock:
+            key = (epoch, cells)
+            self._signatures[key] = signature
+            self._signatures.move_to_end(key)
+            while len(self._signatures) > self.signature_capacity:
+                self._signatures.popitem(last=False)
+
+    # -- invalidation --------------------------------------------------- #
+
+    def on_epoch(self, epoch: int) -> int:
+        """Drop every entry from epochs older than ``epoch``.
+
+        Correctness never needs this (stale epochs are unreachable keys);
+        it reclaims the memory dead epochs pin.  Returns entries dropped.
+        """
+        with self._lock:
+            dead = [key for key in self._entries if key[0] < epoch]
+            for key in dead:
+                del self._entries[key]
+            dead_signatures = [
+                key for key in self._signatures if key[0] < epoch
+            ]
+            for key in dead_signatures:
+                del self._signatures[key]
+            self.invalidated += len(dead) + len(dead_signatures)
+            return len(dead) + len(dead_signatures)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "bypassed": self.bypassed,
+                "invalidated": self.invalidated,
+                "evicted": self.evicted,
+                "signature_entries": len(self._signatures),
+                "signature_hits": self.signature_hits,
+                "signature_misses": self.signature_misses,
+            }

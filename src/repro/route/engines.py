@@ -1,0 +1,311 @@
+"""The five engines, behind one adapter interface.
+
+Each adapter is ``(session, request, ctx) -> QueryResult`` and must either
+answer exactly or raise :class:`~repro.route.fallback.StrategyUnsupported`
+when the query shape is outside its contract.  The contracts:
+
+* ``signature`` — Algorithm 1 with P-Cube boolean pruning, via the
+  session's own signature path (tiers 1–2 of the PR-5 degradation chain
+  included).  Supports every query shape.
+* ``boolean-first`` — the Section VI-A baseline: B+-tree/table-scan
+  selection, then the preference step in memory.  Uses the live B+-trees
+  when their postings still cover the snapshot's rows, else the session's
+  index-free scan path; always exact.
+* ``domination-first`` — BBS + minimal probing (*Ranking* for top-k).
+  No preference-subspace support (the baseline searches full space).
+* ``index-merge`` — the [14] baseline: top-k only, and only while the
+  B+-tree postings cover the snapshot (postings are built once and never
+  maintained; a snapshot containing later inserts would silently lose
+  answers, so staleness is *unsupported*, never silently wrong).
+* ``naive`` — the ground-truth scan; supports everything, always last.
+
+Answers are canonicalised (:func:`canonicalize`) before the router caches
+or returns them: skylines as ascending tids, top-k sorted by
+``(score, tid)``.  Canonical order is what makes "byte-identical
+regardless of route" a checkable property — every engine legitimately
+differs in *reporting* order, never in the answer set/scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.boolean_first import (
+    boolean_first_skyline,
+    boolean_first_topk,
+)
+from repro.baselines.domination_first import (
+    domination_first_skyline,
+    ranking_topk,
+)
+from repro.baselines.index_merge import index_merge_topk
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.query.algorithm1 import SearchState
+from repro.query.predicates import BooleanPredicate
+from repro.query.session import QueryResult, QuerySession
+from repro.query.stats import QueryStats
+from repro.route.fallback import StrategyUnsupported
+from repro.storage.counters import BTABLE
+
+#: Engine names, in default preference order (naive always last).
+SIGNATURE = "signature"
+BOOLEAN_FIRST = "boolean-first"
+DOMINATION_FIRST = "domination-first"
+INDEX_MERGE = "index-merge"
+NAIVE = "naive"
+STRATEGY_ORDER = (
+    SIGNATURE,
+    BOOLEAN_FIRST,
+    DOMINATION_FIRST,
+    INDEX_MERGE,
+    NAIVE,
+)
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One query, as the router sees it."""
+
+    kind: str  # "skyline" | "topk"
+    predicate: BooleanPredicate
+    fn: object | None = None
+    k: int | None = None
+    preference_by: tuple[str, ...] | None = None
+    tracer: object | None = None
+
+
+@dataclass
+class EngineContext:
+    """What the adapters need beyond the session: the live B+-trees.
+
+    ``indexes_rows`` is the relation row count the postings were built
+    over; any snapshot whose relation extends past it holds rows the
+    postings have never seen, making index-backed plans unsound.
+    """
+
+    indexes: dict = field(default_factory=dict)
+    indexes_rows: int = 0
+
+    def indexes_cover(self, relation) -> bool:
+        return bool(self.indexes) and len(relation) <= self.indexes_rows
+
+
+def supports(
+    strategy: str, kind: str, preference_by, ctx: EngineContext, relation
+) -> bool:
+    """Static support check (used to build chains; adapters re-verify)."""
+    if kind not in ("skyline", "topk"):
+        return strategy == SIGNATURE
+    if strategy == INDEX_MERGE:
+        return kind == "topk" and ctx.indexes_cover(relation)
+    if strategy == DOMINATION_FIRST:
+        return preference_by is None
+    return True
+
+
+def canonicalize(result: QueryResult) -> QueryResult:
+    """Sort the answer into a strategy-independent order, in place."""
+    if result.kind == "skyline":
+        result.tids = sorted(result.tids)
+    elif result.scores is not None:
+        pairs = sorted(zip(result.scores, result.tids))
+        result.tids = [tid for _, tid in pairs]
+        result.scores = [score for score, _ in pairs]
+    return result
+
+
+def _subspace(session: QuerySession, preference_by) -> tuple[int, ...] | None:
+    if preference_by is None:
+        return None
+    return tuple(
+        session.relation.schema.preference_position(name)
+        for name in preference_by
+    )
+
+
+def _wrap(
+    session: QuerySession,
+    request: RouteRequest,
+    tids: list[int],
+    scores: list[float] | None,
+    stats: QueryStats,
+    tier: str,
+) -> QueryResult:
+    stats.epoch = session.epoch
+    stats.tier = tier
+    stats.results = len(tids)
+    return QueryResult(
+        kind=request.kind,
+        predicate=request.predicate,
+        tids=tids,
+        scores=scores,
+        stats=stats,
+        state=SearchState(),
+        fn=request.fn,
+        k=request.k,
+        preference_by=request.preference_by,
+        resumable=False,  # no Lemma 2 lists: drill-down must re-run
+    )
+
+
+# --------------------------------------------------------------------- #
+# adapters
+# --------------------------------------------------------------------- #
+
+
+def run_signature(
+    session: QuerySession, request: RouteRequest, ctx: EngineContext
+) -> QueryResult:
+    """The session's own signature path — Algorithm 1 with P-Cube bits."""
+    if request.kind == "skyline":
+        return session.skyline(
+            request.predicate,
+            preference_by=request.preference_by,
+            tracer=request.tracer,
+        )
+    return session.topk(
+        request.fn, request.k, request.predicate, tracer=request.tracer
+    )
+
+
+def run_boolean_first(
+    session: QuerySession, request: RouteRequest, ctx: EngineContext
+) -> QueryResult:
+    """Boolean selection first, preference step in memory."""
+    if (
+        ctx.indexes_cover(session.relation)
+        and request.preference_by is None
+    ):
+        if request.kind == "skyline":
+            tids, stats = boolean_first_skyline(
+                session.relation,
+                ctx.indexes,
+                request.predicate,
+                ticker=session.ticker,
+            )
+            return _wrap(session, request, tids, None, stats, BOOLEAN_FIRST)
+        ranked, stats = boolean_first_topk(
+            session.relation,
+            ctx.indexes,
+            request.fn,
+            request.k,
+            request.predicate,
+            ticker=session.ticker,
+        )
+        tids = [tid for tid, _ in ranked]
+        scores = [score for _, score in ranked]
+        return _wrap(session, request, tids, scores, stats, BOOLEAN_FIRST)
+    # No (usable) indexes: the session's exact index-free scan path.  This
+    # is a routed *choice* here, not a degradation, so the degraded flag
+    # the tier-3 fallback stamps is cleared.
+    result = session._run_boolean_first(
+        request.kind,
+        request.predicate,
+        fn=request.fn,
+        k=request.k,
+        preference_by=request.preference_by,
+        tracer=request.tracer,
+    )
+    result.stats.degraded = False
+    result.resumable = False
+    return result
+
+
+def run_domination_first(
+    session: QuerySession, request: RouteRequest, ctx: EngineContext
+) -> QueryResult:
+    """BBS + minimal probing (the paper's Domination/Ranking baseline)."""
+    if request.preference_by is not None:
+        raise StrategyUnsupported(
+            DOMINATION_FIRST, "no preference-subspace support"
+        )
+    pool = session._query_pool()
+    if request.kind == "skyline":
+        tids, stats, _ = domination_first_skyline(
+            session.relation,
+            session.rtree,
+            request.predicate,
+            pool=pool,
+            ticker=session.ticker,
+        )
+        session._finish_pool(pool, stats)
+        return _wrap(session, request, tids, None, stats, DOMINATION_FIRST)
+    ranked, stats, _ = ranking_topk(
+        session.relation,
+        session.rtree,
+        request.fn,
+        request.k,
+        request.predicate,
+        pool=pool,
+        ticker=session.ticker,
+    )
+    session._finish_pool(pool, stats)
+    tids = [tid for tid, _ in ranked]
+    scores = [score for _, score in ranked]
+    return _wrap(session, request, tids, scores, stats, DOMINATION_FIRST)
+
+
+def run_index_merge(
+    session: QuerySession, request: RouteRequest, ctx: EngineContext
+) -> QueryResult:
+    """Progressive + selective index-merge — top-k with fresh postings only."""
+    if request.kind != "topk":
+        raise StrategyUnsupported(INDEX_MERGE, "answers top-k queries only")
+    if not ctx.indexes_cover(session.relation):
+        raise StrategyUnsupported(
+            INDEX_MERGE,
+            "B+-tree postings do not cover this snapshot's rows",
+        )
+    pool = session._query_pool()
+    ranked, stats = index_merge_topk(
+        session.relation,
+        session.rtree,
+        ctx.indexes,
+        request.fn,
+        request.k,
+        request.predicate,
+        pool=pool,
+        ticker=session.ticker,
+    )
+    session._finish_pool(pool, stats)
+    tids = [tid for tid, _ in ranked]
+    scores = [score for _, score in ranked]
+    return _wrap(session, request, tids, scores, stats, INDEX_MERGE)
+
+
+def run_naive(
+    session: QuerySession, request: RouteRequest, ctx: EngineContext
+) -> QueryResult:
+    """Ground truth: counted scan, literal domination / full sort."""
+    stats = QueryStats()
+    predicate = request.predicate
+    empty = predicate.is_empty()
+    candidates: list[tuple[int, tuple]] = []
+    for tid in session.relation.scan(stats.counters, BTABLE):
+        if session.ticker is not None:
+            session.ticker()
+        if empty or predicate.matches(session.relation, tid):
+            candidates.append((tid, session.relation.pref_point(tid)))
+    stats.note_heap(len(candidates))
+    if request.kind == "skyline":
+        subspace = _subspace(session, request.preference_by)
+        if subspace is not None:
+            candidates = [
+                (tid, tuple(point[d] for d in subspace))
+                for tid, point in candidates
+            ]
+        tids = naive_skyline(candidates)
+        return _wrap(session, request, tids, None, stats, NAIVE)
+    ranked = naive_topk(candidates, request.fn, request.k)
+    tids = [tid for tid, _ in ranked]
+    scores = [score for _, score in ranked]
+    return _wrap(session, request, tids, scores, stats, NAIVE)
+
+
+ENGINES = {
+    SIGNATURE: run_signature,
+    BOOLEAN_FIRST: run_boolean_first,
+    DOMINATION_FIRST: run_domination_first,
+    INDEX_MERGE: run_index_merge,
+    NAIVE: run_naive,
+}

@@ -1,0 +1,151 @@
+"""The ordered fallback chain: try engines until one answers.
+
+The router never *needs* a particular engine — every strategy in
+:mod:`repro.route.engines` returns exact answers — so a strategy that
+cannot serve a query (:class:`StrategyUnsupported`), faults on storage
+(:class:`~repro.storage.errors.StorageFault`) or exceeds its slice of the
+deadline (:class:`StrategyTimeout`) simply hands the query to the next
+engine in the chain.  What cannot be retried is a lapsed *overall*
+deadline or a cancellation: those abort the query exactly as they would
+without routing.
+
+Deadline slicing: a session with ``deadline_at`` set gives each attempt an
+equal share of the *remaining* budget (``remaining / engines left``), so
+one pathological engine cannot starve the rest of the chain.  The last
+engine always gets everything that is left.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.storage.errors import StorageFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.session import QueryResult, QuerySession
+    from repro.route.engines import EngineContext, RouteRequest
+
+
+class StrategyUnsupported(Exception):
+    """The strategy cannot answer this query shape (e.g. index-merge on a
+    skyline, or B+-tree postings stale for the snapshot's rows)."""
+
+    def __init__(self, strategy: str, reason: str) -> None:
+        super().__init__(f"{strategy}: {reason}")
+        self.strategy = strategy
+        self.reason = reason
+
+
+class StrategyTimeout(Exception):
+    """One attempt exceeded its *slice* of the deadline budget.
+
+    Internal to the fallback chain: raised by the per-attempt ticker while
+    the overall deadline still has budget, so the chain moves on; a lapsed
+    overall deadline raises the executor's ``QueryTimeout`` instead and is
+    never swallowed here.
+    """
+
+    def __init__(self, strategy: str) -> None:
+        super().__init__(f"{strategy}: attempt exceeded its deadline slice")
+        self.strategy = strategy
+
+
+class FallbackExecutor:
+    """Run a query down an ordered engine chain until one answers.
+
+    Args:
+        engines: Strategy name → adapter callable
+            ``(session, request, ctx) -> QueryResult`` (see
+            :data:`repro.route.engines.ENGINES`).
+    """
+
+    def __init__(self, engines: dict[str, Callable]) -> None:
+        self.engines = engines
+
+    def execute(
+        self,
+        chain: list[str],
+        session: "QuerySession",
+        request: "RouteRequest",
+        ctx: "EngineContext",
+    ) -> tuple["QueryResult", list[tuple[str, Exception]]]:
+        """Returns ``(result, failed_attempts)``.
+
+        ``failed_attempts`` lists ``(strategy, error)`` for every engine
+        tried before the one that answered.  Exhausting the chain re-raises
+        the last error; an empty chain raises :class:`StrategyUnsupported`.
+        """
+        from repro.serve.executor import QueryCancelled, QueryTimeout
+
+        if not chain:
+            raise StrategyUnsupported(
+                "router", f"no engine supports this {request.kind} query"
+            )
+        failures: list[tuple[str, Exception]] = []
+        base_ticker = session.ticker
+        deadline_at = session.deadline_at
+        last_error: Exception | None = None
+        try:
+            for position, name in enumerate(chain):
+                now = time.perf_counter()
+                if deadline_at is not None and now > deadline_at:
+                    raise QueryTimeout(
+                        f"{request.kind} query exceeded its deadline "
+                        f"(after {len(failures)} fallback attempt(s))"
+                    )
+                remaining_engines = len(chain) - position
+                attempt_deadline = deadline_at
+                if deadline_at is not None and remaining_engines > 1:
+                    attempt_deadline = (
+                        now + (deadline_at - now) / remaining_engines
+                    )
+                session.ticker = self._attempt_ticker(
+                    name, base_ticker, attempt_deadline, deadline_at
+                )
+                try:
+                    result = self.engines[name](session, request, ctx)
+                except StrategyUnsupported as exc:
+                    failures.append((name, exc))
+                    last_error = exc
+                except StrategyTimeout as exc:
+                    failures.append((name, exc))
+                    last_error = exc
+                except StorageFault as exc:
+                    failures.append((name, exc))
+                    last_error = exc
+                except (QueryTimeout, QueryCancelled):
+                    raise  # the overall budget/caller aborted: no fallback
+                else:
+                    result.stats.route = name
+                    result.stats.fallbacks = len(failures)
+                    return result, failures
+            assert last_error is not None
+            raise last_error
+        finally:
+            session.ticker = base_ticker
+
+    @staticmethod
+    def _attempt_ticker(
+        strategy: str,
+        base_ticker: Callable[[], None] | None,
+        attempt_deadline: float | None,
+        overall_deadline: float | None,
+    ) -> Callable[[], None]:
+        """Compose the session ticker with this attempt's deadline slice.
+
+        The base ticker runs first: it owns cancellation and the overall
+        deadline, and those must win over a mere slice expiry.
+        """
+
+        def tick() -> None:
+            if base_ticker is not None:
+                base_ticker()
+            if (
+                attempt_deadline is not None
+                and attempt_deadline != overall_deadline
+                and time.perf_counter() > attempt_deadline
+            ):
+                raise StrategyTimeout(strategy)
+
+        return tick

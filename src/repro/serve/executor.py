@@ -221,6 +221,14 @@ class QueryExecutor:
             (the default) uses the default-on configuration; pass e.g.
             ``Resilience(breaker_threshold=0, shed=False)`` to strip the
             machinery back to PR-4 behaviour.
+        routing: Opt-in adaptive routing.  ``True`` attaches a
+            :class:`~repro.route.QueryRouter` with the default
+            :class:`~repro.route.RoutingPolicy`; pass a policy to
+            configure it; ``None``/``False`` (the default) serves every
+            skyline/top-k through the signature path exactly as before.
+            Routed answers are canonicalised (skyline tids ascending,
+            top-k sorted by ``(score, tid)``) and byte-identical to the
+            unrouted engine's answer *sets*.
 
     Use as a context manager, or call :meth:`shutdown` explicitly.
     """
@@ -235,6 +243,7 @@ class QueryExecutor:
         default_deadline: float | None = None,
         eager_assembly: bool = False,
         resilience: Resilience | None = None,
+        routing=None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be positive")
@@ -254,6 +263,14 @@ class QueryExecutor:
             # closes its breakers immediately — snapshot sessions also heal
             # via epoch comparison, but only once a newer epoch publishes.
             system.pcube.store.on_cell_rebuilt = self.breakers.reset
+        self.router = None
+        if routing:
+            from repro.route import QueryRouter, RoutingPolicy
+
+            policy = routing if isinstance(routing, RoutingPolicy) else None
+            self.router = QueryRouter.for_system(
+                system, policy=policy, breakers=self.breakers
+            )
         self.stats = ServingStats()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
@@ -393,6 +410,20 @@ class QueryExecutor:
         deadline: float | None = None,
         tracer: Tracer | None = None,
     ) -> Ticket:
+        if self.router is not None:
+            router = self.router
+            return self.submit(
+                "skyline",
+                lambda session: router.route(
+                    session,
+                    "skyline",
+                    predicate=predicate,
+                    preference_by=preference_by,
+                    tracer=tracer,
+                ),
+                deadline=deadline,
+                tracer=tracer,
+            )
         return self.submit(
             "skyline",
             lambda session: session.skyline(
@@ -410,6 +441,21 @@ class QueryExecutor:
         deadline: float | None = None,
         tracer: Tracer | None = None,
     ) -> Ticket:
+        if self.router is not None:
+            router = self.router
+            return self.submit(
+                "topk",
+                lambda session: router.route(
+                    session,
+                    "topk",
+                    predicate=predicate,
+                    fn=fn,
+                    k=k,
+                    tracer=tracer,
+                ),
+                deadline=deadline,
+                tracer=tracer,
+            )
         return self.submit(
             "topk",
             lambda session: session.topk(fn, k, predicate, tracer=tracer),
@@ -617,6 +663,9 @@ class QueryExecutor:
                 self.breakers.snapshot() if self.breakers is not None else None
             ),
             "quarantined_cells": [cell.cell_id for cell in quarantined],
+            "router": (
+                self.router.snapshot() if self.router is not None else None
+            ),
             "inflight": self.inflight(),
             "scrubber": (
                 self.scrubber.report() if self.scrubber is not None else None

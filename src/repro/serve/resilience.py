@@ -212,6 +212,19 @@ class BreakerBoard:
             breaker = self._breakers.get((cell_id, ref_sid))
             return breaker.state if breaker is not None else CLOSED
 
+    def cell_open(self, cell_id: str) -> bool:
+        """Any non-closed breaker on this cell (any partial)?
+
+        The router's cache-bypass probe: while a cell's storage is suspect
+        the result cache must not mask the real path.
+        """
+        with self._lock:
+            return any(
+                breaker.state != CLOSED
+                for (owner, _), breaker in self._breakers.items()
+                if owner == cell_id
+            )
+
     def open_count(self) -> int:
         with self._lock:
             return sum(

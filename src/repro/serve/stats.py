@@ -58,6 +58,12 @@ class ServingStats:
         self.breaker_skips = 0
         self.degraded_queries = 0
         self.tiers: dict[str, int] = {}
+        self.routed = 0
+        self.fell_back = 0
+        self.routes: dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_bypassed = 0
 
     def note_submitted(self) -> None:
         with self._lock:
@@ -115,6 +121,19 @@ class ServingStats:
                     self.tiers[stats.tier] = (
                         self.tiers.get(stats.tier, 0) + 1
                     )
+                if stats.route is not None:
+                    self.routed += 1
+                    self.routes[stats.route] = (
+                        self.routes.get(stats.route, 0) + 1
+                    )
+                    if stats.fallbacks:
+                        self.fell_back += 1
+                if stats.cache_outcome == "hit":
+                    self.cache_hits += 1
+                elif stats.cache_outcome == "miss":
+                    self.cache_misses += 1
+                elif stats.cache_outcome == "bypass":
+                    self.cache_bypassed += 1
 
     def snapshot(self) -> dict:
         """A consistent point-in-time copy of every tally."""
@@ -144,4 +163,10 @@ class ServingStats:
                 "breaker_skips": self.breaker_skips,
                 "degraded_queries": self.degraded_queries,
                 "tiers": dict(self.tiers),
+                "routed": self.routed,
+                "fell_back": self.fell_back,
+                "routes": dict(self.routes),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_bypassed": self.cache_bypassed,
             }

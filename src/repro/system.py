@@ -50,6 +50,11 @@ class PCubeSystem:
         default_factory=MaintenanceStats
     )
     epochs: EpochManager | None = None
+    # Row count the B+-tree postings were built over.  The postings are
+    # never maintained after build, so index-backed plans are only sound
+    # while the relation has not grown past this mark (the router's
+    # freshness gate).
+    indexes_rows: int = 0
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -412,4 +417,5 @@ def build_system(
         timings=timings,
         wal=wal,
         maintenance_stats=maintenance_stats,
+        indexes_rows=len(relation) if indexes else 0,
     )

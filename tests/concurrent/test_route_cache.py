@@ -1,0 +1,259 @@
+"""ResultCache invalidation under randomized maintenance/read interleavings.
+
+The cache's soundness claim (DESIGN.md §12) is structural: entries are
+keyed by epoch and a snapshot's contents are fully determined by its
+epoch, so a stale hit is impossible *by construction* — ``on_epoch`` is
+memory reclamation, not correctness.  These tests attack that claim the
+only way it can fail in practice: interleaving maintenance commits
+(which publish epochs) with routed reads (which populate and hit the
+cache), in randomized single-threaded schedules and in genuinely
+threaded ones, and requiring every routed answer — hit, miss or
+recomputation — to be byte-identical to the serial answer for its
+epoch.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.session import QuerySession
+from repro.route import QueryRouter
+
+pytestmark = [pytest.mark.concurrent, pytest.mark.routing]
+
+
+def _templates(system, rng, n=5):
+    """A small, repeat-heavy query set (repeats are what caches are for)."""
+    relation = system.relation
+    dims = relation.schema.n_preference
+    templates = []
+    for index in range(n):
+        predicate = sample_predicate(relation, 1 + index % 2, rng)
+        if index % 2 == 0:
+            templates.append(("skyline", {"predicate": predicate}))
+        else:
+            templates.append(
+                (
+                    "topk",
+                    {
+                        "fn": sample_linear_function(dims, rng),
+                        "k": 5,
+                        "predicate": predicate,
+                    },
+                )
+            )
+    return templates
+
+
+def _serial_answer(snapshot, kind, kwargs):
+    """Ground truth for one (epoch, query): an unrouted session."""
+    result = getattr(QuerySession.for_snapshot(snapshot), kind)(**kwargs)
+    scores = (
+        None
+        if result.scores is None
+        else sorted(round(score, 9) for score in result.scores)
+    )
+    return sorted(result.tids), scores
+
+
+def _routed_answer(result):
+    scores = (
+        None
+        if result.scores is None
+        else sorted(round(score, 9) for score in result.scores)
+    )
+    return sorted(result.tids), scores
+
+
+def _mutate(system, rng, spawned):
+    """One maintenance commit → one published epoch."""
+    schema = system.relation.schema
+    choice = rng.random()
+    if choice < 0.5 or not spawned:
+        bool_row = tuple(0 for _ in range(schema.n_boolean))
+        point = tuple(rng.random() for _ in range(schema.n_preference))
+        tid, _ = system.insert(bool_row, point)
+        spawned.append(tid)
+    elif choice < 0.75:
+        point = tuple(rng.random() for _ in range(schema.n_preference))
+        system.update(spawned[-1], point)
+    else:
+        system.delete(spawned.pop(0))
+
+
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_randomized_commit_read_interleaving(fresh_system, seed):
+    """Random schedule of {commit, read}: every routed answer — hit or
+    miss — is byte-identical to the serial answer at its epoch, and dead
+    epochs' entries are reclaimed as reads observe newer epochs."""
+    system = fresh_system(n_tuples=400, seed=29)
+    system.enable_epochs()
+    rng = random.Random(seed)
+    templates = _templates(system, rng)
+    router = QueryRouter.for_system(system)
+
+    # Per-epoch ground truth, computed lazily (and serially) on first use.
+    serial: dict[tuple[int, int], tuple] = {}
+    spawned: list[int] = []
+    hits = 0
+    for _ in range(60):
+        if rng.random() < 0.3:
+            _mutate(system, rng, spawned)
+            continue
+        index = rng.randrange(len(templates))
+        kind, kwargs = templates[index]
+        snapshot = system.pin_snapshot()
+        try:
+            key = (snapshot.epoch, index)
+            if key not in serial:
+                serial[key] = _serial_answer(snapshot, kind, kwargs)
+            session = QuerySession.for_snapshot(snapshot)
+            result = router.route(session, kind, **kwargs)
+            assert _routed_answer(result) == serial[key], (
+                f"{kind} (outcome={result.stats.cache_outcome}) diverged "
+                f"from the serial epoch-{snapshot.epoch} answer"
+            )
+            assert result.stats.epoch == snapshot.epoch
+            if result.stats.cache_outcome == "hit":
+                hits += 1
+                # A hit is provably from this epoch: the key embeds it.
+                assert result.stats.route is not None
+            # Reclamation invariant: after this read, no cached entry is
+            # older than the newest epoch any read has observed.
+            newest = max(k[0] for k in serial)
+            assert all(k[0] >= newest for k in router.cache._entries), (
+                "on_epoch left entries from a dead epoch in the cache"
+            )
+        finally:
+            system.unpin_snapshot(snapshot)
+
+    stats = router.stats.snapshot()
+    cache = router.cache.snapshot()
+    # Exact reconciliation: every routed query was a hit or was served.
+    assert stats["routed"] == stats["cache_hits"] + sum(
+        stats["served_by"].values()
+    )
+    assert stats["cache_hits"] == hits
+    assert cache["hits"] == hits
+    # The schedule repeats templates at stable epochs, so some must hit,
+    # and epoch publishes must have reclaimed some dead entries.
+    assert hits > 0
+    assert cache["invalidated"] > 0
+
+
+def test_publish_invalidates_exactly_the_dead_epochs(fresh_system):
+    """After maintenance publishes epoch E+1, a read at E+1 misses (new
+    key), recomputes the *new* answer, and drops the E entries."""
+    system = fresh_system(n_tuples=300, seed=41)
+    system.enable_epochs()
+    rng = random.Random(7)
+    templates = _templates(system, rng, n=3)
+    router = QueryRouter.for_system(system)
+
+    first = system.pin_snapshot()
+    session = QuerySession.for_snapshot(first)
+    for kind, kwargs in templates:
+        router.route(session, kind, **kwargs)
+    apex_before = _routed_answer(router.route(session, "skyline"))
+    assert len(router.cache) == len(templates) + 1
+
+    # Maintenance: the origin point dominates everything → answers change.
+    schema = system.relation.schema
+    system.insert(
+        tuple(0 for _ in range(schema.n_boolean)),
+        tuple(0.0 for _ in range(schema.n_preference)),
+    )
+    second = system.pin_snapshot()
+    assert second.epoch > first.epoch
+
+    fresh = QuerySession.for_snapshot(second)
+    for kind, kwargs in templates:
+        result = router.route(fresh, kind, **kwargs)
+        assert result.stats.cache_outcome == "miss"  # epoch-keyed: no hit
+        assert _routed_answer(result) == _serial_answer(
+            second, kind, kwargs
+        )
+    # The origin point dominates everything, so the apex skyline *must*
+    # differ — and the router must serve the new bytes, not the cached old.
+    apex_after = router.route(fresh, "skyline")
+    assert apex_after.stats.cache_outcome == "miss"
+    assert _routed_answer(apex_after) != apex_before
+    # The first epoch's entries are gone; only the new epoch's remain.
+    assert all(key[0] == second.epoch for key in router.cache._entries)
+    assert router.cache.snapshot()["invalidated"] >= len(templates)
+
+    system.unpin_snapshot(first)
+    system.unpin_snapshot(second)
+
+
+def test_threaded_readers_share_cache_under_churn(fresh_system):
+    """Readers on pinned snapshots share one router/cache while a writer
+    publishes epochs: every answer matches the serial answer for the
+    reader's own epoch, and the router's counters reconcile exactly."""
+    system = fresh_system(n_tuples=500, seed=53)
+    system.enable_epochs()
+    rng = random.Random(13)
+    templates = _templates(system, rng)
+    router = QueryRouter.for_system(system)
+    errors: list[str] = []
+    serial_lock = threading.Lock()
+    serial: dict[tuple[int, int], tuple] = {}
+
+    def reader(reader_id: int):
+        try:
+            for _ in range(4):
+                snapshot = system.pin_snapshot()
+                try:
+                    session = QuerySession.for_snapshot(snapshot)
+                    for index, (kind, kwargs) in enumerate(templates):
+                        key = (snapshot.epoch, index)
+                        with serial_lock:
+                            if key not in serial:
+                                serial[key] = _serial_answer(
+                                    snapshot, kind, kwargs
+                                )
+                            expected = serial[key]
+                        result = router.route(session, kind, **kwargs)
+                        if _routed_answer(result) != expected:
+                            errors.append(
+                                f"reader {reader_id} query {index} "
+                                f"(outcome={result.stats.cache_outcome}) "
+                                f"diverged at epoch {snapshot.epoch}"
+                            )
+                finally:
+                    system.unpin_snapshot(snapshot)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(f"reader {reader_id}: {exc!r}")
+
+    def writer():
+        try:
+            spawned: list[int] = []
+            wrng = random.Random(99)
+            for _ in range(10):
+                _mutate(system, wrng, spawned)
+        except Exception as exc:  # pragma: no cover
+            errors.append(f"writer: {exc!r}")
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+        assert not thread.is_alive(), "route-cache stress thread hung"
+
+    assert errors == []
+    stats = router.stats.snapshot()
+    assert stats["routed"] == 4 * 4 * len(templates)
+    assert stats["routed"] == stats["cache_hits"] + sum(
+        stats["served_by"].values()
+    )
+    cache = router.cache.snapshot()
+    assert cache["hits"] == stats["cache_hits"]
+    # Quiesced: the system audits clean and pins are all released.
+    assert system.epochs.pinned_epochs() == {}
+    assert system.verify_consistency().ok

@@ -16,6 +16,7 @@ nothing included.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -169,3 +170,181 @@ def test_differential_skyline_members_qualify(rows, conjuncts):
         relation, system.rtree, system.pcube, predicate
     )
     assert all(predicate.matches(relation, tid) for tid in sig_tids)
+
+
+# --------------------------------------------------------------------- #
+# router mode: the same oracle through the adaptive router
+# --------------------------------------------------------------------- #
+
+
+def _routed_session(system):
+    from repro.query.session import QuerySession
+
+    system.enable_epochs()
+    snapshot = system.pin_snapshot()
+    return QuerySession.for_snapshot(snapshot)
+
+
+def _expected_skyline(relation, predicate):
+    return sorted(naive_skyline(qualifying_points(relation, predicate)))
+
+
+@pytest.mark.routing
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy, conjuncts=predicate_strategy)
+def test_differential_router_forced_strategies(rows, conjuncts):
+    """Byte-identical to naive for *every* forced engine, skyline + top-k.
+
+    The router canonicalises (skyline tids ascending, top-k sorted by
+    ``(score, tid)``), so the comparison here is exact equality on the
+    canonical bytes — sorted naive tids for skylines, rounded sorted
+    scores for top-k (tie membership at the k boundary is legitimately
+    engine-specific, per this suite's convention).
+    """
+    from repro.route import STRATEGY_ORDER, QueryRouter, RoutingPolicy
+
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate(conjuncts)
+    session = _routed_session(system)
+    fn = LinearFunction((1.0, 0.7))
+    k = 5
+
+    expected_sky = _expected_skyline(relation, predicate)
+    expected_scores = [
+        round(score, 9)
+        for _, score in naive_topk(
+            qualifying_points(relation, predicate), fn, k
+        )
+    ]
+    for name in STRATEGY_ORDER:
+        router = QueryRouter.for_system(
+            system, policy=RoutingPolicy(forced=name, cache=False)
+        )
+        if name != "index-merge":  # top-k only
+            result = router.route(session, "skyline", predicate=predicate)
+            assert result.tids == expected_sky, name
+            assert result.stats.route == name
+        result = router.route(
+            session, "topk", predicate=predicate, fn=fn, k=k
+        )
+        scores = [round(score, 9) for score in result.scores]
+        assert sorted(scores) == sorted(expected_scores), name
+        assert result.stats.route == name
+
+
+@pytest.mark.routing
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy, conjuncts=predicate_strategy)
+def test_differential_router_forced_fallback(rows, conjuncts):
+    """A chain whose head cannot serve still answers byte-identically.
+
+    ``index-merge`` never answers skylines, so the adapter raises
+    ``StrategyUnsupported`` and the chain degrades to naive — the answer
+    must not change, and the fallback must be visible in the stats.
+    """
+    from repro.route import (
+        ENGINES,
+        FallbackExecutor,
+        QueryRouter,
+        RouteRequest,
+        RoutingPolicy,
+    )
+
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate(conjuncts)
+    session = _routed_session(system)
+    expected = _expected_skyline(relation, predicate)
+
+    # Bypass the static supports() filter to exercise the runtime raise.
+    executor = FallbackExecutor(ENGINES)
+    request = RouteRequest(kind="skyline", predicate=predicate)
+    router = QueryRouter.for_system(system, policy=RoutingPolicy(cache=False))
+    result, failures = executor.execute(
+        ["index-merge", "naive"], session, request, router.ctx
+    )
+    assert [name for name, _ in failures] == ["index-merge"]
+    assert result.stats.route == "naive"
+    assert result.stats.fallbacks == 1
+    assert sorted(result.tids) == expected
+
+
+@pytest.mark.routing
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy, conjuncts=predicate_strategy)
+def test_differential_router_cache_warm_equals_cold(rows, conjuncts):
+    """A cache-warm replay returns the same bytes as the cold run, and
+    the adaptive cold run matches naive in the first place."""
+    from repro.route import QueryRouter
+
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate(conjuncts)
+    session = _routed_session(system)
+    expected = _expected_skyline(relation, predicate)
+
+    router = QueryRouter.for_system(system)
+    cold = router.route(session, "skyline", predicate=predicate)
+    assert cold.stats.cache_outcome == "miss"
+    assert cold.tids == expected
+    warm = router.route(session, "skyline", predicate=predicate)
+    assert warm.stats.cache_outcome == "hit"
+    assert warm.tids == cold.tids
+    assert warm.stats.route == cold.stats.route
+
+    fn = LinearFunction((0.5, 1.5))
+    cold_topk = router.route(
+        session, "topk", predicate=predicate, fn=fn, k=4
+    )
+    warm_topk = router.route(
+        session, "topk", predicate=predicate, fn=fn, k=4
+    )
+    assert warm_topk.stats.cache_outcome == "hit"
+    assert warm_topk.tids == cold_topk.tids
+    assert warm_topk.scores == cold_topk.scores
+
+
+@pytest.mark.routing
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy)
+def test_differential_router_empty_predicate(rows):
+    """The apex query (``BP = φ``) routes, caches and matches naive."""
+    from repro.route import QueryRouter
+
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    predicate = BooleanPredicate()
+    session = _routed_session(system)
+    expected = _expected_skyline(relation, predicate)
+
+    router = QueryRouter.for_system(system)
+    cold = router.route(session, "skyline", predicate=predicate)
+    assert cold.tids == expected
+    warm = router.route(session, "skyline", predicate=predicate)
+    assert warm.stats.cache_outcome == "hit"
+    assert warm.tids == expected
+
+
+@pytest.mark.routing
+@DIFFERENTIAL_SETTINGS
+@given(rows=rows_strategy)
+def test_differential_router_all_boolean_dims_constrained(rows):
+    """A predicate constraining every boolean dimension (the finest cell)
+    agrees with naive through the adaptive router."""
+    from repro.route import QueryRouter
+
+    relation = make_relation(rows)
+    system = build_system(relation, fanout=4)
+    # Anchor at row 0 so the fully-constrained predicate is satisfiable.
+    predicate = BooleanPredicate(
+        {
+            "A": relation.bool_value(0, "A"),
+            "B": relation.bool_value(0, "B"),
+        }
+    )
+    session = _routed_session(system)
+    expected = _expected_skyline(relation, predicate)
+    router = QueryRouter.for_system(system)
+    result = router.route(session, "skyline", predicate=predicate)
+    assert result.tids == expected

@@ -57,3 +57,61 @@ def test_summary_contents():
     assert summary["results"] == 4
     assert summary["total_io"] == 1
     assert summary[SSIG] == 1
+
+
+# -- summary() key-set regression pins ---------------------------------- #
+#
+# summary() is the paper-comparable surface (Table II / the figures), so
+# its key set is pinned: the clean set, the degraded block, and *nothing
+# else*.  Serving-only annotations — the degraded flag's cousins from the
+# routing layer (route, fallbacks, cache_outcome) — are deliberately kept
+# out so routed and unrouted runs of the same query stay diffable.
+
+CLEAN_SUMMARY_KEYS = frozenset({"elapsed_seconds", "total_io", "peak_heap", "results"})
+DEGRADED_BLOCK_KEYS = frozenset(
+    {
+        "degraded",
+        "fault_retries",
+        "failed_loads",
+        "degraded_checks",
+        "breaker_skips",
+    }
+)
+
+
+def test_summary_key_set_clean():
+    stats = QueryStats()
+    stats.counters.record(SSIG, 1)
+    stats.counters.record(BTABLE, 2)
+    assert set(stats.summary()) == CLEAN_SUMMARY_KEYS | {SSIG, BTABLE}
+
+
+def test_summary_key_set_degraded():
+    stats = QueryStats()
+    stats.degraded = True
+    stats.fault_retries = 2
+    assert (
+        set(stats.summary()) == CLEAN_SUMMARY_KEYS | DEGRADED_BLOCK_KEYS
+    )
+
+
+def test_routing_fields_never_leak_into_summary():
+    """route/fallbacks/cache_outcome exist on QueryStats but must stay out
+    of summary() in every combination — including alongside degradation."""
+    stats = QueryStats()
+    stats.route = "signature"
+    stats.fallbacks = 2
+    stats.cache_outcome = "hit"
+    assert set(stats.summary()) == CLEAN_SUMMARY_KEYS
+
+    stats.degraded = True
+    keys = set(stats.summary())
+    assert keys == CLEAN_SUMMARY_KEYS | DEGRADED_BLOCK_KEYS
+    assert {"route", "fallbacks", "cache_outcome"}.isdisjoint(keys)
+
+
+def test_routing_fields_default_unset():
+    stats = QueryStats()
+    assert stats.route is None
+    assert stats.fallbacks == 0
+    assert stats.cache_outcome is None

@@ -1,0 +1,327 @@
+"""Fallback-chain fault tests: every edge fires, every counter reconciles.
+
+Composes the PR-1 fault plans (deterministic per-tag storage faults) and
+the PR-5 chaos harness (seeded storms against the concurrent executor)
+with the router's ordered fallback chain.  Each of the chain's three
+fallback edge *kinds* is exercised at least once, deterministically:
+
+* ``StrategyUnsupported`` — a shape the engine never serves (index-merge
+  on a skyline; stale postings after maintenance);
+* ``StorageFault`` — corrupt R-tree pages fail BBS, the chain degrades
+  to the heap-scanning engines;
+* ``StrategyTimeout`` — latency injection makes one attempt overrun its
+  deadline *slice* while the overall budget still has room.
+
+Every test reconciles the router's tallies exactly against the observed
+results: ``routed == cache_hits + sum(served_by)``, ``fell_back`` counts
+fallen-back queries, ``fallback_edges`` names each failed->next edge,
+and the error-class counters match the edge census.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.data.synthetic import generate_relation
+from repro.data.workload import sample_linear_function, sample_predicate
+from repro.query.session import QuerySession
+from repro.route import (
+    ENGINES,
+    FallbackExecutor,
+    QueryRouter,
+    RouteRequest,
+    RoutingPolicy,
+    StrategyTimeout,
+    StrategyUnsupported,
+)
+from repro.serve.executor import (
+    QueryCancelled,
+    QueryExecutor,
+    QueryShed,
+    QueryTimeout,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.errors import StorageFault
+from repro.storage.faults import FaultPlan, FaultRule, FaultyDisk
+from repro.system import build_system
+
+pytestmark = [pytest.mark.faults, pytest.mark.routing]
+
+TYPED_ERRORS = (QueryShed, QueryTimeout, QueryCancelled, StorageFault)
+
+
+@pytest.fixture
+def faulty(small_config):
+    """A routed-ready system over a fault-injecting disk (armed later)."""
+    disk = FaultyDisk(SimulatedDisk())
+    system = build_system(
+        generate_relation(small_config, disk=disk), fanout=8
+    )
+    system.enable_epochs()
+    return disk, system
+
+
+def _session(system):
+    return QuerySession.for_snapshot(system.pin_snapshot())
+
+
+def _reference(system, predicate):
+    """Fault-free ground truth via the naive engine on a clean chain."""
+    router = QueryRouter.for_system(
+        system, policy=RoutingPolicy(forced="naive", cache=False)
+    )
+    return router.route(_session(system), "skyline", predicate=predicate)
+
+
+def test_unsupported_edge_index_merge_to_naive(faulty):
+    """Edge 1: ``StrategyUnsupported`` — index-merge never serves skylines.
+
+    The router's ``chain_for`` filters this statically, so the runtime
+    raise is exercised through the executor directly (an unfiltered
+    chain), exactly as a mis-stated forced chain would reach it.
+    """
+    _, system = faulty
+    predicate = sample_predicate(system.relation, 1, random.Random(3))
+    expected = _reference(system, predicate)
+
+    executor = FallbackExecutor(ENGINES)
+    router = QueryRouter.for_system(system, policy=RoutingPolicy(cache=False))
+    result, failures = executor.execute(
+        ["index-merge", "naive"],
+        _session(system),
+        RouteRequest(kind="skyline", predicate=predicate),
+        router.ctx,
+    )
+    assert len(failures) == 1
+    name, error = failures[0]
+    assert name == "index-merge"
+    assert isinstance(error, StrategyUnsupported)
+    assert result.stats.route == "naive"
+    assert result.stats.fallbacks == 1
+    assert sorted(result.tids) == sorted(expected.tids)
+
+
+def test_unsupported_edge_stale_postings(faulty):
+    """Edge 1b: maintenance after the index build makes postings stale —
+    index-merge refuses (never silently loses rows) and falls through."""
+    _, system = faulty
+    rng = random.Random(5)
+    predicate = sample_predicate(system.relation, 1, rng)
+    fn = sample_linear_function(system.relation.schema.n_preference, rng)
+
+    schema = system.relation.schema
+    system.insert(
+        tuple(0 for _ in range(schema.n_boolean)),
+        tuple(0.5 for _ in range(schema.n_preference)),
+    )
+    session = _session(system)
+    assert len(session.relation) > system.indexes_rows
+
+    executor = FallbackExecutor(ENGINES)
+    router = QueryRouter.for_system(system, policy=RoutingPolicy(cache=False))
+    result, failures = executor.execute(
+        ["index-merge", "naive"],
+        session,
+        RouteRequest(kind="topk", predicate=predicate, fn=fn, k=5),
+        router.ctx,
+    )
+    assert isinstance(failures[0][1], StrategyUnsupported)
+    assert "cover" in failures[0][1].reason
+    assert result.stats.route == "naive"
+
+    # And the full router never offers index-merge for this snapshot.
+    chain = router.chain_for("topk", predicate, None, session.relation)
+    assert "index-merge" not in chain
+
+
+def test_storage_fault_edge_domination_to_naive(faulty):
+    """Edge 2: ``StorageFault`` — corrupt R-tree pages fail BBS; the heap
+    scan answers; the edge and error class land in the router's tallies."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, random.Random(7))
+    expected = _reference(system, predicate)
+
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="rtree", count=None)]
+    )
+    router = QueryRouter.for_system(
+        system,
+        policy=RoutingPolicy(
+            forced_chain=("domination-first", "naive"), cache=False
+        ),
+    )
+    result = router.route(_session(system), "skyline", predicate=predicate)
+    assert result.stats.route == "naive"
+    assert result.stats.fallbacks == 1
+    assert sorted(result.tids) == sorted(expected.tids)
+
+    stats = router.stats.snapshot()
+    assert stats["routed"] == 1
+    assert stats["fell_back"] == 1
+    assert stats["fallback_edges"] == {"domination-first->naive": 1}
+    assert stats["strategy_faults"] == 1
+    assert stats["unsupported"] == 0
+    assert stats["strategy_timeouts"] == 0
+    disk.plan = FaultPlan()
+
+
+def test_storage_fault_two_hop_chain(faulty):
+    """A chain can degrade twice: both R-tree engines fault, naive serves,
+    and both edges are tallied with exact reconciliation."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, random.Random(11))
+    expected = _reference(system, predicate)
+
+    disk.plan = FaultPlan(
+        [FaultRule(kind="corrupt", tag="rtree", count=None)]
+    )
+    router = QueryRouter.for_system(
+        system,
+        policy=RoutingPolicy(
+            forced_chain=("signature", "domination-first", "naive"),
+            cache=False,
+        ),
+    )
+    result = router.route(_session(system), "skyline", predicate=predicate)
+    assert result.stats.route == "naive"
+    assert result.stats.fallbacks == 2
+    assert sorted(result.tids) == sorted(expected.tids)
+
+    stats = router.stats.snapshot()
+    assert stats["fallback_edges"] == {
+        "signature->domination-first": 1,
+        "domination-first->naive": 1,
+    }
+    assert stats["strategy_faults"] == 2
+    assert stats["routed"] == sum(stats["served_by"].values())
+    disk.plan = FaultPlan()
+
+
+def test_timeout_edge_slice_expires_overall_survives(faulty):
+    """Edge 3: ``StrategyTimeout`` — latency injection on R-tree reads
+    makes the first attempt overrun its *slice* while the overall budget
+    survives, so naive still answers inside the deadline."""
+    disk, system = faulty
+    predicate = sample_predicate(system.relation, 1, random.Random(13))
+    expected = _reference(system, predicate)
+
+    disk.plan = FaultPlan(
+        [FaultRule(kind="slow", tag="rtree", delay=0.05, count=None)]
+    )
+    router = QueryRouter.for_system(
+        system,
+        policy=RoutingPolicy(
+            forced_chain=("domination-first", "naive"), cache=False
+        ),
+    )
+    session = QuerySession.for_snapshot(
+        system.pin_snapshot(),
+        deadline_at=time.perf_counter() + 0.4,
+    )
+    result = router.route(session, "skyline", predicate=predicate)
+    assert result.stats.route == "naive"
+    assert result.stats.fallbacks == 1
+    assert sorted(result.tids) == sorted(expected.tids)
+
+    stats = router.stats.snapshot()
+    assert stats["strategy_timeouts"] == 1
+    assert stats["fallback_edges"] == {"domination-first->naive": 1}
+    disk.plan = FaultPlan()
+
+
+def test_overall_deadline_is_never_swallowed(faulty):
+    """A lapsed *overall* deadline aborts with ``QueryTimeout`` exactly as
+    it would unrouted — the chain must not convert it into a fallback."""
+    _, system = faulty
+    predicate = sample_predicate(system.relation, 1, random.Random(17))
+    router = QueryRouter.for_system(system, policy=RoutingPolicy(cache=False))
+    session = QuerySession.for_snapshot(
+        system.pin_snapshot(),
+        deadline_at=time.perf_counter() - 1.0,  # already lapsed
+    )
+    with pytest.raises(QueryTimeout):
+        router.route(session, "skyline", predicate=predicate)
+
+
+def test_chaos_storm_routed_executor_reconciles(faulty, rng):
+    """The composed storm: transient faults, corruption and latency spikes
+    against a *routed* executor.  Every ticket resolves exact-or-typed
+    (the chaos contract), and afterwards the serving counters reconcile
+    exactly: every completed query was routed, every routed query has
+    exactly one cache outcome, and the router's own invariant holds."""
+    disk, system = faulty
+    relation = system.relation
+    dims = relation.schema.n_preference
+    workload = []
+    for index in range(24):
+        predicate = sample_predicate(relation, 1 + index % 2, rng)
+        if index % 3 == 1:
+            workload.append(
+                (
+                    "topk",
+                    {
+                        "fn": sample_linear_function(dims, rng),
+                        "k": 10,
+                        "predicate": predicate,
+                    },
+                )
+            )
+        else:
+            workload.append(("skyline", {"predicate": predicate}))
+    serial = [
+        getattr(system.engine, kind)(**kwargs) for kind, kwargs in workload
+    ]
+
+    disk.plan = FaultPlan(
+        [
+            FaultRule(kind="transient", tag="rtree", probability=0.2, count=12),
+            FaultRule(
+                kind="transient",
+                tag=f"{system.pcube.tag}:sig",
+                probability=0.2,
+                count=12,
+            ),
+            FaultRule(kind="slow", probability=0.05, count=10, delay=0.002),
+        ],
+        seed=20080401,
+    )
+    with QueryExecutor(
+        system, threads=3, queue_depth=64, routing=True
+    ) as executor:
+        tickets = [
+            getattr(executor, kind)(**kwargs) for kind, kwargs in workload
+        ]
+        completed = 0
+        for index, ticket in enumerate(tickets):
+            try:
+                result = ticket.result(timeout=60.0)
+            except TYPED_ERRORS:
+                continue
+            reference = serial[index]
+            assert sorted(result.tids) == sorted(reference.tids)
+            if result.scores is not None:
+                assert sorted(
+                    round(s, 9) for s in result.scores
+                ) == sorted(round(s, 9) for s in reference.scores)
+            completed += 1
+        serving = executor.stats.snapshot()
+        router_view = executor.router.snapshot()["routing"]
+
+    # Exact reconciliation between the three stat surfaces.
+    assert serving["completed"] == completed
+    assert serving["routed"] == completed
+    assert (
+        serving["cache_hits"]
+        + serving["cache_misses"]
+        + serving["cache_bypassed"]
+        == serving["routed"]
+    )
+    assert serving["fell_back"] <= serving["routed"]
+    assert router_view["routed"] == router_view["cache_hits"] + sum(
+        router_view["served_by"].values()
+    )
+    assert sum(serving["routes"].values()) == serving["routed"]
+    disk.plan = FaultPlan()

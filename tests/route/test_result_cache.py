@@ -1,0 +1,121 @@
+"""ResultCache unit behaviour: keys, LRU, invalidation, signature memo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import LinearFunction
+from repro.route import APEX, CachedAnswer, ResultCache, result_key
+
+pytestmark = pytest.mark.routing
+
+
+def _answer(tids=(1, 2), scores=None, strategy="naive"):
+    return CachedAnswer(
+        tids=tuple(tids), scores=scores, strategy=strategy, tier=None
+    )
+
+
+def test_key_embeds_epoch_kind_cell_and_digest():
+    predicate = BooleanPredicate({"A": 1})
+    key = result_key("skyline", predicate, None, None, None, epoch=7)
+    assert key[0] == 7
+    assert key[1] == "skyline"
+    assert key[2] == predicate.cell().cell_id
+    assert key[3] == "*"
+
+    apex = result_key("skyline", BooleanPredicate(), None, None, None, 7)
+    assert apex[2] == APEX
+
+    subspace = result_key(
+        "skyline", predicate, ("X", "Y"), None, None, 7
+    )
+    assert subspace[3] == "X,Y"
+
+
+def test_key_distinguishes_fn_and_k():
+    predicate = BooleanPredicate({"A": 1})
+    base = result_key(
+        "topk", predicate, None, LinearFunction((1.0, 2.0)), 5, 7
+    )
+    other_fn = result_key(
+        "topk", predicate, None, LinearFunction((2.0, 1.0)), 5, 7
+    )
+    other_k = result_key(
+        "topk", predicate, None, LinearFunction((1.0, 2.0)), 6, 7
+    )
+    assert len({base, other_fn, other_k}) == 3
+
+
+def test_key_distinguishes_epochs():
+    predicate = BooleanPredicate({"A": 1})
+    old = result_key("skyline", predicate, None, None, None, 7)
+    new = result_key("skyline", predicate, None, None, None, 8)
+    assert old != new
+
+
+def test_get_put_and_counters():
+    cache = ResultCache(capacity=4)
+    key = ("k",)
+    assert cache.get(key) is None
+    cache.put(key, _answer())
+    hit = cache.get(key)
+    assert hit is not None and hit.tids == (1, 2)
+    view = cache.snapshot()
+    assert view["hits"] == 1
+    assert view["misses"] == 1
+    assert view["stores"] == 1
+    assert len(cache) == 1
+
+
+def test_lru_eviction_prefers_recently_used():
+    cache = ResultCache(capacity=2)
+    cache.put(("a",), _answer())
+    cache.put(("b",), _answer())
+    cache.get(("a",))  # refresh "a": "b" becomes the LRU victim
+    cache.put(("c",), _answer())
+    assert cache.get(("a",)) is not None
+    assert cache.get(("b",)) is None
+    assert cache.snapshot()["evicted"] == 1
+
+
+def test_on_epoch_drops_only_dead_epochs():
+    cache = ResultCache()
+    cache.put((3, "skyline"), _answer())
+    cache.put((4, "skyline"), _answer())
+    cache.put((5, "skyline"), _answer())
+    dropped = cache.on_epoch(5)
+    assert dropped == 2
+    assert cache.get((5, "skyline")) is not None
+    assert cache.get((3, "skyline")) is None
+    assert cache.snapshot()["invalidated"] == 2
+    assert cache.on_epoch(5) == 0  # idempotent at the same epoch
+
+
+def test_signature_memo_epoch_keyed():
+    cache = ResultCache(signature_capacity=2)
+    cells = ("c1", "c2")
+    assert cache.get_signature(cells, epoch=3) is None
+    cache.put_signature(cells, 3, "sig-object")
+    assert cache.get_signature(cells, 3) == "sig-object"
+    assert cache.get_signature(cells, 4) is None  # epoch mismatch
+    cache.on_epoch(4)
+    assert cache.get_signature(cells, 3) is None  # reclaimed
+    view = cache.snapshot()
+    assert view["signature_hits"] == 1
+    assert view["signature_misses"] == 3
+
+
+def test_signature_memo_disabled_at_zero_capacity():
+    cache = ResultCache(signature_capacity=0)
+    cache.put_signature(("c",), 1, "sig")
+    assert cache.get_signature(("c",), 1) is None
+    assert cache.snapshot()["signature_entries"] == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+    with pytest.raises(ValueError):
+        ResultCache(signature_capacity=-1)

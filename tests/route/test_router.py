@@ -1,0 +1,287 @@
+"""QueryRouter unit behaviour: chains, priors, learning, bypass, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.predicates import BooleanPredicate
+from repro.query.session import QuerySession
+from repro.route import (
+    NAIVE,
+    STRATEGY_ORDER,
+    CostBook,
+    PredicateStats,
+    QueryRouter,
+    RouterStats,
+    RoutingPolicy,
+    StrategyTimeout,
+    StrategyUnsupported,
+    candidate_bucket,
+)
+from repro.serve.resilience import BreakerBoard
+from repro.storage.errors import TransientIOError
+from repro.system import build_system
+
+pytestmark = pytest.mark.routing
+
+
+@pytest.fixture
+def routed(small_relation):
+    system = build_system(small_relation, fanout=8)
+    system.enable_epochs()
+    return system
+
+
+def _session(system):
+    return QuerySession.for_snapshot(system.pin_snapshot())
+
+
+def _predicate(relation, n=1):
+    dims = relation.schema.boolean_dims[:n]
+    return BooleanPredicate(
+        {dim: relation.bool_value(0, dim) for dim in dims}
+    )
+
+
+# -- policy validation --------------------------------------------------- #
+
+
+def test_unknown_forced_strategy_rejected(routed):
+    with pytest.raises(ValueError, match="unknown strategy"):
+        QueryRouter.for_system(routed, policy=RoutingPolicy(forced="grep"))
+
+
+def test_unknown_forced_chain_member_rejected(routed):
+    with pytest.raises(ValueError, match="unknown strategy"):
+        QueryRouter.for_system(
+            routed, policy=RoutingPolicy(forced_chain=("naive", "bogus"))
+        )
+
+
+# -- chain construction -------------------------------------------------- #
+
+
+def test_chain_always_ends_with_naive(routed):
+    router = QueryRouter.for_system(routed)
+    for kind in ("skyline", "topk"):
+        chain = router.chain_for(
+            kind, _predicate(routed.relation), None, routed.relation
+        )
+        assert chain[-1] == NAIVE
+        assert len(set(chain)) == len(chain)
+
+
+def test_forced_chain_is_supports_filtered(routed):
+    router = QueryRouter.for_system(
+        routed, policy=RoutingPolicy(forced_chain=("index-merge", "naive"))
+    )
+    # index-merge never serves skylines: filtered out, order preserved.
+    assert router.chain_for(
+        "skyline", BooleanPredicate(), None, routed.relation
+    ) == ["naive"]
+    assert router.chain_for(
+        "topk", BooleanPredicate(), None, routed.relation
+    ) == ["index-merge", "naive"]
+
+
+def test_domination_excluded_for_preference_subspace(routed):
+    router = QueryRouter.for_system(routed)
+    subspace = (routed.relation.schema.preference_dims[0],)
+    chain = router.chain_for(
+        "skyline", BooleanPredicate(), subspace, routed.relation
+    )
+    assert "domination-first" not in chain
+    assert chain[-1] == NAIVE
+
+
+def test_priors_empty_predicate_ties_domination_to_signature(routed):
+    router = QueryRouter.for_system(routed)
+    rows = len(routed.relation)
+    empty = router._priors(BooleanPredicate(), float(rows), routed.relation)
+    assert empty["domination-first"] == empty["signature"]
+    selective = router._priors(
+        _predicate(routed.relation), 5.0, routed.relation
+    )
+    # Non-empty predicate: minimal probing scales with the relation.
+    assert selective["domination-first"] > selective["signature"]
+    assert selective["boolean-first"] < selective["naive"]
+
+
+def test_cost_book_observations_reorder_the_chain(routed):
+    """A strategy observed to be far cheaper moves to the chain's head."""
+    router = QueryRouter.for_system(routed)
+    predicate = _predicate(routed.relation)
+    estimate = router.predicate_stats.cardinality(predicate)
+    bucket = candidate_bucket(estimate)
+    baseline = router.chain_for(
+        "skyline", predicate, None, routed.relation
+    )
+    # Teach the book that whatever ranked last (before naive) is free.
+    slowest = baseline[-2]
+    router.costs.observe("skyline", slowest, bucket, 0.0)
+    for name in baseline[:-2]:
+        router.costs.observe("skyline", name, bucket, 1e6)
+    relearned = router.chain_for(
+        "skyline", predicate, None, routed.relation
+    )
+    assert relearned[0] == slowest
+    assert relearned[-1] == NAIVE
+
+
+# -- statistics ---------------------------------------------------------- #
+
+
+def test_predicate_stats_refresh_once_per_epoch(routed):
+    router = QueryRouter.for_system(routed)
+    session = _session(routed)
+    predicate = _predicate(routed.relation)
+    router.route(session, "skyline", predicate=predicate)
+    router.route(session, "skyline", predicate=predicate)
+    assert router.predicate_stats.refreshes == 1
+    assert router.predicate_stats.rows == len(routed.relation)
+
+
+def test_predicate_stats_exact_for_one_conjunct(routed):
+    stats = PredicateStats()
+    stats.ensure(routed.relation, epoch=None)
+    relation = routed.relation
+    dim = relation.schema.boolean_dims[0]
+    value = relation.bool_value(0, dim)
+    exact = sum(
+        1 for tid in relation.tids() if relation.bool_value(tid, dim) == value
+    )
+    predicate = BooleanPredicate({dim: value})
+    assert stats.cardinality(predicate) == exact
+    assert stats.value_count(dim, value) == exact
+
+
+def test_candidate_bucket_log2():
+    assert candidate_bucket(0.0) == 0
+    assert candidate_bucket(1.0) == 0
+    assert candidate_bucket(2.0) == 1
+    assert candidate_bucket(1000.0) == 9
+
+
+def test_cost_book_ewma_and_nearest_bucket():
+    book = CostBook(alpha=0.5)
+    book.observe("skyline", "signature", 4, 100.0)
+    book.observe("skyline", "signature", 4, 200.0)
+    assert book.estimate("skyline", "signature", 4) == 150.0
+    # Unseen bucket: nearest same-(kind, strategy) bucket generalises.
+    assert book.estimate("skyline", "signature", 9) == 150.0
+    assert book.estimate("topk", "signature", 4) is None
+    with pytest.raises(ValueError):
+        CostBook(alpha=0.0)
+
+
+def test_router_stats_error_classification():
+    stats = RouterStats()
+    chain = ["signature", "domination-first", "naive"]
+    stats.note_served(
+        chain,
+        "naive",
+        [
+            ("signature", StrategyUnsupported("signature", "test")),
+            ("domination-first", TransientIOError(3, "rtree")),
+        ],
+        "miss",
+    )
+    stats.note_served(chain, "signature", [], "miss")
+    stats.note_hit()
+    view = stats.snapshot()
+    assert view["routed"] == 3
+    assert view["fell_back"] == 1
+    assert view["unsupported"] == 1
+    assert view["strategy_faults"] == 1
+    assert view["strategy_timeouts"] == 0
+    assert view["fallback_edges"] == {
+        "signature->domination-first": 1,
+        "domination-first->naive": 1,
+    }
+    assert view["routed"] == view["cache_hits"] + sum(
+        view["served_by"].values()
+    )
+
+
+def test_router_stats_timeout_classification():
+    stats = RouterStats()
+    stats.note_served(
+        ["signature", "naive"],
+        "naive",
+        [("signature", StrategyTimeout("signature"))],
+        None,
+    )
+    assert stats.snapshot()["strategy_timeouts"] == 1
+
+
+# -- breaker bypass ------------------------------------------------------ #
+
+
+def test_open_breaker_bypasses_the_cache(routed):
+    breakers = BreakerBoard(threshold=1)
+    router = QueryRouter.for_system(routed, breakers=breakers)
+    session = _session(routed)
+    predicate = _predicate(routed.relation)
+
+    warm = router.route(session, "skyline", predicate=predicate)
+    assert warm.stats.cache_outcome == "miss"
+    assert (
+        router.route(session, "skyline", predicate=predicate)
+        .stats.cache_outcome
+        == "hit"
+    )
+
+    # Trip a breaker on the predicate's cell: lookups are bypassed, the
+    # real path runs, and the answer stays byte-identical.
+    cell_id = next(iter(predicate.atomic_cells())).cell_id
+    breakers.record_failure(cell_id, 0, epoch=session.epoch)
+    bypassed = router.route(session, "skyline", predicate=predicate)
+    assert bypassed.stats.cache_outcome == "bypass"
+    assert bypassed.tids == warm.tids
+    assert router.cache.snapshot()["bypassed"] == 1
+
+    # Unrelated predicates still enjoy the cache.
+    other = BooleanPredicate()
+    router.route(session, "skyline", predicate=other)
+    assert (
+        router.route(session, "skyline", predicate=other)
+        .stats.cache_outcome
+        == "hit"
+    )
+
+
+# -- live sessions ------------------------------------------------------- #
+
+
+def test_live_sessions_are_never_cached(small_relation):
+    system = build_system(small_relation, fanout=8)  # no epochs
+    router = QueryRouter.for_system(system)
+    session = QuerySession(system.relation, system.rtree, system.pcube)
+    predicate = _predicate(system.relation)
+    first = router.route(session, "skyline", predicate=predicate)
+    second = router.route(session, "skyline", predicate=predicate)
+    assert first.stats.cache_outcome is None
+    assert second.stats.cache_outcome is None
+    assert len(router.cache) == 0
+    assert first.tids == second.tids
+
+
+# -- snapshot shape ------------------------------------------------------ #
+
+
+def test_snapshot_structure(routed):
+    router = QueryRouter.for_system(routed)
+    session = _session(routed)
+    router.route(session, "skyline", predicate=_predicate(routed.relation))
+    view = router.snapshot()
+    assert set(view) == {
+        "policy",
+        "routing",
+        "cache",
+        "predicate_stats",
+        "costs",
+    }
+    assert view["routing"]["routed"] == 1
+    assert view["cache"]["stores"] == 1
+    assert view["predicate_stats"]["rows"] == len(routed.relation)
+    assert STRATEGY_ORDER[-1] == NAIVE
