@@ -28,6 +28,8 @@ from typing import Sequence
 from repro.baselines.skyline_algs import sfs_skyline
 from repro.btree.btree import BPlusTree
 from repro.cube.relation import Relation
+from repro.kernels import backend as kernel_backend
+from repro.kernels.backend import np, using_numpy
 from repro.query.predicates import BooleanPredicate
 from repro.query.ranking import RankingFunction
 from repro.query.stats import QueryStats
@@ -72,9 +74,25 @@ def select_tuples(
     """Boolean selection via the cheaper of index scan and table scan.
 
     ``ticker`` (the serving executor's deadline/cancel probe) fires once
-    per tuple considered, so routed deadlines apply inside the scan.
+    per tuple considered, so routed deadlines apply inside the scan.  When
+    no ticker is installed, scans run page-at-a-time against the columnar
+    projection — identical counted ``BTABLE``/``BINDEX`` reads (each heap
+    page is read through :meth:`Relation.scan_pages` exactly where
+    :meth:`Relation.scan` would read it), with the per-tuple predicate
+    work vectorized.
     """
+    use_vector = ticker is None and using_numpy()
     if predicate.is_empty():
+        if use_vector:
+            projection = relation.columnar()
+            pages = [
+                np.asarray(page, dtype=np.int64)
+                for page in relation.scan_pages(stats.counters, BTABLE)
+            ]
+            if not pages:
+                return []
+            tids = np.concatenate(pages)
+            return tids[projection.live[tids]].tolist()
         selected_all: list[int] = []
         for tid in relation.scan(stats.counters, BTABLE):
             if ticker is not None:
@@ -108,9 +126,23 @@ def select_tuples(
         candidate_tids = index.search(
             value, counters=stats.counters, category=BINDEX
         )
+        ordered = sorted(candidate_tids)
+        keep: list[bool] | None = None
+        if use_vector and ordered:
+            projection = relation.columnar()
+            match = projection.match_mask(conjuncts)
+            tids = np.asarray(ordered, dtype=np.int64)
+            # Postings outlive rows (no index maintenance on delete), so a
+            # tid may point past the projection; those verify False.
+            in_range = tids < projection.n
+            ok = np.zeros(len(ordered), dtype=bool)
+            if bool(in_range.any()):
+                valid = tids[in_range]
+                ok[in_range] = projection.live[valid] & match[valid]
+            keep = ok.tolist()
         selected: list[int] = []
         seen_pages: set[int] = set()
-        for tid in sorted(candidate_tids):
+        for index_pos, tid in enumerate(ordered):
             if ticker is not None:
                 ticker()
             page = tid // relation.rows_per_page
@@ -120,13 +152,28 @@ def select_tuples(
             # B+-tree postings keep deleted tids (no index maintenance on
             # delete), so tombstones are filtered here, after paying for
             # the page that proves the row is dead.
-            if relation.is_live(tid) and all(
+            if keep is not None:
+                if keep[index_pos]:
+                    selected.append(tid)
+            elif relation.is_live(tid) and all(
                 relation.bool_value(tid, dim) == val
                 for dim, val in conjuncts.items()
             ):
                 selected.append(tid)
         return selected
     # Table scan.
+    if use_vector:
+        projection = relation.columnar()
+        match = projection.match_mask(conjuncts)
+        pages = [
+            np.asarray(page, dtype=np.int64)
+            for page in relation.scan_pages(stats.counters, BTABLE)
+        ]
+        if not pages:
+            return []
+        tids = np.concatenate(pages)
+        hits = projection.live[tids] & match[tids]
+        return tids[hits].tolist()
     selected = []
     for tid in relation.scan(stats.counters, BTABLE):
         if ticker is not None:
@@ -139,6 +186,18 @@ def select_tuples(
     return selected
 
 
+def _gather_points(relation: Relation, tids: Sequence[int]):
+    """Preference points for the selected tids.
+
+    On the numpy backend this is a columnar gather returning the float64
+    matrix itself — downstream kernels (``score_block``, SFS) take it
+    without per-row tuple copies.  Scalar backend: exact-float tuples.
+    """
+    if using_numpy() and tids:
+        return relation.columnar().pref_block(tids)
+    return [relation.pref_point(tid) for tid in tids]
+
+
 def boolean_first_skyline(
     relation: Relation,
     indexes: dict[str, BPlusTree],
@@ -147,11 +206,18 @@ def boolean_first_skyline(
 ) -> tuple[list[int], QueryStats]:
     """Boolean-then-preference skyline."""
     stats = QueryStats()
+    stats.kernel_backend = kernel_backend()
     started = time.perf_counter()
     candidates = select_tuples(relation, indexes, predicate, stats, ticker)
     stats.note_heap(len(candidates))
-    points = [(tid, relation.pref_point(tid)) for tid in candidates]
-    tids = sfs_skyline(points)
+    gathered = _gather_points(relation, candidates)
+    if using_numpy() and candidates:
+        # ``gathered`` is the columnar matrix; hand it to SFS directly.
+        tids = sfs_skyline(
+            list(zip(candidates, gathered)), matrix=gathered
+        )
+    else:
+        tids = sfs_skyline(list(zip(candidates, gathered)))
     stats.results = len(tids)
     stats.elapsed_seconds = time.perf_counter() - started
     return tids, stats
@@ -167,13 +233,12 @@ def boolean_first_topk(
 ) -> tuple[list[tuple[int, float]], QueryStats]:
     """Boolean-then-preference top-k."""
     stats = QueryStats()
+    stats.kernel_backend = kernel_backend()
     started = time.perf_counter()
     candidates = select_tuples(relation, indexes, predicate, stats, ticker)
     stats.note_heap(len(candidates))
-    scored = (
-        (fn.score(relation.pref_point(tid)), tid) for tid in candidates
-    )
-    best = heapq.nsmallest(k, scored)
+    scores = fn.score_block(_gather_points(relation, candidates))
+    best = heapq.nsmallest(k, zip(scores, candidates))
     ranked = [(tid, score) for score, tid in best]
     stats.results = len(ranked)
     stats.elapsed_seconds = time.perf_counter() - started

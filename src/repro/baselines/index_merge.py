@@ -29,6 +29,8 @@ import time
 
 from repro.btree.btree import BPlusTree
 from repro.cube.relation import Relation
+from repro.kernels import backend as kernel_backend
+from repro.kernels.backend import np, using_numpy
 from repro.query.algorithm1 import TopKStrategy, run_algorithm1
 from repro.query.predicates import BooleanPredicate
 from repro.query.ranking import RankingFunction
@@ -58,6 +60,7 @@ def index_merge_topk(
 ) -> tuple[list[tuple[int, float]], QueryStats]:
     """Progressive + selective index-merge top-k."""
     stats = QueryStats()
+    stats.kernel_backend = kernel_backend()
     if pool is None:
         pool = BufferPool(rtree.disk, capacity=4096)
     started = time.perf_counter()
@@ -84,19 +87,40 @@ def index_merge_topk(
 
         if merge_cost <= probe_cost:
             # --- merge: intersect full posting lists ------------------- #
+            # The early break on an empty intersection skips the remaining
+            # posting reads; both backends must break at the same point or
+            # counted BINDEX I/O would diverge.
+            vectorized = using_numpy()
             membership: set[int] | None = None
+            merged = None
             for dim, value in conjuncts:
-                posting = set(
-                    indexes[dim].search(
-                        value, pool, stats.counters, category=BINDEX
+                posting = indexes[dim].search(
+                    value, pool, stats.counters, category=BINDEX
+                )
+                if vectorized:
+                    arr = np.asarray(posting, dtype=np.int64)
+                    merged = (
+                        np.unique(arr)
+                        if merged is None
+                        else np.intersect1d(merged, arr)
                     )
+                    if merged.size == 0:
+                        break
+                else:
+                    posting_set = set(posting)
+                    membership = (
+                        posting_set
+                        if membership is None
+                        else membership & posting_set
+                    )
+                    if not membership:
+                        break
+            if vectorized:
+                qualifying = (
+                    set(merged.tolist()) if merged is not None else set()
                 )
-                membership = (
-                    posting if membership is None else membership & posting
-                )
-                if not membership:
-                    break
-            qualifying = membership or set()
+            else:
+                qualifying = membership or set()
 
             def verifier(tid: int) -> bool:
                 return tid in qualifying

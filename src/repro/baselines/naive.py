@@ -10,24 +10,26 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Sequence
 
+from repro.kernels.dominate import dominated_mask
 from repro.query.ranking import RankingFunction
-from repro.rtree.geometry import dominates
 
 
 def naive_skyline(
     points: Iterable[tuple[int, Sequence[float]]]
 ) -> list[int]:
-    """Tids of points not dominated by any other point (O(n²), exact)."""
+    """Tids of points not dominated by any other point (O(n²), exact).
+
+    The pairwise test runs through :func:`dominated_mask`, which keeps the
+    reference semantics exactly — self-pairs and same-tid duplicates never
+    dominate — while doing the comparisons block-wise.
+    """
     materialised = [(tid, tuple(point)) for tid, point in points]
-    result: list[int] = []
-    for tid, point in materialised:
-        if not any(
-            dominates(other, point)
-            for other_tid, other in materialised
-            if other_tid != tid
-        ):
-            result.append(tid)
-    return result
+    dominated = dominated_mask(materialised)
+    return [
+        tid
+        for (tid, _), is_dominated in zip(materialised, dominated)
+        if not is_dominated
+    ]
 
 
 def naive_topk(
@@ -36,6 +38,7 @@ def naive_topk(
     k: int,
 ) -> list[tuple[int, float]]:
     """The k smallest ``(tid, score)`` pairs, score-ascending (ties by tid)."""
-    scored = [(fn.score(point), tid) for tid, point in points]
-    best = heapq.nsmallest(k, scored)
+    pairs = [(tid, tuple(point)) for tid, point in points]
+    scores = fn.score_block([point for _, point in pairs])
+    best = heapq.nsmallest(k, zip(scores, (tid for tid, _ in pairs)))
     return [(tid, score) for score, tid in best]

@@ -12,24 +12,88 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.kernels.backend import np, using_numpy
+from repro.kernels.dominate import DominationBuffer, prefix_dominated_mask
+from repro.kernels.mindist import sum_block
 from repro.rtree.geometry import dominates
 
 Points = list[tuple[int, tuple[float, ...]]]
 
+#: SFS filter block size on the numpy backend: each chunk is tested
+#: against the accumulated skyline in one ``dominates_block`` call.
+_SFS_CHUNK = 1024
 
-def sfs_skyline(points: Points) -> list[int]:
+
+def sfs_skyline(points: Points, matrix=None) -> list[int]:
     """Sort-first skyline: presort by a monotone score, filter once.
 
     After sorting by ``sum(point)`` no later point can dominate an earlier
     one, so a single pass comparing against the accumulated skyline is
-    complete.
+    complete.  The sort key and the domination filter both run through the
+    batch kernels; the ``(Σ point, tid)`` order is backend-invariant
+    because ``sum_block`` reproduces ``sum()`` bit-for-bit.
+
+    ``matrix`` optionally carries the same coordinates as a float64
+    ``(n, d)`` ndarray aligned with ``points`` (a columnar gather), so the
+    numpy path never rebuilds it from per-row tuples.
+
+    The numpy filter works in chunks rather than per point: a whole chunk
+    is tested against the skyline-so-far in one block call, and only its
+    survivors are checked (scalar, in order) against the few points the
+    same chunk has already admitted — equivalent to the sequential pass,
+    because after the sort a point can only be dominated by points that
+    come before it.
     """
-    ordered = sorted(points, key=lambda item: (sum(item[1]), item[0]))
-    skyline: list[tuple[int, tuple[float, ...]]] = []
+    if not points:
+        return []
+    if using_numpy():
+        x = (
+            matrix
+            if matrix is not None
+            else np.asarray(
+                [point for _, point in points], dtype=np.float64
+            )
+        )
+        tids = np.asarray([tid for tid, _ in points], dtype=np.int64)
+        keys = np.asarray(sum_block(x), dtype=np.float64)
+        order = np.lexsort((tids, keys))
+        sorted_x = x[order]
+        sorted_tids = tids[order].tolist()
+        buffer = DominationBuffer(x.shape[1])
+        result: list[int] = []
+        for start in range(0, len(sorted_tids), _SFS_CHUNK):
+            block = sorted_x[start : start + _SFS_CHUNK]
+            dead = buffer.dominates_block(block)
+            survivors = [
+                offset for offset, is_dead in enumerate(dead) if not is_dead
+            ]
+            if not survivors:
+                continue
+            # Survivors of the buffer test can still be dominated by a
+            # point admitted earlier in this same chunk; by transitivity
+            # that equals "dominated by any earlier survivor", one
+            # pairwise upper-triangle kernel call.
+            in_chunk = prefix_dominated_mask(block[survivors])
+            for offset, is_dead in zip(survivors, in_chunk):
+                if is_dead:
+                    continue
+                buffer.add(tuple(block[offset].tolist()))
+                result.append(sorted_tids[start + offset])
+        return result
+    keys = sum_block([point for _, point in points])
+    ordered = [
+        item
+        for _, item in sorted(
+            zip(keys, points), key=lambda kv: (kv[0], kv[1][0])
+        )
+    ]
+    buffer = DominationBuffer(len(ordered[0][1]))
+    result = []
     for tid, point in ordered:
-        if not any(dominates(s, point) for _, s in skyline):
-            skyline.append((tid, point))
-    return [tid for tid, _ in skyline]
+        if not buffer.dominates_point(point):
+            buffer.add(point)
+            result.append(tid)
+    return result
 
 
 def bnl_skyline(points: Points, window: int = 1024) -> list[int]:
@@ -104,14 +168,22 @@ def _dnc(points: Points, depth: int, threshold: int) -> list[int]:
     # dominate a left one, so the symmetric check is required for
     # exactness.  (Transitivity makes filtering against the half-skylines,
     # rather than the full halves, sufficient.)
+    left_buffer = DominationBuffer(dims, points=list(left_points.values()))
+    right_buffer = DominationBuffer(dims, points=list(right_points.values()))
+    left_dominated = right_buffer.dominates_block(
+        list(left_points.values())
+    )
+    right_dominated = left_buffer.dominates_block(
+        list(right_points.values())
+    )
     survivors = [
         tid
-        for tid, point in left_points.items()
-        if not any(dominates(rp, point) for rp in right_points.values())
+        for tid, dominated in zip(left_points, left_dominated)
+        if not dominated
     ]
     survivors.extend(
         tid
-        for tid, point in right_points.items()
-        if not any(dominates(lp, point) for lp in left_points.values())
+        for tid, dominated in zip(right_points, right_dominated)
+        if not dominated
     )
     return survivors

@@ -32,6 +32,7 @@ from repro.bench.durability import (
     DEFAULT_THREADS as DURABILITY_THREADS,
     run_durability_benchmark,
 )
+from repro.bench.kernels import run_kernels_benchmark
 from repro.bench.resilience import run_resilience_benchmark
 from repro.bench.routing import run_routing_benchmark
 from repro.bench.serving import (
@@ -101,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         "BENCH_routing.json by default)",
     )
     parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="run the kernel-backend sweep (scalar python vs numpy batch "
+        "kernels; asserts identical answers and counted I/O, gates the "
+        "numpy speedup floor; writes BENCH_kernels.json by default)",
+    )
+    parser.add_argument(
         "--serving-threads",
         default=None,
         metavar="N,N,...",
@@ -155,12 +163,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.queries < 1:
         parser.error("--queries must be >= 1")
 
-    if sum((args.serving, args.resilience, args.durability, args.routing)) > 1:
-        parser.error(
-            "--serving, --resilience, --durability and --routing are "
-            "mutually exclusive"
+    if (
+        sum(
+            (
+                args.serving,
+                args.resilience,
+                args.durability,
+                args.routing,
+                args.kernels,
+            )
         )
-    if args.routing:
+        > 1
+    ):
+        parser.error(
+            "--serving, --resilience, --durability, --routing and "
+            "--kernels are mutually exclusive"
+        )
+    if args.kernels:
+        report = run_kernels_benchmark(seed=args.seed)
+    elif args.routing:
         report = run_routing_benchmark(seed=args.seed)
     elif args.serving or args.resilience or args.durability:
         if args.serving_threads:
@@ -201,6 +222,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.out is not None:
         default_out = args.out
+    elif args.kernels:
+        default_out = "BENCH_kernels.json"
     elif args.routing:
         default_out = "BENCH_routing.json"
     elif args.durability:

@@ -31,6 +31,13 @@ WALL_FIELDS = frozenset(
         # gate watches cache_misses (where more is unambiguously worse).
         "wall_ratio_vs_best_pinned",
         "hit_rate",
+        # Kernel-bench wall pair and its derivatives: machine-speed facts,
+        # not determinism facts.  The --kernels run gates its own speedup
+        # floor in-process; the compare gate watches io.total / results.
+        "wall_ms_python",
+        "wall_ms_numpy",
+        "speedup",
+        "gate_speedups",
     }
 )
 

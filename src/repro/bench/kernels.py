@@ -1,0 +1,298 @@
+"""Kernel-backend benchmark: scalar Python vs the numpy batch kernels.
+
+``python -m repro.bench --kernels`` runs a fixed set of hot-path
+workloads twice — once under ``REPRO_KERNELS=python`` and once under
+``REPRO_KERNELS=numpy`` — and reports both wall clocks side by side.
+The report makes two claims:
+
+* **invariance** — for every workload the two backends must produce the
+  *same answer* and the *same counted I/O* (``counters.snapshot()`` is
+  compared key-by-key).  This is asserted inside the benchmark, not just
+  reported: a divergence raises before any JSON is written.  The
+  deterministic fields (``io.total``, ``results``) are what the
+  ``--compare`` gate against the committed baseline watches.
+* **speed** — the numpy backend must actually pay for its existence.
+  The gated figures (``kernels_skyline``, ``kernels_topk``) each assert
+  an aggregate python/numpy wall-clock ratio of at least
+  :data:`DEFAULT_MIN_SPEEDUP`; wall-clock fields themselves
+  (``wall_ms_python``, ``wall_ms_numpy``, ``speedup``) are named into
+  :data:`repro.bench.compare.WALL_FIELDS` so the byte-level gate ignores
+  machine-speed noise.
+
+Workloads (each point is best-of-:data:`REPEATS` per backend, same
+prebuilt system shared by both backends — queries never mutate):
+
+* ``kernels_skyline`` *(gated)* — the Boolean-first full-scan skyline
+  (columnar scan + chunked SFS) over anticorrelated ``Dp = 2`` data,
+  where skylines are large and the scalar filter's early exit stops
+  helping, plus the O(n²) :func:`dominated_mask` reference on the same
+  distribution.
+* ``kernels_topk`` *(gated)* — Boolean-first full-scan top-k (columnar
+  scan + ``score_block``) under both a linear and a weighted-squared-
+  distance function over the uniform sweep setting.
+* ``kernels_search`` *(ungated)* — BBS and the Ranking method: best-
+  first R-tree search is heap-dominated, so the batch kernels only trim
+  the expansion cost; reported for the record, invariance-checked like
+  everything else.
+* ``kernels_memory`` *(ungated)* — the in-memory references on shapes
+  that favour the scalar short-circuit (uniform naive skyline) or the
+  Python heap (naive top-k): the honest end of the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.baselines.boolean_first import (
+    boolean_first_skyline,
+    boolean_first_topk,
+)
+from repro.baselines.domination_first import bbs_skyline, ranking_topk
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.data.fixtures import build_sweep_system, sweep_config
+from repro.data.synthetic import generate_relation
+from repro.kernels.backend import NUMPY, PYTHON, np, use_backend
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import LinearFunction, WeightedSquaredDistance
+from repro.query.stats import QueryStats
+
+KERNELS_SCHEMA = "repro.kernels-bench/v1"
+
+#: Aggregate python/numpy wall ratio each gated figure must clear.
+DEFAULT_MIN_SPEEDUP = 3.0
+#: Best-of repeats per (workload, backend) point.
+REPEATS = 3
+
+#: Anticorrelated Dp=2 sizes for the gated skyline sweep.
+SKYLINE_SIZES = (10_000, 20_000)
+#: Uniform sweep sizes for the gated full-scan top-k sweep.
+TOPK_SIZES = (20_000, 50_000)
+#: Anticorrelated sizes for the (heap-dominated, ungated) BBS series.
+SEARCH_SIZES = (3_000, 6_000)
+#: In-memory skyline reference size (O(n²) — keep it modest).
+MEMORY_SKYLINE_SIZE = 2_000
+#: In-memory top-k reference size (linear scoring sweep).
+MEMORY_TOPK_SIZE = 50_000
+
+_EMPTY = BooleanPredicate()
+#: The Figure-13 query family, one fixed member (a, b, c > 0).
+_LINEAR = LinearFunction((0.4, 0.35, 0.25))
+#: An Example-1 style target query (kernel-heavy scoring).
+_WSD = WeightedSquaredDistance(
+    target=(0.25, 0.5, 0.75), weights=(1.0, 0.8, 0.6)
+)
+_TOPK_K = 10
+
+
+def _measure(
+    run: Callable[[], tuple[Any, QueryStats]],
+) -> tuple[float, Any, dict[str, int]]:
+    """Best-of-:data:`REPEATS` wall seconds, plus answer and I/O counts."""
+    best = float("inf")
+    answer: Any = None
+    snapshot: dict[str, int] = {}
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        answer, stats = run()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+        snapshot = stats.counters.snapshot()
+    return best, answer, snapshot
+
+
+def _point(
+    x: int, run: Callable[[], tuple[Any, QueryStats]]
+) -> dict[str, Any]:
+    """One sweep point: the same workload under both backends.
+
+    Asserts backend invariance (identical answer, identical counted I/O)
+    before reporting; the returned dict carries the deterministic gate
+    fields plus the wall-clock pair.
+    """
+    with use_backend(PYTHON):
+        python_wall, python_answer, python_io = _measure(run)
+    with use_backend(NUMPY):
+        numpy_wall, numpy_answer, numpy_io = _measure(run)
+    if numpy_answer != python_answer:
+        raise AssertionError(
+            f"backend answers diverge at x={x}: "
+            f"python={len(python_answer)} rows, numpy={len(numpy_answer)}"
+        )
+    if numpy_io != python_io:
+        raise AssertionError(
+            f"counted I/O diverges at x={x}: "
+            f"python={python_io}, numpy={numpy_io}"
+        )
+    return {
+        "x": x,
+        "wall_ms_python": python_wall * 1e3,
+        "wall_ms_numpy": numpy_wall * 1e3,
+        "speedup": python_wall / numpy_wall if numpy_wall > 0 else 0.0,
+        "io": {"total": float(sum(python_io.values()))},
+        "results": len(python_answer),
+    }
+
+
+def _figure_speedup(figure: dict[str, Any]) -> float:
+    """Aggregate python/numpy ratio over every point of a figure."""
+    python_total = 0.0
+    numpy_total = 0.0
+    for series in figure["series"].values():
+        for point in series["points"]:
+            python_total += point["wall_ms_python"]
+            numpy_total += point["wall_ms_numpy"]
+    return python_total / numpy_total if numpy_total > 0 else 0.0
+
+
+def run_kernels_benchmark(
+    seed: int = 7,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> dict[str, Any]:
+    """The full kernel sweep; returns a ``repro.bench``-shaped report."""
+    if np is None:  # pragma: no cover - environment guard
+        raise RuntimeError(
+            "--kernels needs numpy importable (there is nothing to "
+            "compare against otherwise)"
+        )
+
+    # ---- gated: skyline hot paths -------------------------------------- #
+    bf_sky_points = []
+    for n_tuples in SKYLINE_SIZES:
+        anti = build_sweep_system(
+            n_tuples, n_preference=2, distribution="anticorrelated"
+        )
+        bf_sky_points.append(
+            _point(
+                n_tuples,
+                lambda s=anti: boolean_first_skyline(
+                    s.relation, s.indexes, _EMPTY
+                ),
+            )
+        )
+    anti_memory = list(
+        generate_relation(
+            sweep_config(
+                MEMORY_SKYLINE_SIZE,
+                n_preference=2,
+                distribution="anticorrelated",
+            )
+        ).pref_points()
+    )
+    naive_anti_point = _point(
+        MEMORY_SKYLINE_SIZE, lambda: _stamped(naive_skyline(anti_memory))
+    )
+
+    # ---- gated: top-k hot paths ---------------------------------------- #
+    bf_linear_points = []
+    bf_wsd_points = []
+    topk_systems = {}
+    for n_tuples in TOPK_SIZES:
+        topk_systems[n_tuples] = build_sweep_system(n_tuples)
+        uniform = topk_systems[n_tuples]
+        bf_linear_points.append(
+            _point(
+                n_tuples,
+                lambda s=uniform: boolean_first_topk(
+                    s.relation, s.indexes, _LINEAR, _TOPK_K, _EMPTY
+                ),
+            )
+        )
+        bf_wsd_points.append(
+            _point(
+                n_tuples,
+                lambda s=uniform: boolean_first_topk(
+                    s.relation, s.indexes, _WSD, _TOPK_K, _EMPTY
+                ),
+            )
+        )
+
+    # ---- ungated: best-first search (heap-dominated) -------------------- #
+    bbs_points = []
+    for n_tuples in SEARCH_SIZES:
+        anti = build_sweep_system(
+            n_tuples, n_preference=2, distribution="anticorrelated"
+        )
+        bbs_points.append(
+            _point(n_tuples, lambda s=anti: bbs_skyline(s.rtree))
+        )
+    ranking_system = topk_systems[TOPK_SIZES[0]]
+    ranking_point = _point(
+        TOPK_SIZES[0], lambda: _ranking(ranking_system)
+    )
+
+    # ---- ungated: in-memory references ---------------------------------- #
+    uniform_memory = list(
+        generate_relation(
+            sweep_config(MEMORY_SKYLINE_SIZE, n_preference=2)
+        ).pref_points()
+    )
+    naive_uniform_point = _point(
+        MEMORY_SKYLINE_SIZE,
+        lambda: _stamped(naive_skyline(uniform_memory)),
+    )
+    topk_memory = list(
+        generate_relation(sweep_config(MEMORY_TOPK_SIZE)).pref_points()
+    )
+    naive_topk_point = _point(
+        MEMORY_TOPK_SIZE,
+        lambda: _stamped(naive_topk(topk_memory, _LINEAR, _TOPK_K)),
+    )
+
+    figures = {
+        "kernels_skyline": {
+            "series": {
+                "boolean-first-anticorrelated": {"points": bf_sky_points},
+                "naive-anticorrelated": {"points": [naive_anti_point]},
+            }
+        },
+        "kernels_topk": {
+            "series": {
+                "boolean-first-linear": {"points": bf_linear_points},
+                "boolean-first-wsd": {"points": bf_wsd_points},
+            }
+        },
+        "kernels_search": {
+            "series": {
+                "bbs-anticorrelated": {"points": bbs_points},
+                "ranking": {"points": [ranking_point]},
+            }
+        },
+        "kernels_memory": {
+            "series": {
+                "naive-skyline-uniform": {"points": [naive_uniform_point]},
+                "naive-topk": {"points": [naive_topk_point]},
+            }
+        },
+    }
+
+    gated = {}
+    for name in ("kernels_skyline", "kernels_topk"):
+        ratio = _figure_speedup(figures[name])
+        gated[name] = ratio
+        if ratio < min_speedup:
+            raise AssertionError(
+                f"{name}: aggregate numpy speedup {ratio:.2f}x is below "
+                f"the {min_speedup:g}x gate"
+            )
+
+    return {
+        "schema": KERNELS_SCHEMA,
+        "seed": seed,
+        "min_speedup": min_speedup,
+        "gate_speedups": gated,
+        "figures": figures,
+    }
+
+
+def _ranking(system) -> tuple[Any, QueryStats]:
+    ranked, stats, _ = ranking_topk(
+        system.relation, system.rtree, _LINEAR, _TOPK_K, _EMPTY
+    )
+    return ranked, stats
+
+
+def _stamped(answer: Any) -> tuple[Any, QueryStats]:
+    """Wrap an in-memory result with empty stats (no counted I/O)."""
+    return answer, QueryStats()

@@ -7,7 +7,40 @@ via :func:`int.bit_count`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
+
+#: Word width of the packed representation (``to_words``/``from_words``).
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def word_count(nbits: int) -> int:
+    """How many 64-bit words a width of ``nbits`` packs into."""
+    if nbits < 0:
+        raise ValueError("nbits must be non-negative")
+    return (nbits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_words(words: Iterable[int], width: int) -> bytes:
+    """Serialise fixed-width little-endian words (shared by the codecs)."""
+    out = bytearray()
+    for word in words:
+        out += word.to_bytes(width, "little")
+    return bytes(out)
+
+
+def unpack_words(data: bytes, width: int) -> list[int]:
+    """Inverse of :func:`pack_words`; rejects ragged input."""
+    if width < 1:
+        raise ValueError("word width must be positive")
+    if len(data) % width:
+        raise ValueError(
+            f"{len(data)} bytes is not a multiple of the {width}-byte width"
+        )
+    return [
+        int.from_bytes(data[i : i + width], "little")
+        for i in range(0, len(data), width)
+    ]
 
 
 class BitArray:
@@ -150,6 +183,34 @@ class BitArray:
     @classmethod
     def from_bytes(cls, nbits: int, data: bytes) -> "BitArray":
         mask = int.from_bytes(data, "little")
+        return cls(nbits, mask)
+
+    def to_words(self) -> tuple[int, ...]:
+        """Packed little-endian 64-bit words, lowest word first.
+
+        ``ceil(nbits / 64)`` words; the top word is zero-padded.  This is
+        the interchange format of :mod:`repro.kernels.sigops`, which views
+        the same layout as a uint64 numpy buffer.
+        """
+        mask = self._mask
+        return tuple(
+            (mask >> (WORD_BITS * i)) & _WORD_MASK
+            for i in range(word_count(self.nbits))
+        )
+
+    @classmethod
+    def from_words(cls, nbits: int, words: Sequence[int]) -> "BitArray":
+        """Inverse of :meth:`to_words` (word count and padding validated)."""
+        expected = word_count(nbits)
+        if len(words) != expected:
+            raise ValueError(
+                f"width {nbits} packs into {expected} words, got {len(words)}"
+            )
+        mask = 0
+        for i, word in enumerate(words):
+            if not 0 <= word <= _WORD_MASK:
+                raise ValueError(f"word {i} is not an unsigned 64-bit value")
+            mask |= word << (WORD_BITS * i)
         return cls(nbits, mask)
 
     def __eq__(self, other: object) -> bool:

@@ -24,7 +24,7 @@ information.
 
 from __future__ import annotations
 
-from repro.bitmap.bitarray import BitArray
+from repro.bitmap.bitarray import BitArray, pack_words, unpack_words
 
 
 class CodecError(ValueError):
@@ -187,10 +187,7 @@ def _wah_encode(bits: BitArray) -> bytes:
             words.append(chunk)  # literal: MSB = 0
     if run_length:
         flush_run(run_value, run_length)
-    out = bytearray()
-    for word in words:
-        out += word.to_bytes(4, "little")
-    return bytes(out)
+    return pack_words(words, 4)
 
 
 def _wah_decode(nbits: int, body: bytes) -> BitArray:
@@ -199,8 +196,7 @@ def _wah_decode(nbits: int, body: bytes) -> BitArray:
     chunk_mask = (1 << _WAH_WORD) - 1
     mask = 0
     bit_pos = 0
-    for i in range(0, len(body), 4):
-        word = int.from_bytes(body[i : i + 4], "little")
+    for word in unpack_words(body, 4):
         if word >> 31:  # fill
             value = (word >> 30) & 1
             length = word & ((1 << 30) - 1)

@@ -25,27 +25,35 @@ from typing import Sequence
 from repro.bitmap.bitarray import BitArray
 from repro.core.signature import Signature
 from repro.core.sid import child_sid
+from repro.kernels.sigops import or_masks
 
 
 def union(first: Signature, second: Signature) -> Signature:
     """The bit-or of two signatures over the same partition template."""
-    _check_compatible(first, second)
-    result = first.copy()
-    for sid in second.node_sids():
-        other_bits = second.node(sid)
-        assert other_bits is not None
-        mine = result.node(sid)
-        result.set_node(sid, other_bits if mine is None else mine | other_bits)
-    return result
+    return union_all([first, second])
 
 
 def union_all(signatures: Sequence[Signature]) -> Signature:
-    """Union of one or more signatures."""
+    """Union of one or more signatures.
+
+    Gathers each node's masks across all inputs and ORs them in one
+    word-parallel reduction per SID, instead of materialising k − 1
+    intermediate signatures.
+    """
     if not signatures:
         raise ValueError("union_all of an empty sequence")
-    result = signatures[0].copy()
     for signature in signatures[1:]:
-        result = union(result, signature)
+        _check_compatible(signatures[0], signature)
+    fanout = signatures[0].fanout
+    by_sid: dict[int, list[int]] = {}
+    for signature in signatures:
+        for sid in signature.node_sids():
+            bits = signature.node(sid)
+            assert bits is not None
+            by_sid.setdefault(sid, []).append(bits.mask)
+    result = Signature(fanout)
+    for sid, masks in by_sid.items():
+        result.set_node(sid, BitArray(fanout, or_masks(masks, fanout)))
     return result
 
 

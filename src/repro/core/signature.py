@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.bitmap.bitarray import BitArray
 from repro.core.sid import child_sid, sid_of_path
+from repro.kernels.sigops import popcount_masks
 
 
 class Signature:
@@ -130,7 +131,9 @@ class Signature:
 
     def set_bit_count(self) -> int:
         """Total set bits across all nodes (a size diagnostic)."""
-        return sum(bits.count() for bits in self._nodes.values())
+        return popcount_masks(
+            (bits.mask for bits in self._nodes.values()), self.fanout
+        )
 
     def contains_subtree(self, path: Sequence[int]) -> bool:
         """Whether the cell has any data under the node at ``path``.

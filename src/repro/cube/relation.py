@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Sequence
 
+import numpy as _np
+
+from repro.cube.columnar import ColumnarProjection
 from repro.cube.schema import Schema
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import BTABLE, DBOOL, IOCounters
@@ -60,10 +63,30 @@ class Relation:
         if len(bool_rows) != len(pref_rows):
             raise ValueError("boolean and preference row counts differ")
         self.schema = schema
-        self._bool_rows = [tuple(row) for row in bool_rows]
-        self._pref_rows = [
-            tuple(float(v) for v in row) for row in pref_rows
-        ]
+        # Matrix input (the generators hand numpy arrays straight through)
+        # primes the columnar projection without a per-tuple round trip;
+        # ``tolist()`` yields the exact same Python ints/floats the old
+        # per-value conversion produced, so rows are byte-identical.
+        self._columnar: tuple[int, "ColumnarProjection"] | None = None
+        self._mutation_stamp = 0
+        if isinstance(bool_rows, _np.ndarray) and isinstance(
+            pref_rows, _np.ndarray
+        ):
+            self._bool_rows = [tuple(row) for row in bool_rows.tolist()]
+            self._pref_rows = [
+                tuple(float(v) for v in row) for row in pref_rows.tolist()
+            ]
+            self._columnar = (
+                0,
+                ColumnarProjection.from_matrices(
+                    schema, bool_rows, pref_rows
+                ),
+            )
+        else:
+            self._bool_rows = [tuple(row) for row in bool_rows]
+            self._pref_rows = [
+                tuple(float(v) for v in row) for row in pref_rows
+            ]
         for row in self._bool_rows:
             if len(row) != schema.n_boolean:
                 raise ValueError("boolean row width does not match schema")
@@ -114,6 +137,7 @@ class Relation:
             self._created_epoch[tid] = epoch
         self._bool_rows.append(tuple(bool_row))
         self._pref_rows.append(tuple(float(v) for v in pref_row))
+        self._mutation_stamp += 1
         self._append_to_page(tid)
         return tid
 
@@ -163,6 +187,7 @@ class Relation:
                 (epoch, self._pref_rows[tid])
             )
         self._pref_rows[tid] = tuple(float(v) for v in pref_row)
+        self._mutation_stamp += 1
 
     # ------------------------------------------------------------------ #
     # tombstones (incremental deletes)
@@ -179,6 +204,7 @@ class Relation:
             epoch = self.epoch_clock()
             if epoch > 0:
                 self._tombstone_epoch[tid] = epoch
+            self._mutation_stamp += 1
         self._tombstones.add(tid)
 
     def is_live(self, tid: int) -> bool:
@@ -223,6 +249,35 @@ class Relation:
 
     def heap_page_count(self) -> int:
         return len(self._page_ids)
+
+    def columnar(self) -> ColumnarProjection:
+        """The columnar projection of the current state (lazily cached).
+
+        Invalidated by any mutation (append / tombstone / preference
+        overwrite) via the mutation stamp.  Concurrent readers may race to
+        rebuild — the build is idempotent and the cache slot assignment is
+        atomic, so the worst case is one redundant build.
+        """
+        cached = self._columnar
+        stamp = self._mutation_stamp
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        projection = ColumnarProjection.from_rows(
+            self.schema, self._bool_rows, self._pref_rows, self._tombstones
+        )
+        self._columnar = (stamp, projection)
+        return projection
+
+    def scan_pages(
+        self,
+        counters: IOCounters | None = None,
+        category: str = BTABLE,
+    ) -> Iterator[list[int]]:
+        """Page-at-a-time table scan: the same counted reads as
+        :meth:`scan`, but yielding each page's raw tid list (tombstoned
+        rows included) so batch kernels can filter columnarly."""
+        for page_id in self._page_ids:
+            yield self.disk.read(page_id, category, counters)
 
     def scan(
         self,
@@ -346,6 +401,7 @@ class RelationView:
         self.schema = base.schema
         self.disk = base.disk
         self.rows_per_page = base.rows_per_page
+        self._columnar: tuple[int, ColumnarProjection] | None = None
 
     def __len__(self) -> int:
         return self._base._len_at(self.epoch)
@@ -389,6 +445,55 @@ class RelationView:
 
     def heap_page_count(self) -> int:
         return self._base.heap_page_count()
+
+    def columnar(self) -> ColumnarProjection:
+        """The pinned-epoch snapshot of the base columnar projection.
+
+        Built by patching the base projection: rows created after the
+        epoch are sliced off, rows tombstoned after it are resurrected,
+        and preference rows overwritten after it are restored from the
+        undo chains — the columnar twin of ``_is_live_at``/``_pref_at``.
+        Cached per base mutation stamp.
+        """
+        base = self._base
+        cached = self._columnar
+        stamp = base._mutation_stamp
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        n = len(self)
+        resurrect = [
+            tid
+            for tid, write_epoch in base._tombstone_epoch.items()
+            if write_epoch > self.epoch
+        ]
+        pref_undo: dict[int, tuple[float, ...]] = {}
+        for tid, chain in base._pref_history.items():
+            for write_epoch, old_row in chain:
+                if write_epoch > self.epoch:
+                    pref_undo[tid] = old_row
+                    break
+        projection = base.columnar().snapshot(n, resurrect, pref_undo)
+        self._columnar = (stamp, projection)
+        return projection
+
+    def scan_pages(
+        self,
+        counters: IOCounters | None = None,
+        category: str = BTABLE,
+    ) -> Iterator[list[int]]:
+        """Page-at-a-time variant of :meth:`scan`: identical counted reads
+        (including the one read that proves a page is out of range),
+        yielding raw tid lists clipped to the pinned epoch's prefix."""
+        limit = len(self)
+        base = self._base
+        for page_id in base._page_ids:
+            tids = base.disk.read(page_id, category, counters)
+            if tids and tids[0] >= limit:
+                break
+            if tids and tids[-1] < limit:
+                yield tids
+            else:
+                yield [tid for tid in tids if tid < limit]
 
     def scan(
         self,

@@ -108,6 +108,7 @@ def generate_relation(
         0, config.cardinality, (config.n_tuples, config.n_boolean)
     )
     pref_matrix = _preference_matrix(config, rng)
-    bool_rows = [tuple(int(v) for v in row) for row in bool_matrix]
-    pref_rows = [tuple(float(v) for v in row) for row in pref_matrix]
-    return Relation(config.schema, bool_rows, pref_rows, disk=disk)
+    # Hand the matrices straight through: the relation adopts them as its
+    # columnar projection and derives byte-identical row tuples itself
+    # (same seeds, same values — just no per-tuple convert-and-copy).
+    return Relation(config.schema, bool_matrix, pref_matrix, disk=disk)

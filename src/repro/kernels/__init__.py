@@ -1,0 +1,37 @@
+"""Vectorized batch primitives for the storage→query hot path.
+
+Three kernel families, each with a scalar reference and a numpy block
+implementation selected by ``REPRO_KERNELS=python|numpy`` (see
+:mod:`repro.kernels.backend`):
+
+* :mod:`repro.kernels.dominate` — block-vs-skyline-buffer domination;
+* :mod:`repro.kernels.mindist` — batch heap keys (coordinate sums, linear
+  and distance scores, rectangle lower bounds, MINDIST, the dynamic
+  transform);
+* :mod:`repro.kernels.sigops` — word-parallel AND/OR/popcount over packed
+  uint64 signature buffers.
+
+Both backends are bit-identical by construction: vector paths accumulate
+per dimension in the scalar loops' order, comparisons are exact, and the
+Hypothesis parity suite plus the engine differential tests pin it.
+"""
+
+from repro.kernels.backend import (
+    BACKENDS,
+    NUMPY,
+    PYTHON,
+    backend,
+    set_backend,
+    use_backend,
+    using_numpy,
+)
+
+__all__ = [
+    "BACKENDS",
+    "NUMPY",
+    "PYTHON",
+    "backend",
+    "set_backend",
+    "use_backend",
+    "using_numpy",
+]

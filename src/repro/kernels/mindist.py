@@ -1,0 +1,306 @@
+"""Batch lower-bound and score kernels for heap insertion (BBS / top-k).
+
+Every function evaluates one scalar formula over a *block* of points or
+rectangles and returns plain Python floats.  The vectorized path
+accumulates per dimension in the exact order of the scalar reference —
+``total = 0.0; for d: total += term_d`` — because Python's ``sum()`` folds
+left-to-right from 0 and float addition is not associative.  Term
+expressions keep the reference's grouping too (``w * delta * delta`` is
+``(w·Δ)·Δ``, ``w * (x - t) ** 2`` is ``w·(Δ²)``), so both backends agree
+bit-for-bit and heap orders (hence counted I/O) never diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernels.backend import np, using_numpy
+
+Rows = Sequence[Sequence[float]]
+
+
+def _matrix(rows: Rows):
+    """A float64 (n, d) matrix over a non-empty block of same-width rows.
+
+    Already-columnar input (an ndarray straight out of
+    :class:`repro.cube.columnar.ColumnarProjection`) passes through
+    without a copy — the point of handing matrices down the stack.
+    """
+    if isinstance(rows, np.ndarray) and rows.dtype == np.float64:
+        return rows
+    return np.asarray(rows, dtype=np.float64)
+
+
+# --------------------------------------------------------------------------- #
+# skyline keys: d(n) = Σ lows  (and plain coordinate sums)
+# --------------------------------------------------------------------------- #
+
+
+def sum_block(rows: Rows) -> list[float]:
+    """``[sum(row) for row in rows]`` — the skyline heap key d(n)."""
+    if len(rows) == 0 or not using_numpy():
+        return [sum(row) for row in rows]
+    x = _matrix(rows)
+    total = np.zeros(len(rows), dtype=np.float64)
+    for d in range(x.shape[1]):
+        total += x[:, d]
+    return total.tolist()
+
+
+# --------------------------------------------------------------------------- #
+# linear functions: f = Σ w_d x_d
+# --------------------------------------------------------------------------- #
+
+
+def linear_score_block(
+    weights: Sequence[float], rows: Rows
+) -> list[float]:
+    """``LinearFunction.score`` over a block of points."""
+    if len(rows) == 0 or not using_numpy():
+        return [
+            sum(w * x for w, x in zip(weights, row)) for row in rows
+        ]
+    x = _matrix(rows)
+    total = np.zeros(len(rows), dtype=np.float64)
+    for d, w in enumerate(weights):
+        total += w * x[:, d]
+    return total.tolist()
+
+
+def linear_lower_bound_block(
+    weights: Sequence[float], lows: Rows, highs: Rows
+) -> list[float]:
+    """``LinearFunction.lower_bound`` over a block of rectangles."""
+    if len(lows) == 0 or not using_numpy():
+        return [
+            sum(
+                w * (lo if w >= 0 else hi)
+                for w, lo, hi in zip(weights, row_lo, row_hi)
+            )
+            for row_lo, row_hi in zip(lows, highs)
+        ]
+    lo = _matrix(lows)
+    hi = _matrix(highs)
+    total = np.zeros(len(lows), dtype=np.float64)
+    for d, w in enumerate(weights):
+        total += w * (lo[:, d] if w >= 0 else hi[:, d])
+    return total.tolist()
+
+
+# --------------------------------------------------------------------------- #
+# weighted squared distance: f = Σ w_d (x_d − t_d)²  (Example 1 / MINDIST)
+# --------------------------------------------------------------------------- #
+
+
+def wsd_score_block(
+    weights: Sequence[float], target: Sequence[float], rows: Rows
+) -> list[float]:
+    """``WeightedSquaredDistance.score`` over a block of points."""
+    if len(rows) == 0 or not using_numpy():
+        return [
+            sum(
+                w * (x - t) ** 2
+                for w, x, t in zip(weights, row, target)
+            )
+            for row in rows
+        ]
+    x = _matrix(rows)
+    total = np.zeros(len(rows), dtype=np.float64)
+    for d, (w, t) in enumerate(zip(weights, target)):
+        delta = x[:, d] - t
+        total += w * (delta * delta)
+    return total.tolist()
+
+
+def wsd_lower_bound_block(
+    weights: Sequence[float],
+    target: Sequence[float],
+    lows: Rows,
+    highs: Rows,
+) -> list[float]:
+    """``WeightedSquaredDistance.lower_bound`` over a block of rectangles.
+
+    The scalar reference skips in-range dimensions; adding an exact 0.0
+    term instead is bit-identical (x + 0.0 == x for finite x ≥ 0 sums).
+    """
+
+    def scalar(row_lo, row_hi):
+        total = 0.0
+        for w, t, lo, hi in zip(weights, target, row_lo, row_hi):
+            if t < lo:
+                delta = lo - t
+            elif t > hi:
+                delta = t - hi
+            else:
+                continue
+            total += w * delta * delta
+        return total
+
+    if len(lows) == 0 or not using_numpy():
+        return [scalar(lo, hi) for lo, hi in zip(lows, highs)]
+    lo = _matrix(lows)
+    hi = _matrix(highs)
+    total = np.zeros(len(lows), dtype=np.float64)
+    for d, (w, t) in enumerate(zip(weights, target)):
+        delta = np.where(
+            t < lo[:, d],
+            lo[:, d] - t,
+            np.where(t > hi[:, d], t - hi[:, d], 0.0),
+        )
+        total += w * delta * delta
+    return total.tolist()
+
+
+# --------------------------------------------------------------------------- #
+# separable functions: per-term linear / squared mixes
+# --------------------------------------------------------------------------- #
+
+
+def separable_score_block(
+    terms: Sequence[tuple[int, str, float, float]], rows: Rows
+) -> list[float]:
+    """``SeparableFunction.score`` over a block of points."""
+    if len(rows) == 0 or not using_numpy():
+        out = []
+        for row in rows:
+            total = 0.0
+            for dim, kind, coeff, target in terms:
+                value = row[dim]
+                if kind == "linear":
+                    total += coeff * value
+                else:
+                    total += coeff * (value - target) ** 2
+            out.append(total)
+        return out
+    x = _matrix(rows)
+    total = np.zeros(len(rows), dtype=np.float64)
+    for dim, kind, coeff, target in terms:
+        col = x[:, dim]
+        if kind == "linear":
+            total += coeff * col
+        else:
+            delta = col - target
+            total += coeff * (delta * delta)
+    return total.tolist()
+
+
+def separable_lower_bound_block(
+    terms: Sequence[tuple[int, str, float, float]],
+    lows: Rows,
+    highs: Rows,
+) -> list[float]:
+    """``SeparableFunction.lower_bound`` over a block of rectangles."""
+
+    def scalar(row_lo, row_hi):
+        total = 0.0
+        for dim, kind, coeff, target in terms:
+            lo, hi = row_lo[dim], row_hi[dim]
+            if kind == "linear":
+                total += coeff * (lo if coeff >= 0 else hi)
+            else:
+                if target < lo:
+                    delta = lo - target
+                elif target > hi:
+                    delta = target - hi
+                else:
+                    delta = 0.0
+                total += coeff * delta * delta
+        return total
+
+    if len(lows) == 0 or not using_numpy():
+        return [scalar(lo, hi) for lo, hi in zip(lows, highs)]
+    lo = _matrix(lows)
+    hi = _matrix(highs)
+    total = np.zeros(len(lows), dtype=np.float64)
+    for dim, kind, coeff, target in terms:
+        if kind == "linear":
+            total += coeff * (lo[:, dim] if coeff >= 0 else hi[:, dim])
+        else:
+            delta = np.where(
+                target < lo[:, dim],
+                lo[:, dim] - target,
+                np.where(target > hi[:, dim], target - hi[:, dim], 0.0),
+            )
+            total += coeff * delta * delta
+    return total.tolist()
+
+
+# --------------------------------------------------------------------------- #
+# classic MINDIST: squared distance from a point to each rectangle
+# --------------------------------------------------------------------------- #
+
+
+def mindist_block(
+    lows: Rows, highs: Rows, point: Sequence[float]
+) -> list[float]:
+    """``geometry.mindist(rect, point)`` over a block of rectangles."""
+
+    def scalar(row_lo, row_hi):
+        total = 0.0
+        for lo, hi, v in zip(row_lo, row_hi, point):
+            if v < lo:
+                delta = lo - v
+            elif v > hi:
+                delta = v - hi
+            else:
+                continue
+            total += delta * delta
+        return total
+
+    if len(lows) == 0 or not using_numpy():
+        return [scalar(lo, hi) for lo, hi in zip(lows, highs)]
+    lo = _matrix(lows)
+    hi = _matrix(highs)
+    total = np.zeros(len(lows), dtype=np.float64)
+    for d, v in enumerate(point):
+        delta = np.where(
+            v < lo[:, d],
+            lo[:, d] - v,
+            np.where(v > hi[:, d], v - hi[:, d], 0.0),
+        )
+        total += delta * delta
+    return total.tolist()
+
+
+# --------------------------------------------------------------------------- #
+# the dynamic-skyline transform: x ↦ |x − q|  (points and rect low corners)
+# --------------------------------------------------------------------------- #
+
+
+def transform_points_block(
+    rows: Rows, query_point: Sequence[float]
+) -> list[tuple[float, ...]]:
+    """``transform_point`` over a block of points (exact: |x−q| per dim)."""
+    if len(rows) == 0 or not using_numpy():
+        return [
+            tuple(abs(x - q) for x, q in zip(row, query_point))
+            for row in rows
+        ]
+    x = _matrix(rows)
+    q = np.asarray(query_point, dtype=np.float64)
+    return [tuple(row) for row in np.abs(x - q).tolist()]
+
+
+def transform_rect_lowers_block(
+    lows: Rows, highs: Rows, query_point: Sequence[float]
+) -> list[tuple[float, ...]]:
+    """``transform_rect_lower`` over a block of rectangles."""
+
+    def scalar(row_lo, row_hi):
+        corner = []
+        for lo, hi, q in zip(row_lo, row_hi, query_point):
+            if q < lo:
+                corner.append(lo - q)
+            elif q > hi:
+                corner.append(q - hi)
+            else:
+                corner.append(0.0)
+        return tuple(corner)
+
+    if len(lows) == 0 or not using_numpy():
+        return [scalar(lo, hi) for lo, hi in zip(lows, highs)]
+    lo = _matrix(lows)
+    hi = _matrix(highs)
+    q = np.asarray(query_point, dtype=np.float64)
+    corner = np.where(q < lo, lo - q, np.where(q > hi, q - hi, 0.0))
+    return [tuple(row) for row in corner.tolist()]

@@ -25,10 +25,12 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
+from repro.kernels.dominate import DominationBuffer
+from repro.kernels.mindist import sum_block
 from repro.obs.trace import EXPAND, REPORT, Tracer
 from repro.query.ranking import RankingFunction
 from repro.query.stats import QueryStats
-from repro.rtree.geometry import Rect, dominates
+from repro.rtree.geometry import Rect
 from repro.rtree.node import RTreeNode
 from repro.rtree.rtree import RTree
 from repro.storage.buffer import BufferPool
@@ -142,7 +144,14 @@ class SkylineStrategy:
             if any(not 0 <= d < dims for d in subspace):
                 raise ValueError(f"subspace positions outside [0, {dims})")
         self.subspace = subspace
-        self.result_points: list[tuple[float, ...]] = []  # projected
+        self._buffer = DominationBuffer(
+            len(subspace) if subspace is not None else dims
+        )
+
+    @property
+    def result_points(self) -> list[tuple[float, ...]]:
+        """Discovered skyline points (projected), report order."""
+        return self._buffer.points()
 
     def _project(self, point: Sequence[float]) -> tuple[float, ...]:
         if self.subspace is None:
@@ -154,6 +163,14 @@ class SkylineStrategy:
 
     def point_key(self, point: Sequence[float]) -> float:
         return sum(self._project(point))
+
+    def block_point_keys(
+        self, points: Sequence[Sequence[float]]
+    ) -> list[float]:
+        return sum_block([self._project(p) for p in points])
+
+    def block_node_keys(self, rects: Sequence[Rect]) -> list[float]:
+        return sum_block([self._project(r.lows) for r in rects])
 
     def node_tie(self, rect: Rect) -> tuple[float, ...]:
         return self._project(rect.lows)
@@ -171,12 +188,16 @@ class SkylineStrategy:
         """
         probe = entry.point
         assert probe is not None
-        projected = self._project(probe)
-        return any(dominates(s, projected) for s in self.result_points)
+        return self._buffer.dominates_point(self._project(probe))
+
+    def prune_block(self, entries: Sequence[HeapEntry]) -> list[bool]:
+        return self._buffer.dominates_block(
+            [self._project(e.point) for e in entries]
+        )
 
     def add_result(self, entry: HeapEntry) -> bool:
         assert entry.point is not None
-        self.result_points.append(self._project(entry.point))
+        self._buffer.add(self._project(entry.point))
         return True
 
     def finished(self, next_key: float) -> bool:
@@ -199,6 +220,14 @@ class TopKStrategy:
     def point_key(self, point: Sequence[float]) -> float:
         return self.fn.score(point)
 
+    def block_point_keys(
+        self, points: Sequence[Sequence[float]]
+    ) -> list[float]:
+        return self.fn.score_block(points)
+
+    def block_node_keys(self, rects: Sequence[Rect]) -> list[float]:
+        return self.fn.lower_bound_block(rects)
+
     def node_tie(self, rect: Rect) -> tuple[float, ...]:
         return ()  # top-k correctness is tie-order independent (≥ tests)
 
@@ -208,6 +237,12 @@ class TopKStrategy:
     def prune(self, entry: HeapEntry) -> bool:
         """At least k discovered objects score no worse than the bound."""
         return len(self.scores) >= self.k and entry.key >= self.scores[-1]
+
+    def prune_block(self, entries: Sequence[HeapEntry]) -> list[bool]:
+        if len(self.scores) < self.k:
+            return [False] * len(entries)
+        worst = self.scores[-1]
+        return [e.key >= worst for e in entries]
 
     def add_result(self, entry: HeapEntry) -> bool:
         if len(self.scores) >= self.k and entry.key >= self.scores[-1]:
@@ -225,6 +260,32 @@ class TopKStrategy:
 
 
 Strategy = SkylineStrategy | TopKStrategy
+
+
+# Third-party strategies only have to implement the scalar protocol
+# (point_key / node_key / prune); the batch entry points below fall back to
+# per-item loops when the block methods are absent.
+
+
+def _batch_point_keys(strategy, points: list) -> list[float]:
+    method = getattr(strategy, "block_point_keys", None)
+    if method is not None:
+        return method(points)
+    return [strategy.point_key(p) for p in points]
+
+
+def _batch_node_keys(strategy, rects: list[Rect]) -> list[float]:
+    method = getattr(strategy, "block_node_keys", None)
+    if method is not None:
+        return method(rects)
+    return [strategy.node_key(r) for r in rects]
+
+
+def _batch_prune(strategy, entries: list[HeapEntry]) -> list[bool]:
+    method = getattr(strategy, "prune_block", None)
+    if method is not None:
+        return method(entries)
+    return [strategy.prune(e) for e in entries]
 
 
 def make_root_state(rtree: RTree, strategy: Strategy) -> SearchState:
@@ -352,13 +413,32 @@ def run_algorithm1(
             if tracer is not None:
                 tracer.event(EXPAND, path=entry.path, heap=len(heap))
 
-            for slot, child in node.live_entries():
-                position = slot + 1
-                child_path = entry.path + (position,)
+            # Batch the expansion: keys for all live children in one kernel
+            # call, then one block domination test.  Entry construction
+            # stays in slot order, so ``seq`` is assigned to every live
+            # child exactly as the per-child loop did; the prune decisions
+            # are order-independent within one expansion because the
+            # skyline buffer / top-k scores only change at pops.
+            live = list(node.live_entries())
+            leaf_points = [
+                child.mbr.lows for _, child in live if child.is_leaf_entry
+            ]
+            inner_rects = [
+                child.mbr for _, child in live if not child.is_leaf_entry
+            ]
+            leaf_keys = iter(
+                _batch_point_keys(strategy, leaf_points) if leaf_points else ()
+            )
+            inner_keys = iter(
+                _batch_node_keys(strategy, inner_rects) if inner_rects else ()
+            )
+            children: list[HeapEntry] = []
+            for slot, child in live:
+                child_path = entry.path + (slot + 1,)
                 if child.is_leaf_entry:
                     point = child.mbr.lows
                     child_entry = HeapEntry(
-                        key=strategy.point_key(point),
+                        key=next(leaf_keys),
                         seq=state.next_seq(),
                         path=child_path,
                         tid=child.tid,
@@ -367,7 +447,7 @@ def run_algorithm1(
                     )
                 else:
                     child_entry = HeapEntry(
-                        key=strategy.node_key(child.mbr),
+                        key=next(inner_keys),
                         seq=state.next_seq(),
                         path=child_path,
                         node=child.child,
@@ -375,22 +455,31 @@ def run_algorithm1(
                         rect=child.mbr,
                         tie=strategy.node_tie(child.mbr),
                     )
-                if strategy.prune(child_entry):
+                children.append(child_entry)
+            pruned = _batch_prune(strategy, children) if children else []
+            for (slot, _), child_entry, is_pruned in zip(
+                live, children, pruned
+            ):
+                if is_pruned:
                     stats.dominance_pruned += 1
                     if tracer is not None:
                         tracer.prune(
-                            "pref", path=child_path, key=child_entry.key
+                            "pref",
+                            path=child_entry.path,
+                            key=child_entry.key,
                         )
                     if keep_lists:
                         state.d_list.append(child_entry)
                     continue
                 if reader is not None and not reader.check_entry(
-                    entry.path, position
+                    entry.path, slot + 1
                 ):
                     stats.boolean_pruned += 1
                     if tracer is not None:
                         tracer.prune(
-                            "bool", path=child_path, key=child_entry.key
+                            "bool",
+                            path=child_entry.path,
+                            key=child_entry.key,
                         )
                     if keep_lists:
                         state.b_list.append(child_entry)

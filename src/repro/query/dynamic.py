@@ -21,10 +21,17 @@ from typing import Sequence
 
 from repro.core.pcube import PCube
 from repro.cube.relation import Relation
+from repro.kernels import backend as kernel_backend
+from repro.kernels.dominate import DominationBuffer, dominated_mask
+from repro.kernels.mindist import (
+    sum_block,
+    transform_points_block,
+    transform_rect_lowers_block,
+)
 from repro.query.algorithm1 import HeapEntry, SearchState, run_algorithm1
 from repro.query.predicates import BooleanPredicate
 from repro.query.stats import QueryStats
-from repro.rtree.geometry import Rect, dominates
+from repro.rtree.geometry import Rect
 from repro.rtree.rtree import RTree
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import SBLOCK
@@ -67,13 +74,34 @@ class DynamicSkylineStrategy:
 
     def __init__(self, query_point: Sequence[float]) -> None:
         self.query_point = tuple(float(q) for q in query_point)
-        self.result_points: list[tuple[float, ...]] = []  # transformed
+        if not self.query_point:
+            raise ValueError("query point must have at least one dimension")
+        self._buffer = DominationBuffer(len(self.query_point))
+
+    @property
+    def result_points(self) -> list[tuple[float, ...]]:
+        """Discovered skyline points (transformed), report order."""
+        return self._buffer.points()
 
     def node_key(self, rect: Rect) -> float:
         return sum(transform_rect_lower(rect, self.query_point))
 
     def point_key(self, point: Sequence[float]) -> float:
         return sum(transform_point(point, self.query_point))
+
+    def block_point_keys(
+        self, points: Sequence[Sequence[float]]
+    ) -> list[float]:
+        return sum_block(transform_points_block(points, self.query_point))
+
+    def block_node_keys(self, rects: Sequence[Rect]) -> list[float]:
+        return sum_block(
+            transform_rect_lowers_block(
+                [r.lows for r in rects],
+                [r.highs for r in rects],
+                self.query_point,
+            )
+        )
 
     def node_tie(self, rect: Rect) -> tuple[float, ...]:
         return transform_rect_lower(rect, self.query_point)
@@ -91,14 +119,16 @@ class DynamicSkylineStrategy:
         return transform_rect_lower(entry.rect, self.query_point)
 
     def prune(self, entry: HeapEntry) -> bool:
-        probe = self._probe(entry)
-        return any(dominates(s, probe) for s in self.result_points)
+        return self._buffer.dominates_point(self._probe(entry))
+
+    def prune_block(self, entries: Sequence[HeapEntry]) -> list[bool]:
+        return self._buffer.dominates_block(
+            [self._probe(e) for e in entries]
+        )
 
     def add_result(self, entry: HeapEntry) -> bool:
         assert entry.point is not None
-        self.result_points.append(
-            transform_point(entry.point, self.query_point)
-        )
+        self._buffer.add(transform_point(entry.point, self.query_point))
         return True
 
     def finished(self, next_key: float) -> bool:
@@ -124,6 +154,7 @@ def dynamic_skyline_signature(
             f"query point has {len(query_point)} dims, tree has {rtree.dims}"
         )
     stats = QueryStats()
+    stats.kernel_backend = kernel_backend()
     if pool is None:
         pool = BufferPool(rtree.disk, capacity=4096)
     started = time.perf_counter()
@@ -154,15 +185,15 @@ def naive_dynamic_skyline(
     query_point: Sequence[float],
 ) -> list[int]:
     """Ground-truth dynamic skyline (for tests)."""
-    transformed = [
-        (tid, transform_point(point, query_point)) for tid, point in points
-    ]
-    return [
-        tid
-        for tid, t_point in transformed
-        if not any(
-            dominates(other, t_point)
-            for other_tid, other in transformed
-            if other_tid != tid
+    raw = [tuple(point) for _, point in points]
+    transformed = list(
+        zip(
+            (tid for tid, _ in points),
+            transform_points_block(raw, query_point),
         )
+    )
+    dominated = dominated_mask(transformed)
+    return [
+        tid for (tid, _), is_dominated in zip(transformed, dominated)
+        if not is_dominated
     ]

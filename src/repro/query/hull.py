@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.core.pcube import PCube
 from repro.cube.relation import Relation
+from repro.kernels import backend as kernel_backend
 from repro.query.algorithm1 import TopKStrategy, run_algorithm1
 from repro.query.predicates import BooleanPredicate
 from repro.query.ranking import LinearFunction
@@ -53,6 +54,7 @@ def lower_hull_signature(
     if rtree.dims != 2:
         raise ValueError("lower_hull_signature supports 2-D preference spaces")
     stats = QueryStats()
+    stats.kernel_backend = kernel_backend()
     if pool is None:
         pool = BufferPool(rtree.disk, capacity=4096)
     started = time.perf_counter()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
+from repro.kernels import mindist
 from repro.rtree.geometry import Rect
 
 
@@ -29,6 +30,16 @@ class RankingFunction(ABC):
         Tightness is a performance matter, not a correctness one; the
         implementations below are all exact minima over the rectangle.
         """
+
+    def score_block(self, points: Sequence[Sequence[float]]) -> list[float]:
+        """``[score(p) for p in points]`` — overridden with a batch kernel
+        where the formula vectorizes bit-identically; this default keeps
+        arbitrary subclasses (e.g. :class:`MonotoneFunction`) correct."""
+        return [self.score(p) for p in points]
+
+    def lower_bound_block(self, rects: Sequence[Rect]) -> list[float]:
+        """``[lower_bound(r) for r in rects]`` (see :meth:`score_block`)."""
+        return [self.lower_bound(r) for r in rects]
 
 
 class LinearFunction(RankingFunction):
@@ -50,6 +61,16 @@ class LinearFunction(RankingFunction):
         return sum(
             w * (lo if w >= 0 else hi)
             for w, lo, hi in zip(self.weights, rect.lows, rect.highs)
+        )
+
+    def score_block(self, points: Sequence[Sequence[float]]) -> list[float]:
+        return mindist.linear_score_block(self.weights, points)
+
+    def lower_bound_block(self, rects: Sequence[Rect]) -> list[float]:
+        return mindist.linear_lower_bound_block(
+            self.weights,
+            [r.lows for r in rects],
+            [r.highs for r in rects],
         )
 
     def __repr__(self) -> str:
@@ -102,6 +123,17 @@ class WeightedSquaredDistance(RankingFunction):
                 continue
             total += w * delta * delta
         return total
+
+    def score_block(self, points: Sequence[Sequence[float]]) -> list[float]:
+        return mindist.wsd_score_block(self.weights, self.target, points)
+
+    def lower_bound_block(self, rects: Sequence[Rect]) -> list[float]:
+        return mindist.wsd_lower_bound_block(
+            self.weights,
+            self.target,
+            [r.lows for r in rects],
+            [r.highs for r in rects],
+        )
 
     def __repr__(self) -> str:
         return (
@@ -165,6 +197,16 @@ class SeparableFunction(RankingFunction):
                     delta = 0.0
                 total += coeff * delta * delta
         return total
+
+    def score_block(self, points: Sequence[Sequence[float]]) -> list[float]:
+        return mindist.separable_score_block(self.terms, points)
+
+    def lower_bound_block(self, rects: Sequence[Rect]) -> list[float]:
+        return mindist.separable_lower_bound_block(
+            self.terms,
+            [r.lows for r in rects],
+            [r.highs for r in rects],
+        )
 
     def __repr__(self) -> str:
         return f"SeparableFunction({self.terms!r})"

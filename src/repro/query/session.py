@@ -32,6 +32,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.kernels import backend as kernel_backend
 from repro.obs.trace import Tracer
 from repro.query.algorithm1 import (
     SearchState,
@@ -479,6 +480,7 @@ class QuerySession:
     ) -> QueryResult:
         stats = QueryStats()
         stats.epoch = self.epoch
+        stats.kernel_backend = kernel_backend()
         budget = self._budget()
         pool = self._query_pool()
         reader = None

@@ -6,6 +6,7 @@ import time
 from contextlib import nullcontext
 
 from repro.core.pcube import PCube
+from repro.kernels import backend as kernel_backend
 from repro.obs.trace import Tracer
 from repro.cube.relation import Relation
 from repro.query.algorithm1 import SearchState, SkylineStrategy, run_algorithm1
@@ -48,6 +49,7 @@ def skyline_signature(
         ``(tids, stats, state)`` — skyline tids in discovery (key) order.
     """
     stats = QueryStats()
+    stats.kernel_backend = kernel_backend()
     if pool is None:
         pool = BufferPool(rtree.disk, capacity=4096)
     if tracer is not None and tracer.counters is None:

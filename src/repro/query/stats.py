@@ -99,11 +99,17 @@ class QueryStats:
         fallbacks: How many engines failed before ``route`` answered.
         cache_outcome: The router cache's verdict — ``"hit"``, ``"miss"``,
             ``"bypass"`` (breaker-forced) or ``None`` (cache not consulted).
+        kernel_backend: Which batch-kernel backend (``"python"`` /
+            ``"numpy"``) executed the query's hot loops, stamped by the
+            query entry points.  A CPU implementation detail, so — like the
+            serving-side fields — excluded from :meth:`summary`: counted
+            I/O is backend-invariant by construction.
 
     The serving-side attributes (``epoch``, ``queue_wait_seconds``,
-    ``pool_hits``, ``pool_misses``, and the routing trio ``route`` /
-    ``fallbacks`` / ``cache_outcome``) are deliberately *not* part of
-    :meth:`summary`, which feeds paper-comparable benchmark baselines.
+    ``pool_hits``, ``pool_misses``, the routing trio ``route`` /
+    ``fallbacks`` / ``cache_outcome``, and ``kernel_backend``) are
+    deliberately *not* part of :meth:`summary`, which feeds
+    paper-comparable benchmark baselines.
     """
 
     counters: IOCounters = field(default_factory=IOCounters)
@@ -129,6 +135,7 @@ class QueryStats:
     route: str | None = None
     fallbacks: int = 0
     cache_outcome: str | None = None
+    kernel_backend: str | None = None
 
     def note_heap(self, size: int) -> None:
         if size > self.peak_heap:

@@ -1,0 +1,191 @@
+"""Cross-backend differential run over every query engine.
+
+One seeded system, one mixed workload, executed twice — once per
+``REPRO_KERNELS`` backend — asserting byte-identical answers AND
+identical :class:`QueryStats` accounting (counted I/O per category,
+prune counters, peak heap).  This is the end-to-end version of the
+kernel parity suite: if any call site lets the backends diverge in heap
+order or access-path choice, the counted reads differ and this fails.
+
+Marked ``kernels`` so CI can run it standalone under both values of the
+environment switch.
+"""
+
+import pytest
+
+from repro.baselines.boolean_first import (
+    boolean_first_skyline,
+    boolean_first_topk,
+)
+from repro.baselines.domination_first import (
+    bbs_skyline,
+    domination_first_skyline,
+    ranking_topk,
+)
+from repro.baselines.index_merge import index_merge_topk
+from repro.baselines.naive import naive_skyline, naive_topk
+from repro.baselines.skyline_algs import (
+    bnl_skyline,
+    dnc_skyline,
+    sfs_skyline,
+)
+from repro.data.fixtures import build_sweep_system
+from repro.kernels.backend import NUMPY, PYTHON, np, use_backend
+from repro.query.predicates import BooleanPredicate
+from repro.query.ranking import (
+    LinearFunction,
+    WeightedSquaredDistance,
+)
+
+pytestmark = [
+    pytest.mark.kernels,
+    pytest.mark.skipif(
+        np is None, reason="differential needs the numpy backend"
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_sweep_system(4_000, n_preference=2, seed=31)
+
+
+@pytest.fixture(scope="module")
+def points(system):
+    return list(system.relation.pref_points())
+
+
+def _stats_facts(stats):
+    return {
+        "io": stats.counters.snapshot(),
+        "dominance_pruned": stats.dominance_pruned,
+        "boolean_pruned": stats.boolean_pruned,
+        "peak_heap": stats.peak_heap,
+        "verified": stats.verified,
+        "results": stats.results,
+    }
+
+
+def _differential(run):
+    """Run a workload under both backends; answers and stats must agree."""
+    with use_backend(PYTHON):
+        scalar_answer, scalar_stats = run()
+    with use_backend(NUMPY):
+        vector_answer, vector_stats = run()
+    assert scalar_answer == vector_answer
+    if scalar_stats is not None:
+        assert _stats_facts(scalar_stats) == _stats_facts(vector_stats)
+    assert scalar_stats is None or scalar_stats.kernel_backend == PYTHON
+    assert vector_stats is None or vector_stats.kernel_backend == NUMPY
+    return scalar_answer
+
+
+def _predicates(system):
+    dims = system.relation.schema.boolean_dims
+    value = system.relation.bool_row(0)[0]
+    return [
+        BooleanPredicate(),
+        BooleanPredicate({dims[0]: value}),
+    ]
+
+
+LINEAR = LinearFunction((0.55, 0.45))
+WSD = WeightedSquaredDistance(target=(0.25, 0.75), weights=(1.0, 0.5))
+
+
+def test_signature_engine_differential(system):
+    for predicate in _predicates(system):
+        result = _differential(
+            lambda p=predicate: (
+                lambda r: (r.tids, r.stats)
+            )(system.engine.skyline(predicate=p))
+        )
+        assert result  # the sweep data always has a non-empty skyline
+        _differential(
+            lambda p=predicate: (
+                lambda r: ((r.tids, r.scores), r.stats)
+            )(system.engine.topk(LINEAR, 10, predicate=p))
+        )
+        _differential(
+            lambda p=predicate: (
+                lambda r: ((r.tids, r.scores), r.stats)
+            )(system.engine.topk(WSD, 7, predicate=p))
+        )
+    _differential(
+        lambda: (
+            lambda r: (r.tids, r.stats)
+        )(system.engine.dynamic_skyline((0.5, 0.5)))
+    )
+    _differential(
+        lambda: (
+            lambda r: (r.tids, r.stats)
+        )(system.engine.lower_hull())
+    )
+
+
+def test_subspace_skyline_differential(system):
+    name = system.relation.schema.preference_dims[0]
+    _differential(
+        lambda: (
+            lambda r: (r.tids, r.stats)
+        )(system.engine.skyline(preference_by=(name,)))
+    )
+
+
+def test_boolean_first_differential(system):
+    indexes = system.indexes
+    for predicate in _predicates(system):
+        _differential(
+            lambda p=predicate: boolean_first_skyline(
+                system.relation, indexes, p
+            )
+        )
+        _differential(
+            lambda p=predicate: boolean_first_topk(
+                system.relation, indexes, LINEAR, 10, p
+            )
+        )
+
+
+def test_domination_first_differential(system):
+    _differential(lambda: bbs_skyline(system.rtree))
+    for predicate in _predicates(system):
+        _differential(
+            lambda p=predicate: domination_first_skyline(
+                system.relation, system.rtree, p
+            )[:2]
+        )
+        _differential(
+            lambda p=predicate: ranking_topk(
+                system.relation, system.rtree, LINEAR, 10, p
+            )[:2]
+        )
+
+
+def test_index_merge_differential(system):
+    for predicate in _predicates(system):
+        _differential(
+            lambda p=predicate: index_merge_topk(
+                system.relation,
+                system.rtree,
+                system.indexes,
+                LINEAR,
+                10,
+                p,
+            )
+        )
+
+
+def test_memory_algorithms_differential(points):
+    _differential(lambda: (naive_skyline(points), None))
+    _differential(lambda: (sfs_skyline(points), None))
+    _differential(lambda: (bnl_skyline(points), None))
+    _differential(lambda: (dnc_skyline(points), None))
+    _differential(lambda: (naive_topk(points, LINEAR, 10), None))
+    # The three classic algorithms and the reference agree with each
+    # other too (set-wise; output orders legitimately differ).
+    with use_backend(NUMPY):
+        reference = set(naive_skyline(points))
+        assert set(sfs_skyline(points)) == reference
+        assert set(bnl_skyline(points)) == reference
+        assert set(dnc_skyline(points)) == reference

@@ -1,0 +1,239 @@
+"""Backend parity: every kernel must agree with its scalar reference
+bit-for-bit.
+
+Counted I/O depends on heap order, heap order depends on float keys, so
+"close enough" is not enough — the numpy paths must reproduce Python's
+left-fold float arithmetic exactly.  Coordinates are drawn both from
+arbitrary finite floats and from a coarse grid (``i / 8``) that
+manufactures the exact ties where ordering bugs would hide.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.backend import NUMPY, PYTHON, np, use_backend
+from repro.kernels.dominate import (
+    DominationBuffer,
+    dominated_mask,
+    prefix_dominated_mask,
+)
+from repro.kernels import mindist
+
+pytestmark = [
+    pytest.mark.kernels,
+    pytest.mark.skipif(np is None, reason="parity needs the numpy backend"),
+]
+
+coords = st.one_of(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, width=64
+    ),
+    # Tie-prone grid: duplicates and exact per-dimension equality.
+    st.integers(min_value=0, max_value=8).map(lambda i: i / 8),
+)
+
+
+def point_blocks(min_dims=1, max_dims=4, max_rows=12):
+    return st.integers(min_value=min_dims, max_value=max_dims).flatmap(
+        lambda d: st.lists(
+            st.tuples(*([coords] * d)), min_size=0, max_size=max_rows
+        )
+    )
+
+
+def rect_blocks(max_dims=4, max_rows=10):
+    def to_rects(rows):
+        lows = [
+            tuple(min(a, b) for a, b in zip(lo, hi)) for lo, hi in rows
+        ]
+        highs = [
+            tuple(max(a, b) for a, b in zip(lo, hi)) for lo, hi in rows
+        ]
+        return lows, highs
+
+    return st.integers(min_value=1, max_value=max_dims).flatmap(
+        lambda d: st.tuples(
+            st.lists(
+                st.tuples(
+                    st.tuples(*([coords] * d)),
+                    st.tuples(*([coords] * d)),
+                ),
+                min_size=0,
+                max_size=max_rows,
+            ).map(to_rects),
+            st.tuples(*([coords] * d)),
+        )
+    )
+
+
+def both_backends(fn):
+    with use_backend(PYTHON):
+        scalar = fn()
+    with use_backend(NUMPY):
+        vector = fn()
+    return scalar, vector
+
+
+# --------------------------------------------------------------------------- #
+# mindist kernels
+# --------------------------------------------------------------------------- #
+
+
+@given(point_blocks())
+def test_sum_block_parity(rows):
+    scalar, vector = both_backends(lambda: mindist.sum_block(rows))
+    assert scalar == vector
+    assert all(isinstance(v, float) for v in vector)
+
+
+@given(point_blocks())
+def test_linear_score_parity(rows):
+    dims = len(rows[0]) if rows else 2
+    weights = tuple((-1.0) ** d * (d + 1) / 4 for d in range(dims))
+    scalar, vector = both_backends(
+        lambda: mindist.linear_score_block(weights, rows)
+    )
+    assert scalar == vector
+
+
+@given(rect_blocks())
+def test_linear_lower_bound_parity(block):
+    (lows, highs), point = block
+    weights = tuple(
+        (-1.0) ** d * (d + 1) / 4 for d in range(len(point))
+    )
+    scalar, vector = both_backends(
+        lambda: mindist.linear_lower_bound_block(weights, lows, highs)
+    )
+    assert scalar == vector
+
+
+@given(rect_blocks())
+def test_wsd_parity(block):
+    (lows, highs), target = block
+    weights = tuple((d + 1) / 8 for d in range(len(target)))
+    scalar, vector = both_backends(
+        lambda: mindist.wsd_score_block(weights, target, lows)
+    )
+    assert scalar == vector
+    scalar, vector = both_backends(
+        lambda: mindist.wsd_lower_bound_block(
+            weights, target, lows, highs
+        )
+    )
+    assert scalar == vector
+
+
+@given(rect_blocks())
+def test_separable_parity(block):
+    (lows, highs), target = block
+    terms = [
+        (d, "linear" if d % 2 == 0 else "squared", (d + 1) / 4, t)
+        for d, t in enumerate(target)
+    ]
+    scalar, vector = both_backends(
+        lambda: mindist.separable_score_block(terms, lows)
+    )
+    assert scalar == vector
+    scalar, vector = both_backends(
+        lambda: mindist.separable_lower_bound_block(terms, lows, highs)
+    )
+    assert scalar == vector
+
+
+@given(rect_blocks())
+def test_mindist_and_transform_parity(block):
+    (lows, highs), point = block
+    scalar, vector = both_backends(
+        lambda: mindist.mindist_block(lows, highs, point)
+    )
+    assert scalar == vector
+    scalar, vector = both_backends(
+        lambda: mindist.transform_points_block(lows, point)
+    )
+    assert scalar == vector
+    scalar, vector = both_backends(
+        lambda: mindist.transform_rect_lowers_block(lows, highs, point)
+    )
+    assert scalar == vector
+
+
+def test_matrix_input_matches_tuple_input():
+    """Columnar callers hand ndarrays; same bits must come out."""
+    rows = [(0.125, 0.25, 0.5), (0.75, 0.125, 0.375), (0.5, 0.5, 0.5)]
+    matrix = np.asarray(rows, dtype=np.float64)
+    weights = (0.4, 0.35, 0.25)
+    with use_backend(NUMPY):
+        assert mindist.linear_score_block(
+            weights, matrix
+        ) == mindist.linear_score_block(weights, rows)
+        assert mindist.sum_block(matrix) == mindist.sum_block(rows)
+
+
+# --------------------------------------------------------------------------- #
+# domination kernels
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=60)
+@given(point_blocks(min_dims=2, max_dims=3, max_rows=20), st.data())
+def test_domination_buffer_parity(rows, data):
+    if not rows:
+        return
+    dims = len(rows[0])
+    split = data.draw(st.integers(min_value=0, max_value=len(rows)))
+    buffered, probes = rows[:split], rows[split:]
+
+    def run(use_numpy):
+        buffer = DominationBuffer(
+            dims, points=buffered, use_numpy=use_numpy
+        )
+        return (
+            [buffer.dominates_point(p) for p in probes],
+            buffer.dominates_block(probes),
+            buffer.points(),
+        )
+
+    with use_backend(PYTHON):
+        scalar = run(False)
+    with use_backend(NUMPY):
+        vector = run(True)
+    assert scalar == vector
+
+
+@settings(max_examples=60)
+@given(point_blocks(min_dims=2, max_dims=3, max_rows=20), st.data())
+def test_dominated_mask_parity(rows, data):
+    # Repeated tids exercise the same-tid exclusion.
+    tids = [
+        data.draw(st.integers(min_value=0, max_value=5)) for _ in rows
+    ]
+    pairs = list(zip(tids, rows))
+    scalar, vector = both_backends(lambda: dominated_mask(pairs))
+    assert scalar == vector
+
+
+@settings(max_examples=60)
+@given(point_blocks(min_dims=2, max_dims=3, max_rows=20))
+def test_prefix_dominated_mask_parity(rows):
+    scalar, vector = both_backends(
+        lambda: prefix_dominated_mask(rows)
+    )
+    assert scalar == vector
+
+
+def test_buffer_escalation_covers_long_buffers():
+    """Force several escalating chunks: a staircase none of whose steps
+    dominate the probe except the very last buffered point."""
+    staircase = [(float(i), float(2000 - i)) for i in range(2000)]
+    probe = (1999.5, 1.5)  # only (1999, 1) dominates it
+    for use_numpy in (False, True):
+        buffer = DominationBuffer(
+            2, points=staircase, use_numpy=use_numpy
+        )
+        assert buffer.dominates_point(probe) is True
+        assert buffer.dominates_block([probe, (-1.0, -1.0)]) == [
+            True,
+            False,
+        ]

@@ -1,0 +1,101 @@
+"""Word-level interop: BitArray ↔ packed uint64 words ↔ sigops.
+
+The signature algebra kernels work on 64-bit words; these tests pin the
+contract that ``to_words``/``from_words`` is a lossless round trip, that
+``pack_words``/``unpack_words`` agree with it byte-for-byte, and that the
+word-parallel sigops reproduce the scalar BitArray operators exactly.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.bitarray import (
+    BitArray,
+    WORD_BITS,
+    pack_words,
+    unpack_words,
+    word_count,
+)
+from repro.kernels.sigops import (
+    and_masks,
+    bitarray_words,
+    or_masks,
+    popcount_bitarrays,
+    popcount_masks,
+    words_to_bitarray,
+)
+
+pytestmark = pytest.mark.kernels
+
+bit_arrays = st.integers(min_value=1, max_value=300).flatmap(
+    lambda nbits: st.builds(
+        BitArray,
+        st.just(nbits),
+        st.integers(min_value=0, max_value=(1 << nbits) - 1),
+    )
+)
+
+
+@given(bit_arrays)
+def test_to_from_words_roundtrip(bits):
+    words = bits.to_words()
+    assert len(words) == word_count(bits.nbits)
+    assert all(0 <= w < (1 << WORD_BITS) for w in words)
+    back = BitArray.from_words(bits.nbits, words)
+    assert back == bits
+    assert back.mask == bits.mask
+
+
+@given(bit_arrays)
+def test_words_match_bytes(bits):
+    """Packing the word tuple is ``to_bytes`` zero-padded to full words
+    (``to_bytes`` is minimal-width, ``pack_words`` is word-aligned)."""
+    padded = bits.to_bytes().ljust(
+        word_count(bits.nbits) * (WORD_BITS // 8), b"\x00"
+    )
+    assert pack_words(bits.to_words(), WORD_BITS // 8) == padded
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=(1 << WORD_BITS) - 1),
+        min_size=0,
+        max_size=8,
+    )
+)
+def test_pack_unpack_words_roundtrip(words):
+    packed = pack_words(words, WORD_BITS // 8)
+    assert len(packed) == len(words) * (WORD_BITS // 8)
+    assert unpack_words(packed, WORD_BITS // 8) == list(words)
+
+
+@given(bit_arrays)
+def test_sigops_bitarray_words_roundtrip(bits):
+    assert words_to_bitarray(bitarray_words(bits), bits.nbits) == bits
+
+
+@given(st.data())
+def test_sigops_match_scalar_operators(data):
+    nbits = data.draw(st.integers(min_value=1, max_value=200))
+    masks = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << nbits) - 1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    arrays = [BitArray(nbits, mask) for mask in masks]
+    expected_or = arrays[0]
+    expected_and = arrays[0]
+    for bits in arrays[1:]:
+        expected_or = expected_or | bits
+        expected_and = expected_and & bits
+    assert or_masks(masks, nbits) == expected_or.mask
+    assert and_masks(masks, nbits) == expected_and.mask
+    assert popcount_masks(masks, nbits) == sum(
+        bits.count() for bits in arrays
+    )
+    assert popcount_bitarrays(arrays) == sum(
+        bits.count() for bits in arrays
+    )
